@@ -1,0 +1,60 @@
+"""Ablation — analytical page-count models vs. ground truth.
+
+The motivation for the whole paper: Yao, Cardenas and the Mackert–Lohman
+approximation all assume uniform row placement, so they agree with each
+other but diverge from the truth exactly as the predicate column's
+correlation with the physical clustering grows.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.dpc import exact_dpc
+from repro.harness.reporting import format_table
+from repro.optimizer.pagecount_model import (
+    cardenas_estimate,
+    mackert_lohman_estimate,
+    yao_estimate,
+)
+from repro.sql import Comparison, conjunction_of
+from repro.workloads import build_synthetic_database
+
+
+def test_ablation_pagecount_models(benchmark):
+    def sweep():
+        database = build_synthetic_database(num_rows=100_000, seed=31)
+        table = database.table("t")
+        stats = table.require_statistics()
+        cut = 5_000  # 5% selectivity
+        rows = []
+        for column in ("c2", "c3", "c4", "c5"):
+            predicate = conjunction_of(Comparison(column, "<", cut))
+            truth = exact_dpc(table, predicate)
+            yao = yao_estimate(cut, stats.row_count, stats.page_count)
+            cardenas = cardenas_estimate(cut, stats.page_count)
+            ml = mackert_lohman_estimate(cut, stats.row_count, stats.page_count)
+            rows.append(
+                [
+                    column,
+                    truth,
+                    f"{yao:.0f}",
+                    f"{yao / truth:.1f}x",
+                    f"{cardenas:.0f}",
+                    f"{ml:.0f}",
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print("ABLATION — analytical DPC models vs. truth (5% selectivity)")
+    print(
+        format_table(
+            ["column", "true DPC", "Yao", "Yao error", "Cardenas", "M-L"], rows
+        )
+    )
+    # All three models give one number per cardinality; only the truth moves.
+    yao_values = {r[2] for r in rows}
+    assert len(yao_values) == 1
+    errors = [float(r[3].rstrip("x")) for r in rows]
+    assert errors == sorted(errors, reverse=True)
+    assert errors[0] > 5.0  # c2: the model is badly wrong
+    assert errors[-1] < 1.5  # c5: the model is fine

@@ -1,0 +1,35 @@
+"""Fig. 7 — Monitoring overheads for single table queries.
+
+Same workload as Fig. 6; reports the per-query monitoring overhead
+``(T_monitored - T) / T``.  The paper reports overheads typically below
+2%; scan-plan monitoring here is the per-row bookkeeping of §III-B (the
+requested expressions are prefixes, so no short-circuit suppression and
+no sampling is needed — Fig. 9 covers the expensive case).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import run_fig6_fig7
+from repro.harness.reporting import percent, summarize
+
+
+def test_fig7_single_table_overhead(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_fig6_fig7(num_rows=100_000, queries_per_column=10, seed=7),
+    )
+    overheads = result.overheads()
+    stats = summarize(overheads)
+    print()
+    print("FIG. 7 — Monitoring overhead per query")
+    for index, outcome in enumerate(result.outcomes):
+        print(
+            f"  query {index:3d} ({outcome.generated.column}, "
+            f"sel {outcome.generated.selectivity:.1%}): "
+            f"overhead {percent(outcome.overhead)}"
+        )
+    print(
+        f"summary: mean {percent(stats['mean'])}, max {percent(stats['max'])} "
+        f"(paper: typically < 2%)"
+    )
+    assert stats["max"] < 0.02
+    assert stats["mean"] > 0.0  # monitoring is not free either

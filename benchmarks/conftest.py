@@ -1,0 +1,17 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one table/figure of the paper (or one ablation)
+at repro scale and prints the same rows/series the paper reports.  The
+simulated engine is deterministic, so a single round suffices; wall-clock
+numbers reported by pytest-benchmark measure the *harness* cost, while the
+figures themselves are in simulated milliseconds.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func):
+    """Run a driver exactly once under pytest-benchmark and return it."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

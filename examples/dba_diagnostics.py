@@ -1,0 +1,83 @@
+"""DBA workflow: diagnose a misestimated plan and force a better one.
+
+This is the paper's primary exploitation story (§II-C): a DBA notices a
+slow query on the book-retailer database, turns on page-count monitoring
+for one execution, reads the estimate-vs-actual report, and applies the
+recommended plan hint — without changing statistics or code.
+
+The ``order_date`` column is correlated with the load order (orders arrive
+roughly by date), which the analytical page-count model cannot see.
+
+Run:  python examples/dba_diagnostics.py
+"""
+
+from repro import Session, SingleTableQuery
+from repro.core.diagnostics import diagnose, recommend_hint
+from repro.harness.methodology import default_requests
+from repro.workloads.queries import single_table_workload
+from repro.workloads.realworld import build_real_world_databases
+
+
+def main() -> None:
+    print("Building the book-retailer analogue database...")
+    databases = build_real_world_databases(seed=7, include_tpch=False)
+    database = databases["book_retailer"]
+    print(f"  {database.table('book_retailer')}\n")
+
+    # A low-selectivity date-range query — the DBA's "slow report".
+    workload = single_table_workload(
+        database,
+        "book_retailer",
+        ["order_date"],
+        queries_per_column=6,
+        selectivity_range=(0.01, 0.04),
+        seed=7,
+    )
+    generated = min(workload, key=lambda g: g.selectivity)
+    query: SingleTableQuery = generated.query
+    session = Session(database, injections=generated.injections())
+    print(f"Query: {query.describe()}\n")
+
+    # --- step 1: run the current plan with monitoring turned on ----------
+    requests = default_requests(database, query)
+    executed = session.run(query, requests=requests)
+    print("--- monitored execution (statistics-xml style output) ---")
+    print(executed.result.runstats.render())
+    print()
+
+    # --- step 2: the estimate-vs-actual report ---------------------------
+    report = diagnose(
+        query.describe(),
+        executed.plan,
+        executed.observations,
+        optimizer=session.optimizer(),
+        query=query,
+    )
+    print("--- diagnostic report ---")
+    print(report.render())
+    flagged = report.flagged(threshold=2.0)
+    print(f"\n{len(flagged)} expression(s) flagged (estimate off by >= 2x)\n")
+
+    # --- step 3: hint recommendation --------------------------------------
+    hint = recommend_hint(
+        database, query, executed.observations, base_injections=session.injections
+    )
+    if hint is None:
+        print("No plan change recommended — the current plan is already best.")
+        return
+    print(f"Recommended hint: {hint}\n")
+
+    # --- step 4: apply the hint -------------------------------------------
+    hinted = session.run(query, hint=hint)
+    speedup = (executed.elapsed_ms - hinted.elapsed_ms) / executed.elapsed_ms
+    print("--- hinted execution ---")
+    print(hinted.plan.render())
+    print(
+        f"time: {executed.elapsed_ms:.2f}ms -> {hinted.elapsed_ms:.2f}ms "
+        f"(SpeedUp {speedup:.0%})"
+    )
+    assert hinted.result.rows == executed.result.rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Regenerate every table and figure of the paper at demo scale.
+
+Runs the per-figure drivers from :mod:`repro.harness.figures` with small
+parameters so the whole evaluation finishes in a couple of minutes; the
+``benchmarks/`` directory runs the same drivers at full repro scale.
+
+Run:  python examples/paper_figures.py            (all figures)
+      python examples/paper_figures.py fig6 fig9  (a subset)
+"""
+
+import sys
+import time
+
+from repro.harness import (
+    run_fig6_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_table1,
+)
+
+DRIVERS = {
+    "table1": lambda: run_table1(scale=0.25, seed=3),
+    "fig6": lambda: run_fig6_fig7(num_rows=30_000, queries_per_column=6, seed=3),
+    "fig8": lambda: run_fig8(num_rows=30_000, queries_per_column=4, seed=3),
+    "fig9": lambda: run_fig9(num_rows=30_000, seed=3),
+    "fig10": lambda: run_fig10(scale=0.25, probes_per_column=3, seed=3),
+    "fig11": lambda: run_fig11(scale=0.25, queries_per_column=3, seed=3),
+}
+
+
+def main() -> None:
+    selected = sys.argv[1:] or list(DRIVERS)
+    unknown = [name for name in selected if name not in DRIVERS]
+    if unknown:
+        raise SystemExit(f"unknown figure(s) {unknown}; choose from {list(DRIVERS)}")
+    for name in selected:
+        start = time.time()
+        result = DRIVERS[name]()
+        elapsed = time.time() - start
+        print("=" * 78)
+        print(result.render())
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print()
+
+
+if __name__ == "__main__":
+    main()

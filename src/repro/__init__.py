@@ -1,0 +1,82 @@
+"""repro — reproduction of *Diagnosing Estimation Errors in Page Counts
+Using Execution Feedback* (Chaudhuri, Narasayya, Ramamurthy; ICDE 2008).
+
+A from-scratch simulated disk-page database engine (storage, executor,
+cost-based optimizer) plus the paper's contribution: low-overhead
+execution-feedback mechanisms for measuring *distinct page counts* — the
+cost-model parameter whose misestimation flips access-method and
+join-method decisions.
+
+Quickstart::
+
+    from repro import Session, SingleTableQuery, AccessPathRequest
+    from repro.workloads import build_synthetic_database
+
+    db = build_synthetic_database(num_rows=50_000, seed=7)
+    session = Session(db)
+    # ... see examples/quickstart.py
+"""
+
+from repro.catalog import ColumnDef, Database, IndexDef, TableSchema
+from repro.core import (
+    AccessPathRequest,
+    FeedbackStore,
+    JoinMethodRequest,
+    MonitorConfig,
+    diagnose,
+    exact_dpc,
+    exact_join_dpc,
+    measure_clustering,
+    recommend_hint,
+)
+from repro.optimizer import (
+    InjectionSet,
+    JoinQuery,
+    Optimizer,
+    PlanHint,
+    SingleTableQuery,
+)
+from repro.session import ExecutedQuery, Session
+from repro.sql import (
+    Between,
+    Comparison,
+    Conjunction,
+    JoinEquality,
+    conjunction_of,
+    parse_predicate,
+    parse_query,
+)
+from repro.sql.types import SqlType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPathRequest",
+    "Between",
+    "ColumnDef",
+    "Comparison",
+    "Conjunction",
+    "Database",
+    "ExecutedQuery",
+    "FeedbackStore",
+    "IndexDef",
+    "InjectionSet",
+    "JoinEquality",
+    "JoinMethodRequest",
+    "JoinQuery",
+    "MonitorConfig",
+    "Optimizer",
+    "PlanHint",
+    "Session",
+    "SingleTableQuery",
+    "SqlType",
+    "TableSchema",
+    "conjunction_of",
+    "diagnose",
+    "exact_dpc",
+    "exact_join_dpc",
+    "measure_clustering",
+    "parse_predicate",
+    "parse_query",
+    "recommend_hint",
+]

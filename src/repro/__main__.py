@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures [name ...] [--scale S] [--seed N]`` — regenerate the paper's
+  tables/figures (all of them by default) and print the series;
+* ``explain "<SQL>" [--rows N]`` — show all candidate plans for a COUNT
+  query against a freshly built synthetic database;
+* ``diagnose "<SQL>" [--rows N] [--feedback PATH]`` — run the query with
+  page-count monitoring, print the statistics-xml-style output and the
+  estimate-vs-actual report, recommend a plan hint, and optionally
+  persist the gathered feedback;
+* ``inventory [--scale S]`` — print Table I's database inventory.
+
+The synthetic database commands exist so the tool is usable out of the
+box; programmatic users point the same APIs at their own ``Database``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _add_figures(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "figures", help="regenerate the paper's tables/figures"
+    )
+    parser.add_argument("names", nargs="*", help="subset, e.g. fig6 fig10")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--rows", type=int, default=30_000)
+    parser.add_argument("--seed", type=int, default=3)
+
+
+def _add_query_command(subparsers, name: str, help_text: str) -> None:
+    parser = subparsers.add_parser(name, help=help_text)
+    parser.add_argument("sql", help="a COUNT query over the synthetic table t")
+    parser.add_argument("--rows", type=int, default=50_000)
+    parser.add_argument("--seed", type=int, default=42)
+    if name == "diagnose":
+        parser.add_argument(
+            "--feedback",
+            default=None,
+            help="path to persist the gathered feedback store (JSON)",
+        )
+
+
+def _cmd_figures(args) -> int:
+    from repro.harness import (
+        run_fig6_fig7,
+        run_fig8,
+        run_fig9,
+        run_fig10,
+        run_fig11,
+        run_table1,
+    )
+
+    drivers = {
+        "table1": lambda: run_table1(scale=args.scale, seed=args.seed),
+        "fig6": lambda: run_fig6_fig7(
+            num_rows=args.rows, queries_per_column=6, seed=args.seed
+        ),
+        "fig8": lambda: run_fig8(
+            num_rows=args.rows, queries_per_column=4, seed=args.seed
+        ),
+        "fig9": lambda: run_fig9(num_rows=args.rows, seed=args.seed),
+        "fig10": lambda: run_fig10(
+            scale=args.scale, probes_per_column=3, seed=args.seed
+        ),
+        "fig11": lambda: run_fig11(
+            scale=args.scale, queries_per_column=3, seed=args.seed
+        ),
+    }
+    names = args.names or list(drivers)
+    unknown = [n for n in names if n not in drivers]
+    if unknown:
+        print(f"unknown figures {unknown}; choose from {list(drivers)}")
+        return 2
+    for name in names:
+        start = time.time()
+        result = drivers[name]()
+        print("=" * 78)
+        print(result.render())
+        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+def _build_synthetic(args):
+    from repro.workloads import build_synthetic_database
+
+    print(
+        f"building synthetic database ({args.rows} rows, seed {args.seed})...",
+        file=sys.stderr,
+    )
+    return build_synthetic_database(
+        num_rows=args.rows, seed=args.seed, with_copy=True
+    )
+
+
+def _cmd_explain(args) -> int:
+    from repro.optimizer import Optimizer
+    from repro.sql import parse_query
+
+    database = _build_synthetic(args)
+    query = parse_query(args.sql)
+    print(Optimizer(database).explain(query))
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    from repro.core.diagnostics import diagnose, recommend_hint
+    from repro.harness.methodology import default_requests
+    from repro.session import Session
+    from repro.sql import parse_query
+
+    database = _build_synthetic(args)
+    query = parse_query(args.sql)
+    session = Session(database)
+    requests = default_requests(database, query)
+    executed = session.run(query, requests=requests)
+    print(executed.result.runstats.render())
+    print()
+    report = diagnose(
+        query.describe(),
+        executed.plan,
+        executed.observations,
+        optimizer=session.optimizer(),
+        query=query,
+    )
+    print(report.render())
+    hint = recommend_hint(database, query, executed.observations)
+    if hint is None:
+        print("\nno plan change recommended")
+    else:
+        print(f"\nrecommended hint: {hint}")
+        hinted = session.run(query, hint=hint)
+        speedup = (executed.elapsed_ms - hinted.elapsed_ms) / executed.elapsed_ms
+        print(
+            f"hinted run: {hinted.elapsed_ms:.2f}ms vs {executed.elapsed_ms:.2f}ms "
+            f"(SpeedUp {speedup:.0%})"
+        )
+    if args.feedback:
+        session.remember(executed)
+        session.feedback.save(args.feedback)
+        print(f"feedback persisted to {args.feedback}")
+    return 0
+
+
+def _cmd_inventory(args) -> int:
+    from repro.harness import run_table1
+
+    print(run_table1(scale=args.scale, seed=args.seed).render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Page-count execution-feedback reproduction (ICDE 2008)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_figures(subparsers)
+    _add_query_command(subparsers, "explain", "show all candidate plans")
+    _add_query_command(
+        subparsers, "diagnose", "monitor, report estimate-vs-actual, hint"
+    )
+    inventory = subparsers.add_parser("inventory", help="print Table I")
+    inventory.add_argument("--scale", type=float, default=0.25)
+    inventory.add_argument("--seed", type=int, default=3)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "figures": _cmd_figures,
+        "explain": _cmd_explain,
+        "diagnose": _cmd_diagnose,
+        "inventory": _cmd_inventory,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

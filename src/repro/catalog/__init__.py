@@ -1,0 +1,17 @@
+"""Catalog: schemas, statistics, histograms and the database registry."""
+
+from repro.catalog.catalog import Database
+from repro.catalog.histogram import Bucket, EquiDepthHistogram
+from repro.catalog.schema import ColumnDef, IndexDef, TableSchema
+from repro.catalog.statistics import TableStatistics, build_statistics
+
+__all__ = [
+    "Bucket",
+    "ColumnDef",
+    "Database",
+    "EquiDepthHistogram",
+    "IndexDef",
+    "TableSchema",
+    "TableStatistics",
+    "build_statistics",
+]

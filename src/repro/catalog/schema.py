@@ -1,0 +1,148 @@
+"""Table schemas and index definitions.
+
+A :class:`TableSchema` fixes the column order used by row tuples everywhere
+in the engine.  :class:`IndexDef` describes one index: the engine supports a
+single *clustered* index (which determines the physical row order of the
+table, SQL Server style) and any number of non-clustered B-tree indexes,
+optionally with included columns (making them covering for some queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.common.errors import SchemaError
+from repro.sql.types import SqlType
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column: a name and a SQL type.
+
+    ``width_bytes`` is the simulated storage width used by the page layout
+    to decide rows-per-page; defaults approximate fixed-width encodings.
+    """
+
+    name: str
+    sql_type: SqlType
+    width_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name {self.name!r}")
+        if self.width_bytes < 0:
+            raise SchemaError(f"column {self.name}: negative width {self.width_bytes}")
+        if self.width_bytes == 0:
+            object.__setattr__(self, "width_bytes", _DEFAULT_WIDTHS[self.sql_type])
+
+
+_DEFAULT_WIDTHS: dict[SqlType, int] = {
+    SqlType.INT: 8,
+    SqlType.FLOAT: 8,
+    SqlType.STR: 32,
+    SqlType.DATE: 4,
+}
+
+
+class TableSchema:
+    """Ordered column definitions for a table.
+
+    Rows are plain tuples in schema order.  The schema provides fast
+    name -> position resolution and row validation.
+    """
+
+    __slots__ = ("table_name", "columns", "_positions", "row_width_bytes")
+
+    def __init__(self, table_name: str, columns: Sequence[ColumnDef]) -> None:
+        if not table_name or not table_name.isidentifier():
+            raise SchemaError(f"invalid table name {table_name!r}")
+        if not columns:
+            raise SchemaError(f"table {table_name}: at least one column required")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {table_name}: duplicate column names in {names}")
+        self.table_name = table_name
+        self.columns: tuple[ColumnDef, ...] = tuple(columns)
+        self._positions = {c.name: i for i, c in enumerate(columns)}
+        self.row_width_bytes = sum(c.width_bytes for c in columns)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def position(self, column: str) -> int:
+        """Position of ``column`` in row tuples; raises on unknown names."""
+        try:
+            return self._positions[column]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.table_name} has no column {column!r}; "
+                f"columns are {list(self._positions)}"
+            ) from None
+
+    def column(self, name: str) -> ColumnDef:
+        return self.columns[self.position(name)]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._positions
+
+    def validate_row(self, row: Sequence[Any]) -> tuple:
+        """Type-check a row against the schema; returns the row as a tuple."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"table {self.table_name}: row has {len(row)} values, "
+                f"schema has {len(self.columns)} columns"
+            )
+        return tuple(
+            col.sql_type.validate(value) for col, value in zip(self.columns, row)
+        )
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.sql_type.value}" for c in self.columns)
+        return f"TableSchema({self.table_name}: {cols})"
+
+
+@dataclass(frozen=True)
+class IndexDef:
+    """Metadata for one index.
+
+    ``key_columns`` is the search key (composite keys supported).  For a
+    clustered index the table's rows are physically ordered by the key; for
+    a non-clustered index the leaf entries carry the row locator (RID for a
+    heap, clustering key otherwise).  ``included_columns`` widen the leaf
+    entries so more queries are *covered* (answerable from the index alone).
+    """
+
+    name: str
+    table_name: str
+    key_columns: tuple[str, ...]
+    clustered: bool = False
+    included_columns: tuple[str, ...] = field(default_factory=tuple)
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.key_columns:
+            raise SchemaError(f"index {self.name}: key_columns must not be empty")
+        overlap = set(self.key_columns) & set(self.included_columns)
+        if overlap:
+            raise SchemaError(
+                f"index {self.name}: columns {sorted(overlap)} are both key and included"
+            )
+
+    @property
+    def leading_column(self) -> str:
+        """First key column — the one a single-column seek predicate targets."""
+        return self.key_columns[0]
+
+    def carried_columns(self) -> tuple[str, ...]:
+        """All columns physically present in the index leaves."""
+        return self.key_columns + self.included_columns
+
+    def covers(self, needed: Iterable[str]) -> bool:
+        """Whether the index leaves carry every column in ``needed``."""
+        carried = set(self.carried_columns())
+        return all(col in carried for col in needed)

@@ -1,0 +1,48 @@
+"""Shared substrate: errors, identifier types, hashing and RNG helpers."""
+
+from repro.common.errors import (
+    BufferPoolError,
+    CatalogError,
+    EstimationError,
+    ExecutionError,
+    ExpressionError,
+    FeedbackError,
+    IndexError_,
+    MonitorError,
+    OptimizerError,
+    PageError,
+    ReproError,
+    SchemaError,
+    StorageError,
+    WorkloadError,
+)
+from repro.common.hashing import hash_to_bucket, hash_value, mix64
+from repro.common.rng import derive_seed, make_numpy_rng, make_random
+from repro.common.types import INVALID_PAGE_ID, RID, FileId, PageId
+
+__all__ = [
+    "BufferPoolError",
+    "CatalogError",
+    "EstimationError",
+    "ExecutionError",
+    "ExpressionError",
+    "FeedbackError",
+    "FileId",
+    "INVALID_PAGE_ID",
+    "IndexError_",
+    "MonitorError",
+    "OptimizerError",
+    "PageError",
+    "PageId",
+    "RID",
+    "ReproError",
+    "SchemaError",
+    "StorageError",
+    "WorkloadError",
+    "derive_seed",
+    "hash_to_bucket",
+    "hash_value",
+    "make_numpy_rng",
+    "make_random",
+    "mix64",
+]

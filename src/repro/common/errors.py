@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one base type.  Subsystems raise the most specific subclass that
+describes the failure; messages always name the offending object (table,
+index, column, page) so diagnostics do not require a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CatalogError(ReproError):
+    """A catalog lookup or registration failed (unknown table, index, ...)."""
+
+
+class SchemaError(CatalogError):
+    """A schema definition or column reference is invalid."""
+
+
+class StorageError(ReproError):
+    """The storage engine detected an inconsistency (bad RID, full page...)."""
+
+
+class PageError(StorageError):
+    """A page-level operation failed (bad slot, overflow, unknown PID)."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool could not satisfy a request (no evictable frame...)."""
+
+
+class IndexError_(StorageError):
+    """A B-tree index operation failed.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`, which has different semantics.
+    """
+
+
+class ExecutionError(ReproError):
+    """A runtime operator failed while executing a plan."""
+
+
+class ExpressionError(ReproError):
+    """A predicate or scalar expression is malformed or mistyped."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer could not produce a plan for the query."""
+
+
+class EstimationError(OptimizerError):
+    """A cardinality or page-count estimate could not be computed."""
+
+
+class MonitorError(ReproError):
+    """A page-count monitor was misconfigured or observed invalid input."""
+
+
+class FeedbackError(ReproError):
+    """The feedback store rejected a record or lookup."""
+
+
+class WorkloadError(ReproError):
+    """A workload/data generator received invalid parameters."""

@@ -1,0 +1,46 @@
+"""Fundamental identifier types shared across the engine.
+
+The storage engine addresses rows with a :class:`RID` (page id, slot number).
+Page ids are plain integers, but we wrap the pair in a small immutable type so
+operator code and the page-count monitors can pass row addresses around
+without tuple-index arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NewType
+
+#: Identifier of a disk page within one stored file.  Page ids are dense and
+#: start at 0; they are *per file*, not global, mirroring how a real engine
+#: numbers pages within a database file.
+PageId = NewType("PageId", int)
+
+#: Identifier of a stored file (heap file, clustered file or index file)
+#: within the simulated database.  Allocated by the catalog.
+FileId = NewType("FileId", int)
+
+INVALID_PAGE_ID = PageId(-1)
+
+
+@dataclass(frozen=True, slots=True)
+class RID:
+    """Physical row identifier: ``(page_id, slot)`` within one file.
+
+    RIDs are what secondary indexes on *heap* tables store, and what the
+    Fetch operator receives.  For clustered tables the index stores the
+    clustering key instead, but the Fetch still resolves to a page — the
+    page id is the quantity the paper's monitors count.
+    """
+
+    page_id: PageId
+    slot: int
+
+    def __post_init__(self) -> None:
+        if self.page_id < 0:
+            raise ValueError(f"RID page_id must be >= 0, got {self.page_id}")
+        if self.slot < 0:
+            raise ValueError(f"RID slot must be >= 0, got {self.slot}")
+
+    def __repr__(self) -> str:  # compact, log-friendly
+        return f"RID({int(self.page_id)}:{self.slot})"

@@ -1,0 +1,148 @@
+"""Sampling-based distinct-value estimation (the paper's stated alternative).
+
+§III-A discusses the road not taken: draw a reservoir sample of the
+fetched rows and apply a distinct-value estimator to the sampled PIDs.
+The paper cites the AE ("Adaptive Estimator") of Charikar, Chaudhuri,
+Motwani & Narasayya (PODS 2000) and defers an empirical comparison to
+future work — which our ablation bench
+(``benchmarks/bench_ablation_estimators.py``) carries out.
+
+This module provides:
+
+* :func:`reservoir_sample` — Vitter's Algorithm R (the paper's [19]);
+* :class:`GEEEstimator` — the Guaranteed-Error Estimator
+  ``D̂ = sqrt(N/r) * f1 + sum_{i>=2} f_i`` from the same paper, the
+  simpler of the two with a proven error guarantee;
+* :class:`AEEstimator` — the Adaptive Estimator, which corrects f1/f2
+  based on the inferred low-frequency mix.
+
+Here ``f_i`` is the number of distinct values occurring exactly ``i``
+times in the sample, ``r`` the sample size and ``N`` the stream length.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.common.errors import MonitorError
+from repro.common.rng import make_random
+
+
+def reservoir_sample(stream: Iterable, size: int, seed: int = 0) -> list:
+    """Uniform sample without replacement of ``size`` items (Algorithm R)."""
+    if size <= 0:
+        raise MonitorError(f"reservoir size must be positive, got {size}")
+    rng = make_random(seed, "reservoir")
+    reservoir: list = []
+    for index, item in enumerate(stream):
+        if index < size:
+            reservoir.append(item)
+        else:
+            slot = rng.randint(0, index)
+            if slot < size:
+                reservoir[slot] = item
+    return reservoir
+
+
+def frequency_profile(sample: Sequence) -> Counter:
+    """``f_i`` profile: f[i] = number of values occurring exactly i times."""
+    value_counts = Counter(sample)
+    profile: Counter = Counter()
+    for count in value_counts.values():
+        profile[count] += 1
+    return profile
+
+
+class GEEEstimator:
+    """Guaranteed-Error Estimator: ``sqrt(N/r)*f1 + sum_{i>=2} f_i``.
+
+    Matches the sqrt(N/r) ratio-error lower bound of Charikar et al.
+    """
+
+    name = "GEE"
+
+    def estimate(self, sample: Sequence, stream_length: int) -> float:
+        if not sample:
+            return 0.0
+        if stream_length < len(sample):
+            raise MonitorError(
+                f"stream length {stream_length} smaller than sample {len(sample)}"
+            )
+        profile = frequency_profile(sample)
+        f1 = profile.get(1, 0)
+        rest = sum(count for i, count in profile.items() if i >= 2)
+        scale = math.sqrt(stream_length / len(sample))
+        return scale * f1 + rest
+
+
+class AEEstimator:
+    """The Adaptive Estimator of Charikar et al. (PODS 2000).
+
+    Splits the sample's values into "rare" (low sample frequency) and
+    "frequent"; frequent values are counted directly, while the number of
+    rare distinct values is scaled up by an adaptively estimated factor
+    derived from f1 and f2 (a Poisson mixture argument): with
+    ``m = f1 + 2*f2`` rare tuples, the estimated per-value multiplicity is
+    ``Λ = max(1, m / (f1 + f2))`` giving
+    ``D̂ = f1/Λ_scaled + higher-frequency distincts``, where the scaling
+    solves ``Λ = m / (d_rare)`` self-consistently.  We implement the
+    closed-form variant used in the literature:
+
+        D̂ = f_{>cutoff distincts} + d_rare_estimate
+
+    with ``d_rare_estimate = (sqrt(N/r)) adjusted by the f1/f2 ratio``:
+    values seen twice damp the extrapolation that GEE applies uniformly.
+    """
+
+    name = "AE"
+
+    def __init__(self, rare_cutoff: int = 2) -> None:
+        if rare_cutoff < 1:
+            raise MonitorError(f"rare_cutoff must be >= 1, got {rare_cutoff}")
+        self.rare_cutoff = rare_cutoff
+
+    def estimate(self, sample: Sequence, stream_length: int) -> float:
+        if not sample:
+            return 0.0
+        if stream_length < len(sample):
+            raise MonitorError(
+                f"stream length {stream_length} smaller than sample {len(sample)}"
+            )
+        profile = frequency_profile(sample)
+        f1 = profile.get(1, 0)
+        f2 = profile.get(2, 0)
+        frequent = sum(
+            count for i, count in profile.items() if i > self.rare_cutoff
+        )
+        rare_distinct = sum(
+            count for i, count in profile.items() if i <= self.rare_cutoff
+        )
+        if rare_distinct == 0:
+            return float(frequent)
+        # Adaptive scale: if many sampled values repeat (f2 large relative
+        # to f1), the underlying rare values are dense and extrapolation
+        # should shrink toward the sample count; if nearly all are
+        # singletons, behave like GEE's sqrt(N/r) blow-up.
+        gee_scale = math.sqrt(stream_length / len(sample))
+        singleton_fraction = f1 / max(1, f1 + 2 * f2)
+        scale = 1.0 + (gee_scale - 1.0) * singleton_fraction
+        return frequent + rare_distinct * scale
+
+
+def estimate_distinct_pages_from_sample(
+    page_id_stream: Sequence[int],
+    sample_size: int,
+    estimator: "GEEEstimator | AEEstimator",
+    seed: int = 0,
+) -> float:
+    """End-to-end §III-A alternative: reservoir-sample a fetch stream's
+    page ids, then apply a sampling-based distinct estimator."""
+    stream = list(page_id_stream)
+    if not stream:
+        return 0.0
+    if sample_size >= len(stream):
+        return float(len(set(stream)))
+    sample = reservoir_sample(stream, sample_size, seed=seed)
+    return estimator.estimate(sample, len(stream))

@@ -1,0 +1,76 @@
+"""Clustering Ratio — the paper's measure of on-disk correlation (§V-B).
+
+For a predicate satisfied by ``n`` rows of a table with ``k`` rows per
+page and ``P`` pages:
+
+* ``LB = n / k`` — fewest pages that could hold the rows,
+* ``UB = min(n, P)`` — most pages they could occupy,
+* ``CR = (N - LB) / (UB - LB)`` where ``N`` is the *actual* distinct page
+  count, so ``CR = 0`` means fully correlated with the clustering and
+  ``CR = 1`` means maximally scattered.
+
+Fig. 10 plots CR for queries across five real databases and finds mean
+0.56 with standard deviation 0.40 — the evidence that "simple analytical
+formulas may be insufficient to capture the clustering effects in real
+world databases".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dpc import dpc_bounds, exact_dpc
+from repro.sql.evaluator import BoundConjunction
+from repro.sql.predicates import Conjunction
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class ClusteringMeasurement:
+    """CR plus all its ingredients, for one (table, predicate) pair."""
+
+    table: str
+    expression: str
+    matching_rows: int
+    actual_pages: int
+    lower_bound: float
+    upper_bound: float
+    clustering_ratio: float
+    selectivity: float
+
+
+def clustering_ratio(
+    actual_pages: float, lower_bound: float, upper_bound: float
+) -> float:
+    """``(N - LB) / (UB - LB)``, clamped to [0, 1].
+
+    Degenerate brackets (``UB == LB``: the predicate pins the page count)
+    return 0 — there is no clustering freedom to measure.
+    """
+    if upper_bound <= lower_bound:
+        return 0.0
+    ratio = (actual_pages - lower_bound) / (upper_bound - lower_bound)
+    return min(1.0, max(0.0, ratio))
+
+
+def measure_clustering(table: Table, predicate: Conjunction) -> ClusteringMeasurement:
+    """Exact CR for one predicate, by direct inspection (no I/O charges)."""
+    bound = BoundConjunction(predicate, table.schema.column_names)
+    matching = 0
+    for page_id in table.all_page_ids():
+        for row in table.rows_on_page(page_id):
+            if bound.passes(row):
+                matching += 1
+    actual = exact_dpc(table, predicate)
+    rows_per_page = table.num_rows / table.num_pages if table.num_pages else 1.0
+    lower, upper = dpc_bounds(matching, rows_per_page, table.num_pages)
+    return ClusteringMeasurement(
+        table=table.name,
+        expression=predicate.key(),
+        matching_rows=matching,
+        actual_pages=actual,
+        lower_bound=lower,
+        upper_bound=upper,
+        clustering_ratio=clustering_ratio(actual, lower, upper),
+        selectivity=matching / table.num_rows if table.num_rows else 0.0,
+    )

@@ -1,0 +1,192 @@
+"""LEO-style feedback store for page counts (§II-C).
+
+The paper proposes augmenting a feedback infrastructure like LEO [17] to
+capture ``(expression, cardinality, distinct page count)`` triples from
+executed plans so that *future* queries with the same (or contained)
+expressions benefit.  :class:`FeedbackStore` implements that store:
+
+* :meth:`record_run` harvests a finished query's run statistics —
+  answered page-count observations and, when available, actual
+  cardinalities — into keyed records;
+* :meth:`to_injections` lowers the store into an
+  :class:`~repro.optimizer.injection.InjectionSet` the optimizer consumes;
+* repeated observations of the same expression are reconciled by recency
+  (newest wins), with exact observations preferred over estimates taken in
+  the same run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.common.errors import FeedbackError
+from repro.core.requests import PageCountObservation
+from repro.exec.runstats import RunStats
+from repro.optimizer.injection import InjectionSet
+
+
+@dataclass
+class FeedbackRecord:
+    """One remembered fact about an expression."""
+
+    key: str
+    page_count: Optional[float] = None
+    page_count_exact: bool = False
+    cardinality: Optional[float] = None
+    mechanism: str = ""
+    sequence: int = 0
+
+    def merge_observation(
+        self, observation: PageCountObservation, sequence: int
+    ) -> None:
+        """Fold a new observation in; newer beats older, exact beats
+        estimated within the same run."""
+        if observation.estimate is None:
+            return
+        newer = sequence > self.sequence
+        same_run_upgrade = (
+            sequence == self.sequence
+            and observation.exact
+            and not self.page_count_exact
+        )
+        if self.page_count is None or newer or same_run_upgrade:
+            self.page_count = observation.estimate
+            self.page_count_exact = observation.exact
+            self.mechanism = observation.mechanism.value
+            self.sequence = sequence
+
+
+class FeedbackStore:
+    """Accumulates execution feedback across query runs."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, FeedbackRecord] = {}
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def record(self, key: str) -> Optional[FeedbackRecord]:
+        return self._records.get(key)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def record_observations(
+        self, observations: Iterable[PageCountObservation]
+    ) -> int:
+        """Store answered observations; returns how many were stored."""
+        self._sequence += 1
+        stored = 0
+        for observation in observations:
+            if not observation.answered or observation.estimate is None:
+                continue
+            record = self._records.setdefault(
+                observation.key, FeedbackRecord(key=observation.key)
+            )
+            record.merge_observation(observation, self._sequence)
+            stored += 1
+        return stored
+
+    def record_run(self, runstats: RunStats) -> int:
+        """Harvest one executed query's feedback."""
+        return self.record_observations(runstats.observations)
+
+    def record_cardinality(self, key: str, rows: float) -> None:
+        """Store an observed actual cardinality for an expression key."""
+        if rows < 0:
+            raise FeedbackError(f"cardinality must be >= 0, got {rows}")
+        self._sequence += 1
+        record = self._records.setdefault(key, FeedbackRecord(key=key))
+        record.cardinality = rows
+        record.sequence = self._sequence
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_injections(self, base: Optional[InjectionSet] = None) -> InjectionSet:
+        """Lower the store into optimizer injections.
+
+        Page-count records become page-count injections under their
+        original keys (the key format is shared with the optimizer's
+        lookup, so round-tripping is lossless).
+        """
+        injections = base if base is not None else InjectionSet()
+        for record in self._records.values():
+            if record.page_count is not None:
+                injections.inject_page_count_by_key(record.key, record.page_count)
+        return injections
+
+    def keys(self) -> list[str]:
+        return sorted(self._records)
+
+    # ------------------------------------------------------------------
+    # Persistence (the DBA-tool use case: feedback outlives the session)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise the store to a JSON string."""
+        import json
+
+        payload = {
+            "version": 1,
+            "sequence": self._sequence,
+            "records": [
+                {
+                    "key": record.key,
+                    "page_count": record.page_count,
+                    "page_count_exact": record.page_count_exact,
+                    "cardinality": record.cardinality,
+                    "mechanism": record.mechanism,
+                    "sequence": record.sequence,
+                }
+                for record in self._records.values()
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FeedbackStore":
+        """Reconstruct a store serialised by :meth:`to_json`."""
+        import json
+
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FeedbackError(f"invalid feedback JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != 1:
+            raise FeedbackError(
+                f"unsupported feedback payload version: {payload.get('version')!r}"
+            )
+        store = cls()
+        store._sequence = int(payload.get("sequence", 0))
+        for entry in payload.get("records", []):
+            record = FeedbackRecord(
+                key=entry["key"],
+                page_count=entry.get("page_count"),
+                page_count_exact=bool(entry.get("page_count_exact", False)),
+                cardinality=entry.get("cardinality"),
+                mechanism=entry.get("mechanism", ""),
+                sequence=int(entry.get("sequence", 0)),
+            )
+            store._records[record.key] = record
+        return store
+
+    def save(self, path) -> None:
+        """Write the store to ``path`` (a str or Path)."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "FeedbackStore":
+        """Read a store previously written by :meth:`save`."""
+        from pathlib import Path
+
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def __repr__(self) -> str:
+        return f"FeedbackStore({len(self._records)} expressions)"

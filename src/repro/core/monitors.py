@@ -1,0 +1,360 @@
+"""Monitor bundles: the objects plan operators drive during execution.
+
+The prototype described in §V-A instruments the *current* plan: each
+storage-engine operator that sees page ids gets a small bundle of counters,
+selected per requested expression by the monitor planner
+(:mod:`repro.core.planner`).  Two bundle shapes cover every case in the
+paper:
+
+* :class:`ScanMonitorBundle` — attached to a scan operator (heap scan,
+  clustered scan/range seek, covering index scan).  Exploits grouped page
+  access: per-request page flags folded into either an exact counter
+  (request is a prefix of the evaluated term order — no short-circuit
+  changes needed) or a DPSample estimate (non-prefix requests, evaluated
+  fully but only on Bernoulli-sampled pages).  Bit-vector semi-join
+  requests (Fig. 5) ride the same per-page machinery, probing the filter
+  on sampled pages only.
+
+* :class:`FetchMonitorBundle` — attached to a Fetch stream (Index Seek,
+  Index Intersection, or the inner of an INL join).  No grouped access, so
+  each answerable request gets a :class:`~repro.core.probabilistic.LinearCounter`
+  over the fetched page ids (Fig. 3).
+
+Bundles charge the simulated clock for every hash and bit-vector probe they
+perform; the *extra predicate evaluations* caused by short-circuit
+suppression are charged by the scan operator itself (it performs them), so
+the measured monitoring overhead decomposes exactly as in Figs. 7 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.common.errors import MonitorError
+from repro.common.types import PageId
+from repro.core.bitvector import BitVectorFilter
+from repro.core.dpsample import BernoulliPageSampler
+from repro.core.probabilistic import LinearCounter
+from repro.core.requests import (
+    Mechanism,
+    PageCountObservation,
+    PageCountRequest,
+)
+from repro.sql.evaluator import TermOutcome
+from repro.sql.predicates import AtomicPredicate, Conjunction
+from repro.storage.disk import SimulatedClock
+
+
+@dataclass
+class _ScanExpressionEntry:
+    """One expression request being counted during a scan."""
+
+    request: PageCountRequest
+    #: positions (in the scan's *monitor conjunction* term order) of the
+    #: request terms the scan must witness; terms guaranteed true by the
+    #: scan's seek range are excluded.
+    term_indexes: tuple[int, ...]
+    #: exact mode: decidable on every page from normal short-circuited
+    #: evaluation (request terms are a prefix of the query's term order).
+    exact: bool
+    page_satisfied: bool = False
+    satisfied_pages: int = 0
+
+    def observe(self, truth: tuple) -> None:
+        """Update the per-page flag from one row's term-truth vector."""
+        if self.page_satisfied:
+            return
+        for index in self.term_indexes:
+            if truth[index] is not True:
+                return
+        self.page_satisfied = True
+
+    def fold_page(self, counted: bool) -> None:
+        """End-of-page: fold the flag into the counter if the page counts
+        toward this entry (always for exact mode, sampled pages otherwise).
+        """
+        if counted and self.page_satisfied:
+            self.satisfied_pages += 1
+        self.page_satisfied = False
+
+
+@dataclass
+class _BitVectorEntry:
+    """A semi-join request probing a bit-vector filter during a scan."""
+
+    request: PageCountRequest
+    column_position: int
+    filter: BitVectorFilter
+    page_satisfied: bool = False
+    satisfied_pages: int = 0
+
+    def observe_row(self, row: Sequence[Any], clock: SimulatedClock) -> None:
+        if self.page_satisfied:
+            return
+        clock.charge_bitvector_probes(1)
+        value = row[self.column_position]
+        if value is not None and self.filter.may_contain(value):
+            self.page_satisfied = True
+
+    def fold_page(self, counted: bool) -> None:
+        if counted and self.page_satisfied:
+            self.satisfied_pages += 1
+        self.page_satisfied = False
+
+
+class ScanMonitorBundle:
+    """Counters attached to one scan operator.
+
+    The scan calls, in order: :meth:`start_page` once per page,
+    :meth:`observe_row` once per row (passing the term outcome it computed
+    and the raw row), and :meth:`end_page` when the page is exhausted.
+    :meth:`needs_full_evaluation_on` tells the scan whether the current
+    page requires short-circuiting to be off (Fig. 4 step 4).
+    :meth:`finish` yields the observations.
+    """
+
+    def __init__(
+        self,
+        table_name: str,
+        query_term_count: int,
+        clock: SimulatedClock,
+        sampler: Optional[BernoulliPageSampler] = None,
+    ) -> None:
+        self.table_name = table_name
+        self.query_term_count = query_term_count
+        self.clock = clock
+        self.sampler = sampler
+        self._expression_entries: list[_ScanExpressionEntry] = []
+        self._sampled_expression_entries: list[_ScanExpressionEntry] = []
+        self._exact_expression_entries: list[_ScanExpressionEntry] = []
+        self._bitvector_entries: list[_BitVectorEntry] = []
+        self._current_page_sampled = False
+        self._in_page = False
+        self._any_nonprefix = False
+
+    # ------------------------------------------------------------------
+    # Planner-side construction
+    # ------------------------------------------------------------------
+    def add_expression_request(
+        self,
+        request: PageCountRequest,
+        term_indexes: Sequence[int],
+        exact: bool,
+    ) -> None:
+        entry = _ScanExpressionEntry(
+            request=request, term_indexes=tuple(term_indexes), exact=exact
+        )
+        self._expression_entries.append(entry)
+        if exact:
+            self._exact_expression_entries.append(entry)
+        else:
+            self._any_nonprefix = True
+            self._sampled_expression_entries.append(entry)
+
+    def add_bitvector_request(
+        self,
+        request: PageCountRequest,
+        column_position: int,
+        filter: BitVectorFilter,
+    ) -> None:
+        self._bitvector_entries.append(
+            _BitVectorEntry(
+                request=request, column_position=column_position, filter=filter
+            )
+        )
+
+    @property
+    def has_requests(self) -> bool:
+        return bool(self._expression_entries or self._bitvector_entries)
+
+    @property
+    def needs_sampler(self) -> bool:
+        """Whether any request can only be answered on sampled pages."""
+        return self._any_nonprefix or bool(self._bitvector_entries)
+
+    # ------------------------------------------------------------------
+    # Scan-side protocol
+    # ------------------------------------------------------------------
+    def start_page(self, page_id: PageId) -> None:
+        if self._in_page:
+            raise MonitorError("start_page called twice without end_page")
+        self._in_page = True
+        if self.needs_sampler:
+            if self.sampler is None:
+                raise MonitorError(
+                    f"scan of {self.table_name} has sampled requests but no sampler"
+                )
+            self._current_page_sampled = self.sampler.sample_page(page_id)
+        else:
+            self._current_page_sampled = False
+
+    @property
+    def page_is_sampled(self) -> bool:
+        return self._current_page_sampled
+
+    def needs_full_evaluation(self) -> bool:
+        """Whether the *current page*'s rows need short-circuiting off.
+
+        True exactly when the page is in the sample and some request needs
+        terms the normal evaluation might skip.
+        """
+        return self._current_page_sampled and self._any_nonprefix
+
+    def observe_row(self, outcome: TermOutcome, row: Sequence[Any]) -> None:
+        """Feed one row's evaluation result to all entries.
+
+        ``outcome.truth`` is indexed by the monitor conjunction's term
+        order.  Exact entries consume every row; sampled entries only rows
+        of sampled pages (where full truth is available); bit-vector
+        entries probe on sampled pages only.
+        """
+        if not self._in_page:
+            raise MonitorError("observe_row called outside a page")
+        # The per-row bookkeeping of §III-B ("a single comparison for each
+        # row"), charged so scan-monitoring overhead is visible (Fig. 7).
+        self.clock.charge_monitor_checks(1)
+        truth = outcome.truth
+        for entry in self._exact_expression_entries:
+            entry.observe(truth)
+        if self._current_page_sampled:
+            for entry in self._sampled_expression_entries:
+                entry.observe(truth)
+            for bv_entry in self._bitvector_entries:
+                bv_entry.observe_row(row, self.clock)
+
+    def end_page(self) -> None:
+        if not self._in_page:
+            raise MonitorError("end_page called outside a page")
+        self._in_page = False
+        for entry in self._exact_expression_entries:
+            entry.fold_page(counted=True)
+        for entry in self._sampled_expression_entries:
+            entry.fold_page(counted=self._current_page_sampled)
+        for bv_entry in self._bitvector_entries:
+            bv_entry.fold_page(counted=self._current_page_sampled)
+        self._current_page_sampled = False
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def finish(self) -> list[PageCountObservation]:
+        observations: list[PageCountObservation] = []
+        fraction = self.sampler.fraction if self.sampler is not None else 1.0
+        for entry in self._expression_entries:
+            if entry.exact:
+                observations.append(
+                    PageCountObservation(
+                        request=entry.request,
+                        mechanism=Mechanism.EXACT_SCAN_COUNT,
+                        estimate=float(entry.satisfied_pages),
+                        exact=True,
+                        details={"satisfied_pages": entry.satisfied_pages},
+                    )
+                )
+            else:
+                observations.append(
+                    PageCountObservation(
+                        request=entry.request,
+                        mechanism=Mechanism.DPSAMPLE,
+                        estimate=entry.satisfied_pages / fraction,
+                        exact=fraction >= 1.0,
+                        details={
+                            "satisfied_sampled_pages": entry.satisfied_pages,
+                            "fraction": fraction,
+                            "pages_sampled": (
+                                self.sampler.pages_sampled if self.sampler else 0
+                            ),
+                        },
+                    )
+                )
+        for bv_entry in self._bitvector_entries:
+            observations.append(
+                PageCountObservation(
+                    request=bv_entry.request,
+                    mechanism=Mechanism.BITVECTOR_DPSAMPLE,
+                    estimate=bv_entry.satisfied_pages / fraction,
+                    exact=False,  # collisions can overestimate
+                    details={
+                        "satisfied_sampled_pages": bv_entry.satisfied_pages,
+                        "fraction": fraction,
+                        "filter_bits": bv_entry.filter.num_bits,
+                        "filter_fill_ratio": bv_entry.filter.fill_ratio,
+                    },
+                )
+            )
+        return observations
+
+
+@dataclass
+class _FetchEntry:
+    """One expression request counted over a fetch stream."""
+
+    request: PageCountRequest
+    #: positions (in the fetch residual's term order) that must be TRUE for
+    #: the fetched row to witness the request; guaranteed terms excluded.
+    term_indexes: tuple[int, ...]
+    counter: LinearCounter = field(default_factory=lambda: LinearCounter(64))
+
+    def observe(self, page_id: PageId, truth: tuple, clock: SimulatedClock) -> None:
+        for index in self.term_indexes:
+            if truth[index] is not True:
+                return
+        clock.charge_hashes(1)
+        self.counter.observe(int(page_id))
+
+
+class FetchMonitorBundle:
+    """Linear counters attached to a Fetch stream (Fig. 3).
+
+    The Fetch operator calls :meth:`observe_fetch` for every row it fetches,
+    passing the page id and the residual-term outcome it computed anyway.
+    """
+
+    def __init__(self, table_name: str, clock: SimulatedClock) -> None:
+        self.table_name = table_name
+        self.clock = clock
+        self._entries: list[_FetchEntry] = []
+
+    def add_request(
+        self,
+        request: PageCountRequest,
+        term_indexes: Sequence[int],
+        num_bits: int,
+        seed: int = 0,
+    ) -> None:
+        self._entries.append(
+            _FetchEntry(
+                request=request,
+                term_indexes=tuple(term_indexes),
+                counter=LinearCounter(num_bits, seed=seed),
+            )
+        )
+
+    @property
+    def has_requests(self) -> bool:
+        return bool(self._entries)
+
+    def observe_fetch(self, page_id: PageId, outcome: Optional[TermOutcome]) -> None:
+        truth: tuple = outcome.truth if outcome is not None else ()
+        for entry in self._entries:
+            entry.observe(page_id, truth, self.clock)
+
+    def finish(self) -> list[PageCountObservation]:
+        observations = []
+        for entry in self._entries:
+            observations.append(
+                PageCountObservation(
+                    request=entry.request,
+                    mechanism=Mechanism.LINEAR_COUNTING,
+                    estimate=entry.counter.estimate(),
+                    exact=False,
+                    details={
+                        "bitmap_bits": entry.counter.num_bits,
+                        "bits_set": entry.counter.bits_set,
+                        "observations": entry.counter.observations,
+                        "saturated": entry.counter.saturated,
+                    },
+                )
+            )
+        return observations

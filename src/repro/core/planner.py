@@ -1,0 +1,690 @@
+"""The monitor planner: instrument the *current* plan for page counting.
+
+Given a physical plan (whatever the optimizer chose) and a set of
+page-count requests, decide — per request — which operator can observe it
+and with which mechanism, following the answerability rules of §II-B/§IV:
+
+========================  =====================================================
+current operator          answerable requests
+========================  =====================================================
+full scan                 any expression over the table's columns; *prefix*
+                          expressions exactly (free), others via DPSample
+clustered range seek      expressions that include the range predicate
+                          (pages outside the range are provably excluded)
+covering index scan       expressions over carried columns, via linear
+                          counting on locator page ids
+index seek / intersection expressions containing the seek term(s) whose
+                          remaining terms are a prefix of the fetch residual,
+                          via linear counting (Fig. 3)
+INL join (inner side)     the join predicate itself (and nothing else: the
+                          fetch stream only covers join-matched rows)
+hash join (probe scan)    the join predicate, via bit-vector filter built on
+                          the build side + DPSample on the probe scan (Fig. 5)
+merge join (inner scan)   the join predicate, via full ("blocking") or
+                          partial bit-vector filter (§IV)
+========================  =====================================================
+
+Requests nothing can observe come back as explicit *unanswerable*
+observations — a diagnostic, never a fabricated number.
+
+The same walk also builds the executable operators, so instrumentation can
+never disagree with the plan that actually runs ("none of our mechanisms
+requires changes to the plan itself", §V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.catalog.catalog import Database
+from repro.common.errors import MonitorError
+from repro.common.rng import derive_seed
+from repro.core.bitvector import (
+    BitVectorFilter,
+    PartialBitVectorFilter,
+    recommended_bitvector_bits,
+)
+from repro.core.dpsample import BernoulliPageSampler
+from repro.core.monitors import FetchMonitorBundle, ScanMonitorBundle
+from repro.core.requests import (
+    AccessPathRequest,
+    JoinMethodRequest,
+    PageCountObservation,
+    PageCountRequest,
+)
+from repro.exec.aggregates import CountAggregate
+from repro.exec.base import Operator
+from repro.exec.joins import HashJoin, INLJoin, MergeJoin
+from repro.exec.scans import ClusteredRangeScan, CoveringIndexScan, SeqScan
+from repro.exec.seeks import (
+    IndexInListSeekFetch,
+    IndexIntersectionFetch,
+    IndexSeekFetch,
+    SeekSpec,
+)
+from repro.exec.sorts import Sort
+from repro.optimizer.plans import (
+    ClusteredRangeScanPlan,
+    InListSeekPlan,
+    CountPlan,
+    CoveringScanPlan,
+    HashJoinPlan,
+    IndexIntersectionPlan,
+    IndexSeekPlan,
+    INLJoinPlan,
+    MergeJoinPlan,
+    PlanNode,
+    SeqScanPlan,
+)
+from repro.sql.predicates import AtomicPredicate, Conjunction, JoinEquality
+
+
+@dataclass
+class MonitorConfig:
+    """Knobs of the monitoring mechanisms (paper defaults in comments)."""
+
+    #: Bernoulli page-sampling fraction for DPSample (paper: 1% at 1.45M
+    #: pages; we default higher because repro-scale tables are small and
+    #: the absolute sampled-page counts would otherwise be tiny).
+    dpsample_fraction: float = 0.2
+    #: Linear-counting bitmap size; ``None`` -> one bit per table page
+    #: (min 256).  The paper needs "much less than one bit per page"; the
+    #: ablation bench sweeps this.
+    linear_counter_bits: Optional[int] = None
+    #: Bit-vector filter width; ``None`` -> the build table's row count
+    #: (identity-mod placement over a dense key domain is then exact).
+    bitvector_bits: Optional[int] = None
+    #: Allow turning short-circuiting off on a whole fetch stream so
+    #: non-prefix expressions become answerable on index plans.  Off by
+    #: default: the paper does not do this (§II-B reports such requests as
+    #: not obtainable).
+    allow_fetch_full_evaluation: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.dpsample_fraction <= 1.0:
+            raise MonitorError(
+                f"dpsample_fraction must be in (0, 1], got {self.dpsample_fraction}"
+            )
+
+
+@dataclass
+class BuildResult:
+    """An executable operator tree plus pre-resolved observations."""
+
+    root: Operator
+    unanswerable: list[PageCountObservation] = field(default_factory=list)
+
+
+class _Instrumentation:
+    """One plan-walk's worth of state."""
+
+    def __init__(
+        self, database: Database, requests: list[PageCountRequest], config: MonitorConfig
+    ) -> None:
+        self.database = database
+        self.config = config
+        self.pending: dict[int, PageCountRequest] = dict(enumerate(requests))
+        self.claimed: set[int] = set()
+        self.failures: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    def access_requests_for(self, table: str) -> list[tuple[int, AccessPathRequest]]:
+        return [
+            (rid, request)
+            for rid, request in self.pending.items()
+            if rid not in self.claimed
+            and isinstance(request, AccessPathRequest)
+            and request.table == table
+        ]
+
+    def join_requests_for(
+        self, inner_table: str, join_predicate: JoinEquality
+    ) -> list[tuple[int, JoinMethodRequest]]:
+        matches = []
+        for rid, request in self.pending.items():
+            if rid in self.claimed or not isinstance(request, JoinMethodRequest):
+                continue
+            if request.inner_table != inner_table:
+                continue
+            if request.join_predicate.key() not in (
+                join_predicate.key(),
+                join_predicate.reversed().key(),
+            ):
+                continue
+            matches.append((rid, request))
+        return matches
+
+    def claim(self, request_id: int) -> None:
+        self.claimed.add(request_id)
+
+    def fail(self, request_id: int, reason: str) -> None:
+        """Record why an operator could not answer a request.
+
+        Only the *last* recorded reason per request is kept; a later
+        operator may still claim it.
+        """
+        self.failures[request_id] = reason
+
+    def sampler_seed(self, *context: object) -> int:
+        """Per-scan sampler seed.
+
+        Derived from the config seed *and* the scan's identity (table +
+        predicate), so different queries draw independent page samples —
+        a fixed global seed would reuse one unlucky sample across a whole
+        workload and bias every estimate the same way — while re-running
+        the same query stays exactly reproducible.
+        """
+        return derive_seed(self.config.seed, "dpsample", *context)
+
+    def linear_bits(self, table_name: str) -> int:
+        if self.config.linear_counter_bits is not None:
+            return self.config.linear_counter_bits
+        pages = self.database.table(table_name).num_pages
+        return max(256, pages)
+
+    def bitvector_bits(self, build_table: str, probe_table: str) -> int:
+        """Width of a join bit-vector filter.
+
+        Defaults to the larger of the two tables' row counts: integer
+        join keys use identity-mod placement, so covering the join-key
+        domain (which either side may define — a small driver table can
+        still carry keys from the big table's id space) makes the vector
+        collision-free at ~1 bit per row — the "modest size (less than 1%
+        of the table size)" of §IV.
+        """
+        if self.config.bitvector_bits is not None:
+            return self.config.bitvector_bits
+        rows = max(
+            self.database.table(build_table).num_rows,
+            self.database.table(probe_table).num_rows,
+        )
+        return max(1024, rows)
+
+    def leftovers(self) -> list[PageCountObservation]:
+        observations = []
+        for rid, request in self.pending.items():
+            if rid in self.claimed:
+                continue
+            reason = self.failures.get(
+                rid, "no operator in the current plan can observe this expression"
+            )
+            observations.append(PageCountObservation.unanswerable(request, reason))
+        return observations
+
+
+def build_executable(
+    plan: PlanNode,
+    database: Database,
+    requests: list[PageCountRequest] | tuple = (),
+    config: Optional[MonitorConfig] = None,
+) -> BuildResult:
+    """Build operators for ``plan``, attaching monitors for ``requests``."""
+    config = config if config is not None else MonitorConfig()
+    state = _Instrumentation(database, list(requests), config)
+    root = _build(plan, state)
+    return BuildResult(root=root, unanswerable=state.leftovers())
+
+
+# ----------------------------------------------------------------------
+# Scan instrumentation helpers
+# ----------------------------------------------------------------------
+def _plan_scan_monitoring(
+    state: _Instrumentation,
+    table_name: str,
+    query_conjunction: Conjunction,
+    guaranteed_terms: tuple[AtomicPredicate, ...],
+) -> tuple[Optional[ScanMonitorBundle], Conjunction]:
+    """Decide scan-side monitoring for a (range-)scan of ``table_name``.
+
+    Returns the bundle (or None) and the monitor conjunction the scan must
+    evaluate (query terms first, appended monitoring-only terms after).
+    """
+    table = state.database.table(table_name)
+    candidates = state.access_requests_for(table_name)
+    guaranteed = set(guaranteed_terms)
+
+    monitor_terms = list(query_conjunction.terms)
+    existing = set(monitor_terms)
+    accepted: list[tuple[int, AccessPathRequest, tuple[int, ...], bool]] = []
+
+    for rid, request in candidates:
+        bad_columns = [
+            c for c in request.expression.columns() if not table.schema.has_column(c)
+        ]
+        if bad_columns:
+            state.fail(rid, f"unknown columns {bad_columns} on table {table_name}")
+            continue
+        if guaranteed and not guaranteed <= set(request.expression.terms):
+            state.fail(
+                rid,
+                "the scan only visits pages in its seek range; the requested "
+                "expression does not include the range predicate "
+                f"{[t.key() for t in guaranteed_terms]}",
+            )
+            continue
+        effective = [t for t in request.expression.terms if t not in guaranteed]
+        for term in effective:
+            if term not in existing:
+                monitor_terms.append(term)
+                existing.add(term)
+        term_indexes = tuple(monitor_terms.index(t) for t in effective)
+        exact = Conjunction(tuple(effective)).is_prefix_of(query_conjunction)
+        accepted.append((rid, request, term_indexes, exact))
+
+    if not accepted:
+        return None, query_conjunction
+
+    needs_sampler = any(not exact for _, _, _, exact in accepted)
+    sampler = (
+        BernoulliPageSampler(
+            state.config.dpsample_fraction,
+            seed=state.sampler_seed(table_name, query_conjunction.key()),
+        )
+        if needs_sampler
+        else None
+    )
+    bundle = ScanMonitorBundle(
+        table_name=table_name,
+        query_term_count=len(query_conjunction),
+        clock=state.database.clock,
+        sampler=sampler,
+    )
+    for rid, request, term_indexes, exact in accepted:
+        bundle.add_expression_request(request, term_indexes, exact)
+        state.claim(rid)
+    return bundle, Conjunction(tuple(monitor_terms))
+
+
+def _ensure_scan_bundle(
+    state: _Instrumentation,
+    scan_operator: Operator,
+    table_name: str,
+    query_term_count: int,
+) -> ScanMonitorBundle:
+    """Get (or create) the scan's bundle so a join can add a bit-vector
+    request; creates a sampler if the existing bundle lacks one."""
+    bundle: Optional[ScanMonitorBundle] = getattr(scan_operator, "bundle", None)
+    seed = state.sampler_seed(table_name, query_term_count, scan_operator.stats.detail)
+    if bundle is None:
+        bundle = ScanMonitorBundle(
+            table_name=table_name,
+            query_term_count=query_term_count,
+            clock=state.database.clock,
+            sampler=BernoulliPageSampler(state.config.dpsample_fraction, seed=seed),
+        )
+        scan_operator.bundle = bundle
+    elif bundle.sampler is None:
+        bundle.sampler = BernoulliPageSampler(
+            state.config.dpsample_fraction, seed=seed
+        )
+    return bundle
+
+
+# ----------------------------------------------------------------------
+# Fetch instrumentation helpers
+# ----------------------------------------------------------------------
+def _plan_fetch_monitoring(
+    state: _Instrumentation,
+    table_name: str,
+    guaranteed_terms: tuple[AtomicPredicate, ...],
+    residual: Conjunction,
+    plan_label: str,
+) -> tuple[Optional[FetchMonitorBundle], bool]:
+    """Decide fetch-side monitoring (index seek / intersection plans).
+
+    Returns the bundle (or None) and whether the fetch must evaluate its
+    residual without short-circuiting.
+    """
+    candidates = state.access_requests_for(table_name)
+    guaranteed = set(guaranteed_terms)
+    accepted: list[tuple[int, AccessPathRequest, tuple[int, ...], bool]] = []
+
+    for rid, request in candidates:
+        if not guaranteed <= set(request.expression.terms):
+            state.fail(
+                rid,
+                f"the {plan_label} only fetches rows matching its seek "
+                f"predicate(s) {[t.key() for t in guaranteed_terms]}; the "
+                "requested expression does not include them (§II-B)",
+            )
+            continue
+        effective = tuple(
+            t for t in request.expression.terms if t not in guaranteed
+        )
+        missing = [t.key() for t in effective if t not in set(residual.terms)]
+        if missing:
+            state.fail(
+                rid,
+                f"the {plan_label}'s fetch does not evaluate terms {missing}",
+            )
+            continue
+        is_prefix = Conjunction(effective).is_prefix_of(residual)
+        if not is_prefix and not state.config.allow_fetch_full_evaluation:
+            state.fail(
+                rid,
+                "requested terms are not a prefix of the fetch residual; "
+                "enable allow_fetch_full_evaluation to monitor it anyway",
+            )
+            continue
+        term_indexes = tuple(residual.terms.index(t) for t in effective)
+        accepted.append((rid, request, term_indexes, is_prefix))
+
+    if not accepted:
+        return None, False
+
+    bundle = FetchMonitorBundle(table_name, state.database.clock)
+    needs_full = False
+    bits = state.linear_bits(table_name)
+    for rid, request, term_indexes, is_prefix in accepted:
+        bundle.add_request(request, term_indexes, num_bits=bits, seed=state.config.seed)
+        state.claim(rid)
+        if not is_prefix:
+            needs_full = True
+    return bundle, needs_full
+
+
+# ----------------------------------------------------------------------
+# The plan walk
+# ----------------------------------------------------------------------
+def _build(plan: PlanNode, state: _Instrumentation) -> Operator:
+    if isinstance(plan, CountPlan):
+        child = _build(plan.child, state)
+        operator: Operator = CountAggregate(child, plan.column)
+    elif isinstance(plan, SeqScanPlan):
+        bundle, monitor_conjunction = _plan_scan_monitoring(
+            state, plan.table, plan.predicate, guaranteed_terms=()
+        )
+        operator = SeqScan(
+            state.database.table(plan.table),
+            plan.predicate,
+            bundle=bundle,
+            monitor_conjunction=monitor_conjunction,
+        )
+    elif isinstance(plan, ClusteredRangeScanPlan):
+        bundle, monitor_conjunction = _plan_scan_monitoring(
+            state, plan.table, plan.residual, guaranteed_terms=(plan.range_term,)
+        )
+        operator = ClusteredRangeScan(
+            state.database.table(plan.table),
+            low=plan.low,
+            high=plan.high,
+            query_conjunction=plan.residual,
+            low_inclusive=plan.low_inclusive,
+            high_inclusive=plan.high_inclusive,
+            bundle=bundle,
+            monitor_conjunction=monitor_conjunction,
+        )
+    elif isinstance(plan, CoveringScanPlan):
+        operator = _build_covering(plan, state)
+    elif isinstance(plan, IndexSeekPlan):
+        bundle, needs_full = _plan_fetch_monitoring(
+            state,
+            plan.table,
+            guaranteed_terms=(plan.seek_term,),
+            residual=plan.residual,
+            plan_label="Index Seek plan",
+        )
+        operator = IndexSeekFetch(
+            state.database.table(plan.table),
+            plan.index_name,
+            low=plan.low,
+            high=plan.high,
+            residual=plan.residual,
+            low_inclusive=plan.low_inclusive,
+            high_inclusive=plan.high_inclusive,
+            bundle=bundle,
+            monitor_full_eval=needs_full,
+        )
+    elif isinstance(plan, InListSeekPlan):
+        bundle, needs_full = _plan_fetch_monitoring(
+            state,
+            plan.table,
+            guaranteed_terms=(plan.in_term,),
+            residual=plan.residual,
+            plan_label="IN-list Seek plan",
+        )
+        operator = IndexInListSeekFetch(
+            state.database.table(plan.table),
+            plan.index_name,
+            values=plan.in_term.values,
+            residual=plan.residual,
+            bundle=bundle,
+            monitor_full_eval=needs_full,
+        )
+    elif isinstance(plan, IndexIntersectionPlan):
+        guaranteed = tuple(leg.seek_term for leg in plan.legs)
+        bundle, needs_full = _plan_fetch_monitoring(
+            state,
+            plan.table,
+            guaranteed_terms=guaranteed,
+            residual=plan.residual,
+            plan_label="Index Intersection plan",
+        )
+        operator = IndexIntersectionFetch(
+            state.database.table(plan.table),
+            seeks=[
+                SeekSpec(
+                    leg.index_name,
+                    leg.low,
+                    leg.high,
+                    leg.low_inclusive,
+                    leg.high_inclusive,
+                )
+                for leg in plan.legs
+            ],
+            residual=plan.residual,
+            bundle=bundle,
+            monitor_full_eval=needs_full,
+        )
+    elif isinstance(plan, INLJoinPlan):
+        operator = _build_inl(plan, state)
+    elif isinstance(plan, HashJoinPlan):
+        operator = _build_hash(plan, state)
+    elif isinstance(plan, MergeJoinPlan):
+        operator = _build_merge(plan, state)
+    else:
+        raise MonitorError(f"unknown plan node type {type(plan).__name__}")
+
+    operator.estimated_rows = plan.estimated_rows
+    return operator
+
+
+def _build_covering(plan: CoveringScanPlan, state: _Instrumentation) -> Operator:
+    table = state.database.table(plan.table)
+    index = table.index(plan.index_name)
+    carried = set(index.definition.carried_columns())
+    candidates = state.access_requests_for(plan.table)
+
+    monitor_terms = list(plan.predicate.terms)
+    existing = set(monitor_terms)
+    accepted: list[tuple[int, AccessPathRequest, tuple[int, ...], bool]] = []
+    for rid, request in candidates:
+        outside = [c for c in request.expression.columns() if c not in carried]
+        if outside:
+            state.fail(
+                rid,
+                f"covering index {plan.index_name} does not carry columns {outside}",
+            )
+            continue
+        for term in request.expression.terms:
+            if term not in existing:
+                monitor_terms.append(term)
+                existing.add(term)
+        term_indexes = tuple(
+            monitor_terms.index(t) for t in request.expression.terms
+        )
+        is_prefix = request.expression.is_prefix_of(plan.predicate)
+        accepted.append((rid, request, term_indexes, is_prefix))
+
+    bundle = None
+    needs_full = False
+    if accepted:
+        bundle = FetchMonitorBundle(plan.table, state.database.clock)
+        bits = state.linear_bits(plan.table)
+        for rid, request, term_indexes, is_prefix in accepted:
+            bundle.add_request(
+                request, term_indexes, num_bits=bits, seed=state.config.seed
+            )
+            state.claim(rid)
+            if not is_prefix:
+                needs_full = True
+    return CoveringIndexScan(
+        table,
+        plan.index_name,
+        plan.predicate,
+        bundle=bundle,
+        monitor_conjunction=Conjunction(tuple(monitor_terms)),
+        monitor_full_eval=needs_full,
+    )
+
+
+def _build_inl(plan: INLJoinPlan, state: _Instrumentation) -> Operator:
+    # Claim join-method requests *before* walking the outer subtree, so
+    # access requests inside the outer still resolve independently.
+    matches = state.join_requests_for(plan.inner_table, plan.join_predicate)
+    bundle = None
+    if matches:
+        bundle = FetchMonitorBundle(plan.inner_table, state.database.clock)
+        bits = state.linear_bits(plan.inner_table)
+        for rid, request in matches:
+            # Every fetched inner row satisfies the join predicate by
+            # construction: no residual terms needed (term_indexes empty).
+            bundle.add_request(request, (), num_bits=bits, seed=state.config.seed)
+            state.claim(rid)
+    outer_operator = _build(plan.outer, state)
+    outer_column = plan.join_predicate.column_for(plan.outer_table)
+    inner_column = plan.join_predicate.column_for(plan.inner_table)
+    return INLJoin(
+        outer=outer_operator,
+        outer_join_column=outer_column,
+        inner_table=state.database.table(plan.inner_table),
+        inner_join_column=inner_column,
+        inner_residual=plan.inner_residual,
+        inner_index_name=plan.inner_index_name,
+        outer_label=plan.outer_table,
+        bundle=bundle,
+    )
+
+
+def _scan_query_conjunction(plan: PlanNode) -> Optional[Conjunction]:
+    """The scan-side conjunction of a scan-shaped plan node, else None."""
+    if isinstance(plan, SeqScanPlan):
+        return plan.predicate
+    if isinstance(plan, ClusteredRangeScanPlan):
+        return plan.residual
+    return None
+
+
+def _build_hash(plan: HashJoinPlan, state: _Instrumentation) -> Operator:
+    matches = state.join_requests_for(plan.probe_table, plan.join_predicate)
+    build_side_requests = state.join_requests_for(
+        plan.build_table, plan.join_predicate
+    )
+    for rid, _request in build_side_requests:
+        state.fail(
+            rid,
+            f"the current Hash Join builds on {plan.build_table}; a bit "
+            "vector for that side cannot exist before its scan, so its "
+            "join DPC is not obtainable from this plan",
+        )
+
+    probe_conjunction = _scan_query_conjunction(plan.probe)
+    bitvector: Optional[BitVectorFilter] = None
+    if matches and probe_conjunction is None:
+        for rid, _request in matches:
+            state.fail(
+                rid,
+                "the probe side of the current Hash Join is not a scan; "
+                "bit-vector DPSample monitoring needs a probe-side scan",
+            )
+    build_operator = _build(plan.build, state)
+    probe_operator = _build(plan.probe, state)
+    if matches and probe_conjunction is not None:
+        bitvector = BitVectorFilter(
+            state.bitvector_bits(plan.build_table, plan.probe_table),
+            seed=state.config.seed,
+        )
+        probe_table = state.database.table(plan.probe_table)
+        probe_column = plan.join_predicate.column_for(plan.probe_table)
+        column_position = probe_table.schema.position(probe_column)
+        bundle = _ensure_scan_bundle(
+            state, probe_operator, plan.probe_table, len(probe_conjunction)
+        )
+        for rid, request in matches:
+            bundle.add_bitvector_request(request, column_position, bitvector)
+            state.claim(rid)
+    return HashJoin(
+        build=build_operator,
+        probe=probe_operator,
+        build_join_column=plan.join_predicate.column_for(plan.build_table),
+        probe_join_column=plan.join_predicate.column_for(plan.probe_table),
+        build_label=plan.build_table,
+        probe_label=plan.probe_table,
+        bitvector=bitvector,
+    )
+
+
+def _build_merge(plan: MergeJoinPlan, state: _Instrumentation) -> Operator:
+    matches = state.join_requests_for(plan.inner_table, plan.join_predicate)
+    outer_side_requests = state.join_requests_for(
+        plan.outer_table, plan.join_predicate
+    )
+    for rid, _request in outer_side_requests:
+        state.fail(
+            rid,
+            f"the current Merge Join consumes {plan.outer_table} as its "
+            "outer; its join DPC is not obtainable from this plan",
+        )
+    inner_conjunction = _scan_query_conjunction(plan.inner)
+    if matches and (inner_conjunction is None or plan.sort_inner):
+        for rid, _request in matches:
+            state.fail(
+                rid,
+                "bit-vector monitoring of a Merge Join needs the inner side "
+                "to be an unsorted scan (a Sort on the inner breaks the "
+                "page-id visibility of the scan)",
+            )
+        matches = []
+
+    outer_operator = _build(plan.outer, state)
+    inner_operator = _build(plan.inner, state)
+
+    bitvector: Optional[BitVectorFilter] = None
+    mode: Optional[str] = None
+    if matches:
+        bits = state.bitvector_bits(plan.outer_table, plan.inner_table)
+        if plan.sort_outer:
+            # Sort blocks: the full vector exists before the inner is read.
+            bitvector = BitVectorFilter(bits, seed=state.config.seed)
+            mode = "blocking"
+        else:
+            bitvector = PartialBitVectorFilter(bits, seed=state.config.seed)
+            mode = "partial"
+        inner_table = state.database.table(plan.inner_table)
+        inner_column = plan.join_predicate.column_for(plan.inner_table)
+        column_position = inner_table.schema.position(inner_column)
+        bundle = _ensure_scan_bundle(
+            state, inner_operator, plan.inner_table, len(inner_conjunction)
+        )
+        for rid, request in matches:
+            bundle.add_bitvector_request(request, column_position, bitvector)
+            state.claim(rid)
+
+    outer_column = plan.join_predicate.column_for(plan.outer_table)
+    inner_column = plan.join_predicate.column_for(plan.inner_table)
+    if plan.sort_outer:
+        outer_operator = Sort(outer_operator, outer_column)
+    if plan.sort_inner:
+        inner_operator = Sort(inner_operator, inner_column)
+    return MergeJoin(
+        outer=outer_operator,
+        inner=inner_operator,
+        outer_join_column=outer_column,
+        inner_join_column=inner_column,
+        outer_label=plan.outer_table,
+        inner_label=plan.inner_table,
+        bitvector=bitvector,
+        bitvector_mode=mode,
+    )

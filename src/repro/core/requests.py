@@ -1,0 +1,100 @@
+"""Page-count requests and observations.
+
+A *request* names an expression whose ``DPC`` the user (DBA, tuning tool or
+the feedback infrastructure) wants measured during the next execution of a
+query — the input interface of the paper's prototype ("we take as input a
+set of expressions for which distinct page counts are needed", §V-A).
+
+An *observation* is the output: the measured count, the mechanism that
+produced it, whether it is exact, and bookkeeping the harness and the
+diagnostics report consume.  Requests the current plan cannot answer (the
+plan never sees the relevant pages — e.g. asking for ``DPC(T, State='CA')``
+while running an Index Seek on ``Shipdate``, §II-B) come back with
+``answered=False`` and a reason, never a silently wrong number.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sql.predicates import Conjunction, JoinEquality
+
+
+@dataclass(frozen=True)
+class AccessPathRequest:
+    """Request for ``DPC(table, expression)`` — access-method costing (§III)."""
+
+    table: str
+    expression: Conjunction
+
+    def key(self) -> str:
+        return f"DPC({self.table}, {self.expression.key()})"
+
+
+@dataclass(frozen=True)
+class JoinMethodRequest:
+    """Request for ``DPC(inner_table, join_predicate)`` — INL costing (§IV).
+
+    Selection predicates on the inner are deliberately absent: an INL join
+    evaluates them after the fetch, so they do not reduce fetched pages.
+    """
+
+    inner_table: str
+    join_predicate: JoinEquality
+
+    def key(self) -> str:
+        return f"DPC({self.inner_table}, {self.join_predicate.key()})"
+
+
+PageCountRequest = AccessPathRequest | JoinMethodRequest
+
+
+class Mechanism(enum.Enum):
+    """Which monitoring mechanism produced an observation."""
+
+    EXACT_SCAN_COUNT = "exact-scan-count"  # grouped page access, prefix expr
+    DPSAMPLE = "dpsample"  # Bernoulli page sampling (Fig. 4)
+    LINEAR_COUNTING = "linear-counting"  # fetch-stream bitmap (Fig. 3)
+    BITVECTOR_DPSAMPLE = "bitvector+dpsample"  # hash/merge join (Fig. 5)
+    NOT_AVAILABLE = "not-available"
+
+
+@dataclass
+class PageCountObservation:
+    """One measured (or unanswerable) page count."""
+
+    request: PageCountRequest
+    mechanism: Mechanism
+    estimate: Optional[float] = None
+    exact: bool = False
+    answered: bool = True
+    reason: str = ""
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return self.request.key()
+
+    @classmethod
+    def unanswerable(
+        cls, request: PageCountRequest, reason: str
+    ) -> "PageCountObservation":
+        return cls(
+            request=request,
+            mechanism=Mechanism.NOT_AVAILABLE,
+            estimate=None,
+            exact=False,
+            answered=False,
+            reason=reason,
+        )
+
+    def __repr__(self) -> str:
+        if not self.answered:
+            return f"PageCountObservation({self.key}: unanswerable — {self.reason})"
+        qualifier = "exact" if self.exact else "estimated"
+        return (
+            f"PageCountObservation({self.key} = {self.estimate:.1f} "
+            f"[{qualifier}, {self.mechanism.value}])"
+        )

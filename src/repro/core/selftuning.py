@@ -1,0 +1,179 @@
+"""Self-tuning distinct-page-count histogram (paper §II-C / §VI extension).
+
+The paper notes that its feedback could maintain *histograms of page
+counts* "similar to prior work on self-tuning histograms" [1][16], while
+warning that DPC histograms are not additive across buckets (tuples from
+two buckets can share a page).  This module implements that extension for
+single-column range predicates:
+
+* buckets partition the column domain;
+* each bucket holds a *page-density* estimate: distinct pages per unit of
+  selectivity, learned from feedback observations whose expression is a
+  range on the column;
+* :meth:`estimate` answers DPC for a new range by interpolating learned
+  densities, explicitly treating the non-additivity: overlapping ranges
+  refine (never simply sum) bucket values, and a whole-range estimate is
+  capped by the table's page count and by the row-count upper bound.
+
+This turns one-shot feedback into a *reusable* model: a query on
+``Shipdate < d1`` improves the estimate for ``Shipdate < d2`` nearby —
+the "learning" step of the LEO-style loop specialised to page counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.common.errors import FeedbackError
+from repro.catalog.histogram import _to_number
+from repro.sql.predicates import Between, Comparison, Conjunction
+
+
+@dataclass
+class _DensityBucket:
+    low: float
+    high: float
+    #: learned pages-per-selectivity-unit (None until first feedback)
+    density: Optional[float] = None
+    observations: int = 0
+
+    def width(self) -> float:
+        return self.high - self.low
+
+    def learn(self, density: float, learning_rate: float) -> None:
+        if self.density is None:
+            self.density = density
+        else:
+            self.density += learning_rate * (density - self.density)
+        self.observations += 1
+
+
+class SelfTuningDPCHistogram:
+    """Learns DPC(column range) from execution feedback, per column."""
+
+    def __init__(
+        self,
+        table: str,
+        column: str,
+        domain_low: Any,
+        domain_high: Any,
+        total_pages: int,
+        num_buckets: int = 16,
+        learning_rate: float = 0.5,
+    ) -> None:
+        low_n, high_n = _to_number(domain_low), _to_number(domain_high)
+        if low_n is None or high_n is None or high_n <= low_n:
+            raise FeedbackError(
+                f"domain [{domain_low!r}, {domain_high!r}] is not a numeric/"
+                "date interval"
+            )
+        if num_buckets <= 0:
+            raise FeedbackError(f"num_buckets must be positive, got {num_buckets}")
+        if not 0.0 < learning_rate <= 1.0:
+            raise FeedbackError(
+                f"learning_rate must be in (0, 1], got {learning_rate}"
+            )
+        self.table = table
+        self.column = column
+        self.total_pages = total_pages
+        self.learning_rate = learning_rate
+        width = (high_n - low_n) / num_buckets
+        self._edges = [low_n + i * width for i in range(num_buckets + 1)]
+        self._edges[-1] = high_n
+        self.buckets = [
+            _DensityBucket(self._edges[i], self._edges[i + 1])
+            for i in range(num_buckets)
+        ]
+
+    # ------------------------------------------------------------------
+    def _range_of(self, predicate: Conjunction) -> Optional[tuple[float, float]]:
+        """Numeric [low, high) covered by a single-term range predicate on
+        this column; None when the expression doesn't fit the model."""
+        if len(predicate.terms) != 1:
+            return None
+        term = predicate.terms[0]
+        if term.column != self.column:
+            return None
+        lo, hi = self._edges[0], self._edges[-1]
+        if isinstance(term, Comparison):
+            value = _to_number(term.value)
+            if value is None:
+                return None
+            if term.op in ("<", "<="):
+                return lo, min(hi, value)
+            if term.op in (">", ">="):
+                return max(lo, value), hi
+            if term.op == "=":
+                return max(lo, value), min(hi, value + 1e-9)
+            return None
+        if isinstance(term, Between):
+            low_n, high_n = _to_number(term.low), _to_number(term.high)
+            if low_n is None or high_n is None:
+                return None
+            return max(lo, low_n), min(hi, high_n)
+        return None
+
+    def _overlap(self, bucket: _DensityBucket, low: float, high: float) -> float:
+        return max(0.0, min(bucket.high, high) - max(bucket.low, low))
+
+    # ------------------------------------------------------------------
+    def learn(self, predicate: Conjunction, observed_pages: float) -> bool:
+        """Fold one feedback observation in; returns whether it applied.
+
+        The observed DPC is attributed to buckets proportionally to their
+        overlap with the predicate's range — an approximation that respects
+        non-additivity by learning *densities* (pages per domain unit)
+        rather than absolute per-bucket page counts.
+        """
+        covered = self._range_of(predicate)
+        if covered is None:
+            return False
+        low, high = covered
+        total_width = high - low
+        if total_width <= 0:
+            return False
+        density = observed_pages / total_width
+        for bucket in self.buckets:
+            if self._overlap(bucket, low, high) > 0:
+                bucket.learn(density, self.learning_rate)
+        return True
+
+    def estimate(self, predicate: Conjunction) -> Optional[float]:
+        """Estimated DPC for a range predicate; None when unlearnable.
+
+        Buckets without feedback fall back to the average learned density;
+        if nothing was ever learned, returns None (caller falls back to
+        the analytical model).  The result is capped at the table's page
+        count — a whole-domain query cannot exceed it, which is exactly
+        the non-additivity cap the paper warns about.
+        """
+        covered = self._range_of(predicate)
+        if covered is None:
+            return None
+        learned = [b.density for b in self.buckets if b.density is not None]
+        if not learned:
+            return None
+        fallback = sum(learned) / len(learned)
+        low, high = covered
+        total = 0.0
+        for bucket in self.buckets:
+            overlap = self._overlap(bucket, low, high)
+            if overlap <= 0:
+                continue
+            density = bucket.density if bucket.density is not None else fallback
+            total += density * overlap
+        return min(total, float(self.total_pages))
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of buckets with at least one feedback observation."""
+        return sum(1 for b in self.buckets if b.density is not None) / len(
+            self.buckets
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SelfTuningDPCHistogram({self.table}.{self.column}: "
+            f"{len(self.buckets)} buckets, coverage {self.coverage:.0%})"
+        )

@@ -1,0 +1,86 @@
+"""Aggregate operators.
+
+The paper's experimental queries are of the form
+``SELECT COUNT(padding) FROM ...`` — a single ungrouped aggregate whose
+purpose is to force the plan to actually *fetch* the counted column (so a
+covering-index shortcut cannot hide the page accesses being studied).
+:class:`CountAggregate` reproduces that; :class:`GroupByCountAggregate` is
+provided for the example applications.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.exec.base import ExecutionContext, Operator
+from repro.exec.joins import _position_of
+
+
+class CountAggregate(Operator):
+    """Ungrouped COUNT(column) / COUNT(*) over the child."""
+
+    engine_layer = "RE"
+
+    def __init__(self, child: Operator, column: Optional[str] = None) -> None:
+        super().__init__()
+        self.child = child
+        self.column = column
+        self.stats.detail = f"count({column or '*'})"
+
+    @property
+    def output_columns(self) -> tuple[str, ...]:
+        return (f"count({self.column or '*'})",)
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        position = (
+            _position_of(self.child.output_columns, self.column)
+            if self.column is not None
+            else None
+        )
+        count = 0
+        for row in self.child.rows(ctx):
+            ctx.clock.charge_rows(1)
+            if position is None or row[position] is not None:
+                count += 1
+        self.stats.actual_rows = 1
+        yield (count,)
+
+    def finalize(self, ctx: ExecutionContext) -> None:
+        self.child.finalize(ctx)
+
+
+class GroupByCountAggregate(Operator):
+    """Hash aggregate: COUNT(*) grouped by one column."""
+
+    engine_layer = "RE"
+
+    def __init__(self, child: Operator, group_column: str) -> None:
+        super().__init__()
+        self.child = child
+        self.group_column = group_column
+        self.stats.detail = f"group by {group_column}"
+
+    @property
+    def output_columns(self) -> tuple[str, ...]:
+        return (self.group_column, "count(*)")
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        position = _position_of(self.child.output_columns, self.group_column)
+        groups: dict = {}
+        for row in self.child.rows(ctx):
+            ctx.clock.charge_rows(1)
+            ctx.clock.charge_hashes(1)
+            key = row[position]
+            groups[key] = groups.get(key, 0) + 1
+        for key in sorted(groups, key=repr):
+            self.stats.actual_rows += 1
+            yield key, groups[key]
+
+    def finalize(self, ctx: ExecutionContext) -> None:
+        self.child.finalize(ctx)

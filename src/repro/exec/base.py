@@ -1,0 +1,75 @@
+"""Operator base class and the execution context.
+
+Operators follow the Volcano iterator model, implemented with Python
+generators: :meth:`Operator.rows` yields output tuples and runs any
+blocking work (hash build, sort) before its first yield.  Each operator
+owns an :class:`~repro.exec.runstats.OperatorStats` and is marked with the
+engine layer it executes in — ``SE`` operators see page ids, ``RE``
+operators do not (the separation that motivates the paper's callback
+design, Fig. 1/Fig. 5).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.catalog.catalog import Database
+from repro.core.requests import PageCountObservation
+from repro.exec.runstats import OperatorStats
+from repro.storage.disk import SimulatedClock
+
+
+@dataclass
+class ExecutionContext:
+    """Shared state for one query execution."""
+
+    database: Database
+    observations: list[PageCountObservation] = field(default_factory=list)
+
+    @property
+    def clock(self) -> SimulatedClock:
+        return self.database.clock
+
+
+class Operator(ABC):
+    """Base class of all physical operators."""
+
+    #: Which engine layer the operator runs in: "SE" (storage engine,
+    #: page ids visible) or "RE" (relational engine).
+    engine_layer = "RE"
+
+    def __init__(self) -> None:
+        self.stats = OperatorStats(operator=type(self).__name__)
+        self.estimated_rows: Optional[float] = None
+
+    @property
+    @abstractmethod
+    def output_columns(self) -> tuple[str, ...]:
+        """Names of the columns in yielded tuples, in order."""
+
+    @abstractmethod
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        """Yield output rows; must run to exhaustion for monitors to
+        observe end-of-stream."""
+
+    def finalize(self, ctx: ExecutionContext) -> None:
+        """Called after the stream is exhausted; default collects children.
+
+        Operators with monitors override this to flush observations into
+        ``ctx.observations`` (the end-of-stream message of Fig. 3).
+        """
+
+    def collect_stats(self) -> OperatorStats:
+        """Assemble this operator's stats subtree."""
+        self.stats.operator = type(self).__name__
+        self.stats.estimated_rows = self.estimated_rows
+        self.stats.children = [child.collect_stats() for child in self.children()]
+        return self.stats
+
+    def children(self) -> list["Operator"]:
+        return []
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.stats.detail})"

@@ -1,0 +1,65 @@
+"""Driving a physical operator tree to completion.
+
+:func:`execute` runs a root operator to exhaustion under a fresh
+:class:`~repro.exec.base.ExecutionContext`, finalizes monitors (the
+end-of-stream step every counting mechanism needs) and assembles the
+:class:`~repro.exec.runstats.RunStats` feedback — rows, simulated timings,
+I/O counters and page-count observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Database
+from repro.exec.base import ExecutionContext, Operator
+from repro.exec.runstats import RunStats
+
+
+@dataclass
+class QueryResult:
+    """Rows plus execution feedback for one query run."""
+
+    rows: list[tuple]
+    runstats: RunStats
+    columns: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.runstats.elapsed_ms
+
+    def scalar(self):
+        """The single value of a one-row/one-column result (COUNT queries)."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)} rows"
+            )
+        return self.rows[0][0]
+
+
+def execute(
+    root: Operator, database: Database, cold_cache: bool = True
+) -> QueryResult:
+    """Run ``root`` to completion against ``database``.
+
+    ``cold_cache=True`` empties the buffer pool first, matching the
+    paper's measurement methodology; the clock keeps running across calls,
+    so timings are taken as before/after deltas.
+    """
+    if cold_cache:
+        database.cold_cache()
+    ctx = ExecutionContext(database=database)
+    before = database.clock.snapshot()
+    rows = list(root.rows(ctx))
+    root.finalize(ctx)
+    delta = before.delta(database.clock.snapshot())
+    runstats = RunStats(
+        root=root.collect_stats(),
+        elapsed_ms=delta.total_ms,
+        io_ms=delta.io_ms,
+        cpu_ms=delta.cpu_ms,
+        random_reads=delta.random_reads,
+        sequential_reads=delta.sequential_reads,
+        observations=list(ctx.observations),
+    )
+    return QueryResult(rows=rows, runstats=runstats, columns=root.output_columns)

@@ -1,0 +1,251 @@
+"""Scan operators: heap/clustered full scans, clustered range seeks and
+covering index scans.
+
+These are the *scan plans* of §III-B.  They run inside the storage engine,
+see page ids, enjoy grouped page access, and host the
+:class:`~repro.core.monitors.ScanMonitorBundle` that implements exact
+counting and DPSample.  The scan evaluates:
+
+* the query's own residual terms with normal short-circuiting on every
+  row (this decides output and feeds exact prefix counters), and
+* the full monitor conjunction with short-circuiting **off**, but only on
+  pages the Bernoulli sampler selected and only when some request needs
+  terms the plan would otherwise skip (Fig. 4, step 4).
+
+All predicate-term evaluations — normal and monitoring-induced — are
+charged to the simulated clock, which is how the overhead measurements of
+Figs. 7 and 9 arise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.core.monitors import FetchMonitorBundle, ScanMonitorBundle
+from repro.exec.base import ExecutionContext, Operator
+from repro.sql.evaluator import BoundConjunction
+from repro.sql.predicates import Conjunction
+from repro.storage.table import Table
+
+
+class _MonitoredScanMixin:
+    """Shared row-loop logic for operators with grouped page access."""
+
+    table: Table
+    query_conjunction: Conjunction
+    monitor_conjunction: Conjunction
+    bundle: Optional[ScanMonitorBundle]
+
+    def _bind(self) -> BoundConjunction:
+        return BoundConjunction(
+            self.monitor_conjunction, self.table.schema.column_names
+        )
+
+    def _scan_pages(
+        self, ctx: ExecutionContext, page_iter: Iterator[tuple[Any, Any]]
+    ) -> Iterator[tuple]:
+        """Drive the page/row loop over ``(page_id, rows_iterable)`` pairs."""
+        bound = self._bind()
+        num_query_terms = len(self.query_conjunction)
+        clock = ctx.clock
+        bundle = self.bundle
+        for page_id, rows in page_iter:
+            self.stats.pages_touched += 1
+            if bundle is not None:
+                bundle.start_page(page_id)
+                full_eval = bundle.needs_full_evaluation()
+            else:
+                full_eval = False
+            for row in rows:
+                clock.charge_rows(1)
+                if full_eval:
+                    outcome = bound.evaluate(row, short_circuit=False)
+                    passed = all(outcome.truth[:num_query_terms])
+                else:
+                    outcome = bound.evaluate_prefix(
+                        row, num_query_terms, short_circuit=True
+                    )
+                    passed = outcome.passed
+                clock.charge_predicates(outcome.evaluations)
+                self.stats.predicate_evaluations += outcome.evaluations
+                if bundle is not None:
+                    bundle.observe_row(outcome, row)
+                if passed:
+                    self.stats.actual_rows += 1
+                    yield row
+            if bundle is not None:
+                bundle.end_page()
+
+    def finalize(self, ctx: ExecutionContext) -> None:
+        if self.bundle is not None:
+            ctx.observations.extend(self.bundle.finish())
+
+
+class SeqScan(_MonitoredScanMixin, Operator):
+    """Full scan of a heap or clustered table (the paper's "Table Scan")."""
+
+    engine_layer = "SE"
+
+    def __init__(
+        self,
+        table: Table,
+        query_conjunction: Conjunction,
+        bundle: Optional[ScanMonitorBundle] = None,
+        monitor_conjunction: Optional[Conjunction] = None,
+    ) -> None:
+        super().__init__()
+        self.table = table
+        self.query_conjunction = query_conjunction
+        self.monitor_conjunction = (
+            monitor_conjunction if monitor_conjunction is not None else query_conjunction
+        )
+        self.bundle = bundle
+        self.stats.detail = f"{table.name} [{query_conjunction.key()}]"
+
+    @property
+    def output_columns(self) -> tuple[str, ...]:
+        return self.table.schema.column_names
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        def pages():
+            for page_id, page in self.table.data_file.scan_pages():
+                yield page_id, page.rows()
+
+        yield from self._scan_pages(ctx, pages())
+
+
+class ClusteredRangeScan(_MonitoredScanMixin, Operator):
+    """Range seek on the clustering key, plus residual predicate.
+
+    Visits only the contiguous page run covering the key range; grouped
+    page access holds within the run, so scan monitoring applies to any
+    request that *includes* the range predicate (the planner enforces
+    this — pages outside the run cannot satisfy such requests).
+    """
+
+    engine_layer = "SE"
+
+    def __init__(
+        self,
+        table: Table,
+        low: Optional[tuple],
+        high: Optional[tuple],
+        query_conjunction: Conjunction,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        bundle: Optional[ScanMonitorBundle] = None,
+        monitor_conjunction: Optional[Conjunction] = None,
+    ) -> None:
+        super().__init__()
+        self.table = table
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+        self.query_conjunction = query_conjunction
+        self.monitor_conjunction = (
+            monitor_conjunction if monitor_conjunction is not None else query_conjunction
+        )
+        self.bundle = bundle
+        self.stats.detail = (
+            f"{table.name} key in "
+            f"{'[' if low_inclusive else '('}{low}, {high}"
+            f"{']' if high_inclusive else ')'} [{query_conjunction.key()}]"
+        )
+
+    @property
+    def output_columns(self) -> tuple[str, ...]:
+        return self.table.schema.column_names
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        def pages():
+            clustered = self.table.clustered_file()
+            current_page = None
+            current_rows: list[tuple] = []
+            for page_id, _slot, row in clustered.seek_range(
+                self.low, self.high, self.low_inclusive, self.high_inclusive
+            ):
+                if page_id != current_page:
+                    if current_page is not None:
+                        yield current_page, current_rows
+                    current_page, current_rows = page_id, []
+                current_rows.append(row)
+            if current_page is not None:
+                yield current_page, current_rows
+
+        yield from self._scan_pages(ctx, pages())
+
+
+class CoveringIndexScan(Operator):
+    """Full leaf scan of a covering index.
+
+    Outputs the index's carried columns.  Table page ids are *not* scanned
+    here, but each leaf entry carries the row's locator, so DPC requests
+    over carried columns are monitored with a
+    :class:`~repro.core.monitors.FetchMonitorBundle` (linear counting over
+    locator page ids) — grouped access holds for *index* pages, not for
+    the table pages the request is about, hence the fetch-style mechanism.
+    This refines the paper's blanket statement that covering-index scans
+    behave like scan plans; the counts are identical, only the counter
+    memory differs (documented in DESIGN.md).
+    """
+
+    engine_layer = "SE"
+
+    def __init__(
+        self,
+        table: Table,
+        index_name: str,
+        query_conjunction: Conjunction,
+        bundle: Optional[FetchMonitorBundle] = None,
+        monitor_conjunction: Optional[Conjunction] = None,
+        monitor_full_eval: bool = False,
+    ) -> None:
+        super().__init__()
+        self.table = table
+        self.index = table.index(index_name)
+        self.query_conjunction = query_conjunction
+        self.monitor_conjunction = (
+            monitor_conjunction if monitor_conjunction is not None else query_conjunction
+        )
+        self.bundle = bundle
+        self.monitor_full_eval = monitor_full_eval
+        self.stats.detail = (
+            f"{table.name}.{index_name} (covering) [{query_conjunction.key()}]"
+        )
+
+    @property
+    def output_columns(self) -> tuple[str, ...]:
+        return self.index.definition.carried_columns()
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        columns = self.output_columns
+        bound = BoundConjunction(self.monitor_conjunction, columns)
+        num_query_terms = len(self.query_conjunction)
+        clock = ctx.clock
+        leaf_pages_before = self.index.buffer_pool.stats.logical_reads
+        for key, rid, payload in self.index.scan_all():
+            entry_row = key + payload
+            clock.charge_rows(1)
+            if self.monitor_full_eval and self.bundle is not None:
+                outcome = bound.evaluate(entry_row, short_circuit=False)
+                passed = all(outcome.truth[:num_query_terms])
+            else:
+                outcome = bound.evaluate_prefix(
+                    entry_row, num_query_terms, short_circuit=True
+                )
+                passed = outcome.passed
+            clock.charge_predicates(outcome.evaluations)
+            self.stats.predicate_evaluations += outcome.evaluations
+            if self.bundle is not None:
+                self.bundle.observe_fetch(rid.page_id, outcome)
+            if passed:
+                self.stats.actual_rows += 1
+                yield entry_row
+        self.stats.pages_touched = (
+            self.index.buffer_pool.stats.logical_reads - leaf_pages_before
+        )
+
+    def finalize(self, ctx: ExecutionContext) -> None:
+        if self.bundle is not None:
+            ctx.observations.extend(self.bundle.finish())

@@ -1,0 +1,45 @@
+"""Evaluation harness: the paper's methodology and per-figure drivers."""
+
+from repro.harness.figures import (
+    ClusteringFigureResult,
+    JoinFigureResult,
+    PageSamplingResult,
+    RealWorldFigureResult,
+    SingleTableFiguresResult,
+    TableOneResult,
+    run_fig10,
+    run_fig11,
+    run_fig6_fig7,
+    run_fig8,
+    run_fig9,
+    run_table1,
+)
+from repro.harness.methodology import (
+    EvaluationOutcome,
+    default_requests,
+    evaluate_query,
+    evaluate_workload,
+)
+from repro.harness.reporting import format_table, percent, summarize
+
+__all__ = [
+    "ClusteringFigureResult",
+    "EvaluationOutcome",
+    "JoinFigureResult",
+    "PageSamplingResult",
+    "RealWorldFigureResult",
+    "SingleTableFiguresResult",
+    "TableOneResult",
+    "default_requests",
+    "evaluate_query",
+    "evaluate_workload",
+    "format_table",
+    "percent",
+    "run_fig10",
+    "run_fig11",
+    "run_fig6_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_table1",
+    "summarize",
+]

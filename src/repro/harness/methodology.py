@@ -1,0 +1,202 @@
+"""The paper's evaluation methodology (§V-B), as a reusable harness.
+
+For a query Q:
+
+1. optimize with **accurate cardinalities injected** -> plan P
+   (isolates page-count error from cardinality error);
+2. run P unmonitored, cold cache -> time T;
+3. run P with page-count monitors attached -> observations (and the
+   monitoring overhead, Fig. 7: ``(T_monitored - T) / T``);
+4. inject the observed distinct page counts, re-optimize -> plan P';
+5. run P' unmonitored, cold cache -> time T';
+6. report SpeedUp ``(T - T') / T``.
+
+Because the clock is simulated and deterministic, identical plans imply
+identical times, so step 5 reuses T when the plan did not change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.catalog.catalog import Database
+from repro.core.planner import MonitorConfig, build_executable
+from repro.core.requests import (
+    AccessPathRequest,
+    JoinMethodRequest,
+    PageCountObservation,
+    PageCountRequest,
+)
+from repro.exec.executor import execute
+from repro.optimizer.injection import InjectionSet
+from repro.optimizer.optimizer import JoinQuery, Optimizer, Query, SingleTableQuery
+from repro.optimizer.plans import PlanNode
+from repro.sql.predicates import Conjunction
+from repro.workloads.queries import GeneratedQuery
+
+
+def default_requests(database: Database, query: Query) -> list[PageCountRequest]:
+    """The page-count expressions relevant for costing Q's alternatives.
+
+    Single-table queries: one request per predicate term whose column has
+    a usable index (each would drive an Index Seek), plus the full
+    conjunction when it has several such terms (Index Intersection /
+    current-plan DPC).  Join queries: a join-method request per table that
+    could serve as the INL inner (index or clustering on its join column).
+    """
+    requests: list[PageCountRequest] = []
+    if isinstance(query, SingleTableQuery):
+        table = database.table(query.table)
+        indexed_terms = [
+            term
+            for term in query.predicate.terms
+            if table.indexes_on_column(term.column)
+            or (
+                table.clustered_index is not None
+                and table.clustered_index.key_columns[0] == term.column
+            )
+        ]
+        for term in indexed_terms:
+            requests.append(
+                AccessPathRequest(query.table, Conjunction((term,)))
+            )
+        if len(indexed_terms) >= 2:
+            requests.append(
+                AccessPathRequest(query.table, Conjunction(tuple(indexed_terms)))
+            )
+    elif isinstance(query, JoinQuery):
+        for table_name in (
+            query.join_predicate.left_table,
+            query.join_predicate.right_table,
+        ):
+            table = database.table(table_name)
+            column = query.join_predicate.column_for(table_name)
+            has_access = bool(table.indexes_on_column(column)) or (
+                table.clustered_index is not None
+                and table.clustered_index.key_columns[0] == column
+            )
+            if has_access:
+                requests.append(
+                    JoinMethodRequest(table_name, query.join_predicate)
+                )
+    return requests
+
+
+@dataclass
+class EvaluationOutcome:
+    """Everything §V-B reports about one query."""
+
+    generated: GeneratedQuery
+    original_plan: PlanNode
+    improved_plan: PlanNode
+    time_original_ms: float
+    time_monitored_ms: float
+    time_improved_ms: float
+    observations: list[PageCountObservation] = field(default_factory=list)
+    requests: list[PageCountRequest] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """``(T - T') / T`` — positive when feedback improved the plan."""
+        if self.time_original_ms <= 0:
+            return 0.0
+        return (self.time_original_ms - self.time_improved_ms) / self.time_original_ms
+
+    @property
+    def overhead(self) -> float:
+        """``(T_monitored - T) / T`` — the cost of monitoring (Fig. 7)."""
+        if self.time_original_ms <= 0:
+            return 0.0
+        return (
+            self.time_monitored_ms - self.time_original_ms
+        ) / self.time_original_ms
+
+    @property
+    def plan_changed(self) -> bool:
+        return self.original_plan.signature() != self.improved_plan.signature()
+
+    def summary(self) -> str:
+        arrow = "=>" if self.plan_changed else "=="
+        return (
+            f"{self.generated.label:<16} sel={self.generated.selectivity:6.3%} "
+            f"{self.original_plan.access_method():<22} {arrow} "
+            f"{self.improved_plan.access_method():<22} "
+            f"T={self.time_original_ms:9.2f}ms T'={self.time_improved_ms:9.2f}ms "
+            f"speedup={self.speedup:7.2%} overhead={self.overhead:6.2%}"
+        )
+
+
+def evaluate_query(
+    database: Database,
+    generated: GeneratedQuery,
+    requests: Optional[Sequence[PageCountRequest]] = None,
+    monitor_config: Optional[MonitorConfig] = None,
+    base_injections: Optional[InjectionSet] = None,
+) -> EvaluationOutcome:
+    """Run the full §V-B methodology for one generated query."""
+    monitor_config = monitor_config if monitor_config is not None else MonitorConfig()
+    injections = generated.injections(base_injections)
+    query = generated.query
+    request_list = (
+        list(requests)
+        if requests is not None
+        else default_requests(database, query)
+    )
+
+    # 1. Plan P under accurate cardinalities.
+    original_plan = Optimizer(database, injections=injections).optimize(query)
+
+    # 2. T: plan P, no monitoring.
+    plain = build_executable(original_plan, database)
+    time_original = execute(plain.root, database, cold_cache=True).elapsed_ms
+
+    # 3. Monitored run of P.
+    monitored = build_executable(
+        original_plan, database, request_list, monitor_config
+    )
+    monitored_result = execute(monitored.root, database, cold_cache=True)
+    observations = (
+        list(monitored_result.runstats.observations) + monitored.unanswerable
+    )
+
+    # 4. Re-optimize with the feedback injected.
+    corrected = injections.copy()
+    corrected.absorb_observations(observations)
+    improved_plan = Optimizer(database, injections=corrected).optimize(query)
+
+    # 5./6. T' (identical plan -> identical deterministic time).
+    if improved_plan.signature() == original_plan.signature():
+        time_improved = time_original
+    else:
+        improved = build_executable(improved_plan, database)
+        time_improved = execute(improved.root, database, cold_cache=True).elapsed_ms
+
+    return EvaluationOutcome(
+        generated=generated,
+        original_plan=original_plan,
+        improved_plan=improved_plan,
+        time_original_ms=time_original,
+        time_monitored_ms=monitored_result.elapsed_ms,
+        time_improved_ms=time_improved,
+        observations=observations,
+        requests=request_list,
+    )
+
+
+def evaluate_workload(
+    database: Database,
+    workload: Sequence[GeneratedQuery],
+    monitor_config: Optional[MonitorConfig] = None,
+    base_injections: Optional[InjectionSet] = None,
+) -> list[EvaluationOutcome]:
+    """Evaluate every query in a workload (Figs. 6-8, 11)."""
+    return [
+        evaluate_query(
+            database,
+            generated,
+            monitor_config=monitor_config,
+            base_injections=base_injections,
+        )
+        for generated in workload
+    ]

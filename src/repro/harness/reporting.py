@@ -1,0 +1,67 @@
+"""Plain-text reporting helpers for the per-figure drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width text table (right-aligned numbers, left-aligned text)."""
+    rendered_rows = [
+        [_render_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if _is_numeric_text(cell):
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = [render_line(list(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def _render_cell(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 1000 else f"{cell:.1f}"
+    return str(cell)
+
+
+def _is_numeric_text(text: str) -> bool:
+    stripped = text.strip().rstrip("%x")
+    if not stripped:
+        return False
+    try:
+        float(stripped)
+        return True
+    except ValueError:
+        return False
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """mean / stddev / min / max of a series (population stddev)."""
+    if not values:
+        return {"mean": 0.0, "stddev": 0.0, "min": 0.0, "max": 0.0, "count": 0}
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return {
+        "mean": mean,
+        "stddev": math.sqrt(variance),
+        "min": min(values),
+        "max": max(values),
+        "count": len(values),
+    }
+
+
+def percent(value: float) -> str:
+    return f"{value * 100:.1f}%"

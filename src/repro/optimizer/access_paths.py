@@ -1,0 +1,376 @@
+"""Single-table access-path enumeration and costing.
+
+Produces every applicable physical access path for ``σ_p(T)``:
+
+* sequential scan (heap scan / clustered index scan),
+* clustered-key range seek when ``p`` has a range/equality term on the
+  clustering key's leading column,
+* index seek + fetch for every non-clustered index whose leading column
+  has a seekable term in ``p``,
+* covering-index scan when an index carries every required column,
+* index intersection for pairs of seekable non-clustered indexes.
+
+Each plan is annotated with estimated rows, estimated cost, and — for
+fetch-based paths — the estimated DPC it was costed with and where that
+number came from.  The paper's plan-quality improvements come from exactly
+one mechanism: an injected DPC moving a seek plan's cost below (or above)
+the scan plan's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.catalog.catalog import Database
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel
+from repro.optimizer.estimators import PageCountEstimator
+from repro.optimizer.plans import (
+    ClusteredRangeScanPlan,
+    InListSeekPlan,
+    CoveringScanPlan,
+    IndexIntersectionLeg,
+    IndexIntersectionPlan,
+    IndexSeekPlan,
+    PlanNode,
+    SeqScanPlan,
+)
+from repro.sql.predicates import (
+    AtomicPredicate,
+    Between,
+    Comparison,
+    Conjunction,
+    InList,
+)
+
+
+def seek_bounds(
+    term: AtomicPredicate,
+) -> Optional[tuple[Optional[tuple], Optional[tuple], bool, bool]]:
+    """B-tree bounds implied by an atomic predicate, if it is seekable.
+
+    Returns ``(low, high, low_inclusive, high_inclusive)`` with bounds as
+    1-tuples (B-tree keys are tuples), or ``None`` for unsupported shapes
+    (``!=``, ``IN``).
+    """
+    if isinstance(term, Comparison):
+        value = (term.value,)
+        if term.op == "=":
+            return value, value, True, True
+        if term.op == "<":
+            return None, value, True, False
+        if term.op == "<=":
+            return None, value, True, True
+        if term.op == ">":
+            return value, None, False, True
+        if term.op == ">=":
+            return value, None, True, True
+        return None
+    if isinstance(term, Between):
+        return (term.low,), (term.high,), True, True
+    return None
+
+
+class AccessPathEnumerator:
+    """Enumerates and costs single-table access paths."""
+
+    def __init__(
+        self,
+        database: Database,
+        cardinality: CardinalityEstimator,
+        page_counts: PageCountEstimator,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.database = database
+        self.cardinality = cardinality
+        self.page_counts = page_counts
+        self.cost_model = (
+            cost_model
+            if cost_model is not None
+            else CostModel(database.clock.params)
+        )
+
+    # ------------------------------------------------------------------
+    def _term_selectivities(
+        self, table_name: str, terms: Sequence[AtomicPredicate]
+    ) -> list[float]:
+        stats = self.database.table(table_name).require_statistics()
+        return [stats.estimate_term_selectivity(term) for term in terms]
+
+    def enumerate(
+        self,
+        table_name: str,
+        predicate: Conjunction,
+        required_columns: Sequence[str],
+    ) -> list[PlanNode]:
+        """All access paths for ``σ_predicate(table)``, costed."""
+        table = self.database.table(table_name)
+        stats = table.require_statistics()
+        output_rows = self.cardinality.estimate_selection(table_name, predicate)
+        plans: list[PlanNode] = []
+
+        # --- sequential scan (always applicable) -----------------------
+        scan = SeqScanPlan(table=table_name, predicate=predicate)
+        scan.estimated_rows = output_rows
+        scan.estimated_cost_ms = self.cost_model.scan_cost(
+            stats.page_count,
+            stats.row_count,
+            self._term_selectivities(table_name, predicate.terms),
+        )
+        plans.append(scan)
+
+        # --- clustered range seek --------------------------------------
+        if table.clustered_index is not None:
+            leading = table.clustered_index.key_columns[0]
+            plans.extend(
+                self._clustered_range_plans(
+                    table_name, predicate, leading, output_rows
+                )
+            )
+
+        # --- covering-index scans --------------------------------------
+        needed = set(required_columns) | set(predicate.columns())
+        for index in table.indexes.values():
+            if index.definition.covers(needed):
+                covering = CoveringScanPlan(
+                    table=table_name,
+                    index_name=index.name,
+                    predicate=predicate,
+                )
+                covering.estimated_rows = output_rows
+                covering.estimated_cost_ms = self.cost_model.covering_scan_cost(
+                    index.num_leaf_pages,
+                    index.num_entries,
+                    self._term_selectivities(table_name, predicate.terms),
+                )
+                plans.append(covering)
+
+        # --- index seeks -------------------------------------------------
+        seekable: list[tuple[str, int, AtomicPredicate, tuple]] = []
+        for position, term in enumerate(predicate.terms):
+            bounds = seek_bounds(term)
+            if bounds is None:
+                continue
+            for index in table.indexes_on_column(term.column):
+                seekable.append((index.name, position, term, bounds))
+                plans.append(
+                    self._index_seek_plan(
+                        table_name, predicate, index.name, position, term, bounds
+                    )
+                )
+
+        # --- IN-list seeks ------------------------------------------------
+        for position, term in enumerate(predicate.terms):
+            if not isinstance(term, InList):
+                continue
+            for index in table.indexes_on_column(term.column):
+                plans.append(
+                    self._in_list_plan(
+                        table_name, predicate, index.name, position, term
+                    )
+                )
+
+        # --- index intersections (pairs of distinct seekable indexes) ---
+        for i in range(len(seekable)):
+            for j in range(i + 1, len(seekable)):
+                name_i, pos_i, term_i, bounds_i = seekable[i]
+                name_j, pos_j, term_j, bounds_j = seekable[j]
+                if name_i == name_j or pos_i == pos_j:
+                    continue
+                plans.append(
+                    self._intersection_plan(
+                        table_name,
+                        predicate,
+                        [(name_i, term_i, bounds_i), (name_j, term_j, bounds_j)],
+                    )
+                )
+        return plans
+
+    # ------------------------------------------------------------------
+    def _clustered_range_plans(
+        self,
+        table_name: str,
+        predicate: Conjunction,
+        leading_column: str,
+        output_rows: float,
+    ) -> list[PlanNode]:
+        table = self.database.table(table_name)
+        stats = table.require_statistics()
+        plans: list[PlanNode] = []
+        for position, term in enumerate(predicate.terms):
+            if term.column != leading_column:
+                continue
+            bounds = seek_bounds(term)
+            if bounds is None:
+                continue
+            low, high, low_inclusive, high_inclusive = bounds
+            residual = Conjunction(
+                predicate.terms[:position] + predicate.terms[position + 1 :]
+            )
+            range_selectivity = stats.estimate_term_selectivity(term)
+            pages_in_range = range_selectivity * stats.page_count
+            rows_in_range = range_selectivity * stats.row_count
+            plan = ClusteredRangeScanPlan(
+                table=table_name,
+                range_term=term,
+                low=low,
+                high=high,
+                low_inclusive=low_inclusive,
+                high_inclusive=high_inclusive,
+                residual=residual,
+            )
+            plan.estimated_rows = output_rows
+            plan.estimated_cost_ms = self.cost_model.clustered_range_cost(
+                pages_in_range,
+                rows_in_range,
+                self._term_selectivities(table_name, residual.terms),
+            )
+            plans.append(plan)
+        return plans
+
+    def _index_seek_plan(
+        self,
+        table_name: str,
+        predicate: Conjunction,
+        index_name: str,
+        term_position: int,
+        term: AtomicPredicate,
+        bounds: tuple,
+    ) -> IndexSeekPlan:
+        table = self.database.table(table_name)
+        stats = table.require_statistics()
+        index = table.index(index_name)
+        low, high, low_inclusive, high_inclusive = bounds
+        residual = Conjunction(
+            predicate.terms[:term_position] + predicate.terms[term_position + 1 :]
+        )
+        seek_expression = Conjunction((term,))
+        matching_entries = self.cardinality.estimate_selection(
+            table_name, seek_expression
+        )
+        # Pages fetched are those satisfying the *seek* term: the residual
+        # is evaluated after the fetch and cannot reduce page I/O.
+        dpc, source = self.page_counts.access_dpc(
+            table_name, seek_expression, matching_entries
+        )
+        plan = IndexSeekPlan(
+            table=table_name,
+            index_name=index_name,
+            seek_term=term,
+            low=low,
+            high=high,
+            low_inclusive=low_inclusive,
+            high_inclusive=high_inclusive,
+            residual=residual,
+            estimated_dpc=dpc,
+            dpc_source=source,
+        )
+        plan.estimated_rows = self.cardinality.estimate_selection(
+            table_name, predicate
+        )
+        plan.estimated_cost_ms = self.cost_model.index_seek_cost(
+            matching_entries,
+            index.entries_per_page,
+            dpc,
+            self._term_selectivities(table_name, residual.terms),
+        )
+        return plan
+
+    def _in_list_plan(
+        self,
+        table_name: str,
+        predicate: Conjunction,
+        index_name: str,
+        term_position: int,
+        term: InList,
+    ) -> InListSeekPlan:
+        table = self.database.table(table_name)
+        index = table.index(index_name)
+        residual = Conjunction(
+            predicate.terms[:term_position] + predicate.terms[term_position + 1 :]
+        )
+        in_expression = Conjunction((term,))
+        matching_entries = self.cardinality.estimate_selection(
+            table_name, in_expression
+        )
+        dpc, source = self.page_counts.access_dpc(
+            table_name, in_expression, matching_entries
+        )
+        plan = InListSeekPlan(
+            table=table_name,
+            index_name=index_name,
+            in_term=term,
+            residual=residual,
+            estimated_dpc=dpc,
+            dpc_source=source,
+        )
+        plan.estimated_rows = self.cardinality.estimate_selection(
+            table_name, predicate
+        )
+        plan.estimated_cost_ms = self.cost_model.in_list_seek_cost(
+            len(term.values),
+            matching_entries,
+            index.entries_per_page,
+            dpc,
+            self._term_selectivities(table_name, residual.terms),
+        )
+        return plan
+
+    def _intersection_plan(
+        self,
+        table_name: str,
+        predicate: Conjunction,
+        legs: list[tuple[str, AtomicPredicate, tuple]],
+    ) -> IndexIntersectionPlan:
+        table = self.database.table(table_name)
+        leg_nodes = []
+        leg_entries = []
+        entries_per_page = []
+        seek_terms = []
+        for index_name, term, bounds in legs:
+            low, high, low_inclusive, high_inclusive = bounds
+            leg_nodes.append(
+                IndexIntersectionLeg(
+                    index_name=index_name,
+                    seek_term=term,
+                    low=low,
+                    high=high,
+                    low_inclusive=low_inclusive,
+                    high_inclusive=high_inclusive,
+                )
+            )
+            seek_terms.append(term)
+            leg_entries.append(
+                self.cardinality.estimate_selection(
+                    table_name, Conjunction((term,))
+                )
+            )
+            entries_per_page.append(table.index(index_name).entries_per_page)
+        seek_expression = Conjunction(tuple(seek_terms))
+        residual = Conjunction(
+            tuple(t for t in predicate.terms if t not in set(seek_terms))
+        )
+        intersection_rows = self.cardinality.estimate_selection(
+            table_name, seek_expression
+        )
+        dpc, source = self.page_counts.access_dpc(
+            table_name, seek_expression, intersection_rows
+        )
+        plan = IndexIntersectionPlan(
+            table=table_name,
+            legs=leg_nodes,
+            residual=residual,
+            estimated_dpc=dpc,
+            dpc_source=source,
+        )
+        plan.estimated_rows = self.cardinality.estimate_selection(
+            table_name, predicate
+        )
+        plan.estimated_cost_ms = self.cost_model.index_intersection_cost(
+            leg_entries,
+            entries_per_page,
+            intersection_rows,
+            dpc,
+            self._term_selectivities(table_name, residual.terms),
+        )
+        return plan

@@ -1,0 +1,84 @@
+"""Cardinality estimation with injection overrides.
+
+Histogram-based selection estimates (term independence across a
+conjunction) plus the textbook equi-join estimate
+``|R| * |S| / max(V(R.a), V(S.b))``.  Injected cardinalities take
+precedence over everything — the paper's methodology depends on being able
+to hand the optimizer *exact* cardinalities so that plan differences are
+attributable to page-count error alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog.catalog import Database
+from repro.optimizer.injection import InjectionSet
+from repro.sql.predicates import Conjunction, JoinEquality
+
+
+class CardinalityEstimator:
+    """Estimates row counts for selections and equality joins."""
+
+    def __init__(
+        self, database: Database, injections: Optional[InjectionSet] = None
+    ) -> None:
+        self.database = database
+        self.injections = injections if injections is not None else InjectionSet()
+
+    def table_rows(self, table_name: str) -> int:
+        return self.database.table(table_name).require_statistics().row_count
+
+    def estimate_selection(self, table_name: str, expression: Conjunction) -> float:
+        """Rows of ``table_name`` satisfying ``expression``."""
+        injected = self.injections.cardinality(table_name, expression)
+        if injected is not None:
+            return injected
+        stats = self.database.table(table_name).require_statistics()
+        return stats.estimate_cardinality(expression)
+
+    def estimate_selectivity(self, table_name: str, expression: Conjunction) -> float:
+        rows = self.table_rows(table_name)
+        if rows == 0:
+            return 0.0
+        return min(1.0, self.estimate_selection(table_name, expression) / rows)
+
+    def estimate_join(
+        self,
+        join_predicate: JoinEquality,
+        left_expression: Conjunction,
+        right_expression: Conjunction,
+    ) -> float:
+        """Output rows of ``σ(left) ⋈ σ(right)`` on the equality predicate.
+
+        Standard containment-of-values estimate: the join selectivity is
+        ``1 / max(V(left.col), V(right.col))`` over the cross product of
+        the filtered inputs.
+        """
+        left_table = join_predicate.left_table
+        right_table = join_predicate.right_table
+        left_rows = self.estimate_selection(left_table, left_expression)
+        right_rows = self.estimate_selection(right_table, right_expression)
+        left_stats = self.database.table(left_table).require_statistics()
+        right_stats = self.database.table(right_table).require_statistics()
+        left_distinct = left_stats.estimate_distinct(join_predicate.left_column)
+        right_distinct = right_stats.estimate_distinct(join_predicate.right_column)
+        denominator = max(left_distinct, right_distinct, 1)
+        return left_rows * right_rows / denominator
+
+    def estimate_distinct_values(
+        self, table_name: str, column: str, expression: Conjunction
+    ) -> float:
+        """Distinct values of ``column`` among rows matching ``expression``.
+
+        Scales the column's overall distinct count by the selection's
+        fraction of rows, capped below by 1 when any rows qualify — the
+        usual coarse model, adequate for sizing bit-vector filters.
+        """
+        stats = self.database.table(table_name).require_statistics()
+        total_distinct = stats.estimate_distinct(column)
+        selectivity = self.estimate_selectivity(table_name, expression)
+        qualifying = self.estimate_selection(table_name, expression)
+        if qualifying <= 0:
+            return 0.0
+        return max(1.0, min(total_distinct * selectivity, qualifying))

@@ -1,0 +1,78 @@
+"""Distinct-page-count resolution for the optimizer.
+
+:class:`PageCountEstimator` is the seam where execution feedback enters
+the cost model: given an expression, it first consults the
+:class:`~repro.optimizer.injection.InjectionSet` (feedback/DBA-supplied
+values) and only falls back to the analytical uniform-placement model.
+Every answer carries its provenance (``"injected"`` vs ``"model"``), which
+plan nodes record and the diagnostics report surfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog.catalog import Database
+from repro.optimizer.injection import InjectionSet
+from repro.optimizer.pagecount_model import AnalyticalPageCountModel
+from repro.sql.predicates import Conjunction, JoinEquality
+
+
+class PageCountEstimator:
+    """Resolves DPC values for fetch costing, preferring injected feedback."""
+
+    def __init__(
+        self,
+        database: Database,
+        model: Optional[AnalyticalPageCountModel] = None,
+        injections: Optional[InjectionSet] = None,
+        dpc_histograms: Optional[dict] = None,
+    ) -> None:
+        """``dpc_histograms`` maps ``table -> {column -> DPCHistogram}``;
+        when present, single-term range expressions are answered from the
+        histogram (the §VI alternative) before falling back to the
+        analytical model.  Injections still take precedence over both."""
+        self.database = database
+        self.model = model if model is not None else AnalyticalPageCountModel()
+        self.injections = injections if injections is not None else InjectionSet()
+        self.dpc_histograms = dpc_histograms if dpc_histograms is not None else {}
+
+    def _model_estimate(self, table_name: str, fetched_rows: float) -> float:
+        stats = self.database.table(table_name).require_statistics()
+        if stats.page_count == 0:
+            return 0.0
+        return self.model.estimate(fetched_rows, stats.row_count, stats.page_count)
+
+    def access_dpc(
+        self, table_name: str, expression: Conjunction, fetched_rows: float
+    ) -> tuple[float, str]:
+        """DPC for fetching the rows matching ``expression``.
+
+        ``fetched_rows`` is the cardinality estimate for the expression
+        (the analytical model's only input besides table geometry).
+        Returns ``(pages, source)`` with source ``"injected"`` or
+        ``"model"``.
+        """
+        injected = self.injections.access_page_count(table_name, expression)
+        if injected is not None:
+            return injected, "injected"
+        histograms = self.dpc_histograms.get(table_name)
+        if histograms and len(expression.terms) == 1:
+            histogram = histograms.get(expression.terms[0].column)
+            if histogram is not None:
+                estimate = histogram.estimate(expression)
+                if estimate is not None:
+                    return estimate, "dpc-histogram"
+        return self._model_estimate(table_name, fetched_rows), "model"
+
+    def join_dpc(
+        self,
+        inner_table: str,
+        join_predicate: JoinEquality,
+        fetched_rows: float,
+    ) -> tuple[float, str]:
+        """DPC of the inner table under the join predicate (INL costing)."""
+        injected = self.injections.join_page_count(inner_table, join_predicate)
+        if injected is not None:
+            return injected, "injected"
+        return self._model_estimate(inner_table, fetched_rows), "model"

@@ -1,0 +1,93 @@
+"""Plan hints — the DBA's corrective lever.
+
+The paper's exploitation story (§II-C): a DBA who sees a large gap between
+estimated and actual DPC "can correct the problem using hinting mechanisms
+to force a better plan (e.g., force an Index Seek plan instead of a Table
+Scan plan)".  A :class:`PlanHint` restricts which candidate plans the
+optimizer may pick; costing still chooses the cheapest plan *within* the
+restriction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import OptimizerError
+from repro.optimizer.plans import (
+    ClusteredRangeScanPlan,
+    InListSeekPlan,
+    CountPlan,
+    CoveringScanPlan,
+    HashJoinPlan,
+    IndexIntersectionPlan,
+    IndexSeekPlan,
+    INLJoinPlan,
+    MergeJoinPlan,
+    PlanNode,
+    SeqScanPlan,
+)
+
+_KINDS = {
+    "table_scan": SeqScanPlan,
+    "clustered_range": ClusteredRangeScanPlan,
+    "index_seek": IndexSeekPlan,
+    "in_list_seek": InListSeekPlan,
+    "index_intersection": IndexIntersectionPlan,
+    "covering_scan": CoveringScanPlan,
+    "hash_join": HashJoinPlan,
+    "inl_join": INLJoinPlan,
+    "merge_join": MergeJoinPlan,
+}
+
+
+@dataclass(frozen=True)
+class PlanHint:
+    """Restrict plan choice to one physical shape.
+
+    ``kind`` is one of: ``table_scan``, ``clustered_range``,
+    ``index_seek``, ``index_intersection``, ``covering_scan``,
+    ``hash_join``, ``inl_join``, ``merge_join``.  ``index_name`` further
+    restricts index plans to a specific index; ``inner_table`` restricts
+    INL plans to a specific inner.
+    """
+
+    kind: str
+    index_name: Optional[str] = None
+    inner_table: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise OptimizerError(
+                f"unknown hint kind {self.kind!r}; valid: {sorted(_KINDS)}"
+            )
+
+    def admits(self, plan: PlanNode) -> bool:
+        """Whether a candidate plan satisfies this hint."""
+        target = plan.child if isinstance(plan, CountPlan) else plan
+        if not isinstance(target, _KINDS[self.kind]):
+            return False
+        if self.index_name is not None:
+            if getattr(target, "index_name", None) != self.index_name:
+                return False
+        if self.inner_table is not None:
+            if getattr(target, "inner_table", None) != self.inner_table:
+                return False
+        return True
+
+    def filter(self, plans: list[PlanNode]) -> list[PlanNode]:
+        admitted = [plan for plan in plans if self.admits(plan)]
+        if not admitted:
+            raise OptimizerError(
+                f"hint {self} admits none of the {len(plans)} candidate plans"
+            )
+        return admitted
+
+    def __str__(self) -> str:
+        extras = []
+        if self.index_name:
+            extras.append(f"index={self.index_name}")
+        if self.inner_table:
+            extras.append(f"inner={self.inner_table}")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        return f"PlanHint({self.kind}{suffix})"

@@ -1,0 +1,124 @@
+"""High-level session API: optimize, execute, monitor, feed back.
+
+:class:`Session` is the front door most users (and all examples) go
+through.  It ties together a :class:`~repro.catalog.Database`, the
+optimizer, the monitor planner and a :class:`~repro.core.FeedbackStore`,
+exposing the paper's full loop in three calls:
+
+>>> session = Session(database)
+>>> run = session.run(query, requests=[...])        # monitor current plan
+>>> session.remember(run)                            # harvest feedback
+>>> improved = session.run(query, use_feedback=True) # re-optimized plan
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.catalog.catalog import Database
+from repro.core.feedback import FeedbackStore
+from repro.core.planner import MonitorConfig, build_executable
+from repro.core.requests import PageCountRequest
+from repro.exec.executor import QueryResult, execute
+from repro.optimizer.hints import PlanHint
+from repro.optimizer.injection import InjectionSet
+from repro.optimizer.optimizer import Optimizer, Query
+from repro.optimizer.pagecount_model import AnalyticalPageCountModel
+from repro.optimizer.plans import PlanNode
+
+
+@dataclass
+class ExecutedQuery:
+    """A plan and the result of running it."""
+
+    query: Query
+    plan: PlanNode
+    result: QueryResult
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.result.elapsed_ms
+
+    @property
+    def observations(self):
+        return self.result.runstats.observations
+
+    def summary(self) -> str:
+        return (
+            f"{self.query.describe()}\n"
+            f"plan: {self.plan.describe()}\n"
+            f"{self.result.runstats.render()}"
+        )
+
+
+@dataclass
+class Session:
+    """One user's connection to the simulated engine."""
+
+    database: Database
+    feedback: FeedbackStore = field(default_factory=FeedbackStore)
+    injections: InjectionSet = field(default_factory=InjectionSet)
+    monitor_config: MonitorConfig = field(default_factory=MonitorConfig)
+    page_count_model: Optional[AnalyticalPageCountModel] = None
+
+    # ------------------------------------------------------------------
+    def optimizer(
+        self,
+        use_feedback: bool = False,
+        hint: Optional[PlanHint] = None,
+        extra_injections: Optional[InjectionSet] = None,
+    ) -> Optimizer:
+        injections = (
+            extra_injections if extra_injections is not None else self.injections
+        ).copy()
+        if use_feedback:
+            injections = self.feedback.to_injections(injections)
+        return Optimizer(
+            self.database,
+            injections=injections,
+            page_count_model=self.page_count_model,
+            hint=hint,
+        )
+
+    def optimize(
+        self,
+        query: Query,
+        use_feedback: bool = False,
+        hint: Optional[PlanHint] = None,
+    ) -> PlanNode:
+        return self.optimizer(use_feedback=use_feedback, hint=hint).optimize(query)
+
+    # ------------------------------------------------------------------
+    def run_plan(
+        self,
+        query: Query,
+        plan: PlanNode,
+        requests: Sequence[PageCountRequest] = (),
+        cold_cache: bool = True,
+    ) -> ExecutedQuery:
+        """Execute a specific plan, with monitors for ``requests``."""
+        build = build_executable(
+            plan, self.database, list(requests), self.monitor_config
+        )
+        result = execute(build.root, self.database, cold_cache=cold_cache)
+        result.runstats.observations.extend(build.unanswerable)
+        return ExecutedQuery(query=query, plan=plan, result=result)
+
+    def run(
+        self,
+        query: Query,
+        requests: Sequence[PageCountRequest] = (),
+        use_feedback: bool = False,
+        hint: Optional[PlanHint] = None,
+        cold_cache: bool = True,
+    ) -> ExecutedQuery:
+        """Optimize then execute, with monitoring."""
+        plan = self.optimize(query, use_feedback=use_feedback, hint=hint)
+        return self.run_plan(query, plan, requests=requests, cold_cache=cold_cache)
+
+    # ------------------------------------------------------------------
+    def remember(self, executed: ExecutedQuery) -> int:
+        """Harvest an executed query's page-count feedback; returns the
+        number of observations stored."""
+        return self.feedback.record_run(executed.result.runstats)

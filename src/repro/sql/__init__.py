@@ -1,0 +1,40 @@
+"""Predicate expressions, typed values and evaluation with short-circuiting."""
+
+from repro.sql.analysis import (
+    ScanRequestPlan,
+    analyze_scan_request,
+    augment_scan_conjunction,
+    plan_scan_requests,
+)
+from repro.sql.evaluator import BoundConjunction, TermOutcome
+from repro.sql.parser import parse_predicate, parse_query
+from repro.sql.predicates import (
+    AtomicPredicate,
+    Between,
+    Comparison,
+    Conjunction,
+    InList,
+    JoinEquality,
+    conjunction_of,
+)
+from repro.sql.types import SqlType, infer_sql_type
+
+__all__ = [
+    "AtomicPredicate",
+    "Between",
+    "BoundConjunction",
+    "Comparison",
+    "Conjunction",
+    "InList",
+    "JoinEquality",
+    "ScanRequestPlan",
+    "SqlType",
+    "TermOutcome",
+    "analyze_scan_request",
+    "augment_scan_conjunction",
+    "conjunction_of",
+    "infer_sql_type",
+    "parse_predicate",
+    "parse_query",
+    "plan_scan_requests",
+]

@@ -1,0 +1,132 @@
+"""Static analysis of DPC requests against the executing plan's predicate.
+
+Section III-B establishes the rule this module encodes:
+
+    "For a sequence of conjunctive predicates, there is no need to turn off
+    predicate short-circuiting to obtain the distinct page count
+    corresponding to any *prefix* of the predicates.  However, if the page
+    counts are required for a predicate that is not a prefix of the
+    predicates evaluated, it is necessary to turn off the predicate
+    short-circuiting optimization."
+
+Given the conjunction a scan evaluates (in its evaluation order) and a set
+of requested expressions, :func:`plan_scan_requests` classifies each request
+and reports whether short-circuiting must be disabled on sampled pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import MonitorError
+from repro.sql.predicates import Conjunction
+
+
+@dataclass(frozen=True)
+class ScanRequestPlan:
+    """How one requested expression will be monitored during a scan.
+
+    ``term_indexes`` are the positions (in the scan conjunction's term
+    order) whose per-row truth values decide the requested expression.
+    ``is_prefix`` means the request is a prefix of the evaluation order, so
+    short-circuited evaluation already yields its truth on every row.
+    """
+
+    expression: Conjunction
+    term_indexes: tuple[int, ...]
+    is_prefix: bool
+
+    def satisfied_by(self, truth: tuple) -> bool:
+        """Whether a row's per-term truth vector satisfies this expression.
+
+        For non-prefix requests the caller must have evaluated all terms
+        (short-circuiting off); a skipped needed term raises
+        :class:`MonitorError` because silently guessing would bias counts.
+
+        One exception needs care: with short-circuiting *on*, a needed term
+        may be ``None`` because an **earlier needed term** was FALSE — in
+        that case the expression is decidedly FALSE and we return that
+        without needing the skipped term.
+        """
+        for index in self.term_indexes:
+            value = truth[index]
+            if value is False:
+                return False
+            if value is None:
+                raise MonitorError(
+                    f"term {index} of {self.expression.key()!r} was not evaluated; "
+                    "short-circuiting must be disabled for this request"
+                )
+        return True
+
+    def decidable_from(self, truth: tuple) -> bool:
+        """Whether the truth vector suffices to decide the expression."""
+        for index in self.term_indexes:
+            value = truth[index]
+            if value is False:
+                return True  # decided FALSE regardless of later terms
+            if value is None:
+                return False
+        return True
+
+
+def analyze_scan_request(
+    scan_conjunction: Conjunction, requested: Conjunction
+) -> ScanRequestPlan:
+    """Map a requested expression onto the scan's evaluated term order.
+
+    Every term of ``requested`` must appear in ``scan_conjunction`` — a scan
+    can only witness ``Satisfies`` for predicates it evaluates.  (The scan
+    operator arranges for *all* requested terms to be part of its pushed-
+    down conjunction; terms needed only for monitoring are appended after
+    the query's own terms so normal short-circuiting semantics and result
+    correctness are unchanged.)
+    """
+    positions = []
+    for term in requested.terms:
+        try:
+            positions.append(scan_conjunction.terms.index(term))
+        except ValueError:
+            raise MonitorError(
+                f"requested term {term.key()!r} is not part of the scan predicate "
+                f"{scan_conjunction.key()!r}"
+            ) from None
+    return ScanRequestPlan(
+        expression=requested,
+        term_indexes=tuple(positions),
+        is_prefix=requested.is_prefix_of(scan_conjunction),
+    )
+
+
+def plan_scan_requests(
+    scan_conjunction: Conjunction, requests: list[Conjunction]
+) -> tuple[list[ScanRequestPlan], bool]:
+    """Analyze all requests; return the plans and whether any needs
+    short-circuiting turned off on sampled pages."""
+    plans = [analyze_scan_request(scan_conjunction, r) for r in requests]
+    needs_full_eval = any(not p.is_prefix for p in plans)
+    return plans, needs_full_eval
+
+
+def augment_scan_conjunction(
+    query_conjunction: Conjunction, requests: list[Conjunction]
+) -> Conjunction:
+    """Extend the scan's pushed-down conjunction with any requested terms it
+    does not already evaluate.
+
+    Extra terms are appended *after* the query's own terms, so: (a) the scan
+    still returns exactly the rows the query wants (appended terms can only
+    be reached when the row already passed... note appended terms DO filter
+    — so the caller must only use this when the scan's output predicate is
+    taken from ``query_conjunction``'s terms alone).  In this engine the
+    scan separates the *output* decision (query terms only) from the
+    *monitoring* conjunction returned here; see ``exec.scans``.
+    """
+    terms = list(query_conjunction.terms)
+    existing = set(terms)
+    for request in requests:
+        for term in request.terms:
+            if term not in existing:
+                terms.append(term)
+                existing.add(term)
+    return Conjunction(terms)

@@ -1,0 +1,134 @@
+"""Predicate evaluation with short-circuit control and accounting.
+
+This module is the seam the paper's scan-plan monitors depend on.  A real
+storage engine evaluates the pushed-down conjunction term by term, in plan
+order, and *short-circuits*: once a term is FALSE the remaining terms are
+skipped (Example 3).  The DPC monitors need to know, per row:
+
+* which terms were actually evaluated (a term that was skipped gives no
+  information about ``Satisfies`` for expressions containing it), and
+* how many term evaluations were performed (the unit of CPU overhead that
+  Figs. 7 and 9 measure).
+
+:class:`BoundConjunction` binds a :class:`~repro.sql.predicates.Conjunction`
+to a row layout once (name -> position), then evaluates rows cheaply.  The
+result is a :class:`TermOutcome` carrying the per-term truth vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.common.errors import ExpressionError
+from repro.sql.predicates import Conjunction
+
+
+@dataclass(slots=True)
+class TermOutcome:
+    """Result of evaluating a conjunction on one row.
+
+    ``truth[i]`` is ``True``/``False`` if term *i* was evaluated, ``None``
+    if it was skipped by short-circuiting.  ``passed`` is the conjunction's
+    value; when short-circuited it is still exact (a FALSE term decides it).
+    ``evaluations`` counts the term evaluations performed on this row.
+    """
+
+    passed: bool
+    truth: tuple[Optional[bool], ...]
+    evaluations: int
+
+    def term_known(self, index: int) -> bool:
+        """Whether term ``index`` was actually evaluated on this row."""
+        return self.truth[index] is not None
+
+
+class BoundConjunction:
+    """A conjunction bound to a specific row layout for fast evaluation.
+
+    The layout is a sequence of column names; rows are tuples in that order.
+    Binding resolves each term's column to a position once, so per-row
+    evaluation does no dict lookups.
+    """
+
+    __slots__ = ("conjunction", "_positions", "_matchers")
+
+    def __init__(self, conjunction: Conjunction, columns: Sequence[str]) -> None:
+        self.conjunction = conjunction
+        index = {name: pos for pos, name in enumerate(columns)}
+        positions = []
+        matchers = []
+        for term in conjunction.terms:
+            if term.column not in index:
+                raise ExpressionError(
+                    f"predicate column {term.column!r} not in row layout {list(columns)}"
+                )
+            positions.append(index[term.column])
+            matchers.append(term.matches)
+        self._positions = tuple(positions)
+        self._matchers = tuple(matchers)
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def evaluate(self, row: Sequence, short_circuit: bool = True) -> TermOutcome:
+        """Evaluate all terms on ``row``.
+
+        With ``short_circuit=True`` (the engine's normal mode) evaluation
+        stops at the first FALSE term and later terms report ``None``.
+        With ``short_circuit=False`` every term is evaluated — the mode
+        DPSample forces on sampled pages (Fig. 4, step 4).
+        """
+        truth: list[Optional[bool]] = [None] * len(self._positions)
+        passed = True
+        evaluations = 0
+        for i, (pos, matches) in enumerate(zip(self._positions, self._matchers)):
+            result = matches(row[pos])
+            evaluations += 1
+            truth[i] = result
+            if not result:
+                passed = False
+                if short_circuit:
+                    break
+        return TermOutcome(passed=passed, truth=tuple(truth), evaluations=evaluations)
+
+    def evaluate_prefix(
+        self, row: Sequence, num_terms: int, short_circuit: bool = True
+    ) -> TermOutcome:
+        """Evaluate only the first ``num_terms`` terms.
+
+        The truth vector is still sized to the full conjunction (later
+        entries are ``None``), so monitors indexing by term position work
+        regardless of how much of the conjunction a given page evaluated.
+        ``passed`` refers to the *prefix* conjunction only — this is what a
+        scan uses to decide row output when extra monitoring-only terms
+        have been appended after the query's own terms.
+        """
+        if not 0 <= num_terms <= len(self._positions):
+            raise ExpressionError(
+                f"prefix of {num_terms} terms out of range for "
+                f"{len(self._positions)}-term conjunction"
+            )
+        truth: list[Optional[bool]] = [None] * len(self._positions)
+        passed = True
+        evaluations = 0
+        for i in range(num_terms):
+            result = self._matchers[i](row[self._positions[i]])
+            evaluations += 1
+            truth[i] = result
+            if not result:
+                passed = False
+                if short_circuit:
+                    break
+        return TermOutcome(passed=passed, truth=tuple(truth), evaluations=evaluations)
+
+    def passes(self, row: Sequence) -> bool:
+        """Fast boolean-only evaluation with short-circuiting.
+
+        Used on hot paths that do not need per-term accounting (e.g. the
+        exact-DPC oracle and index-side residual filters).
+        """
+        for pos, matches in zip(self._positions, self._matchers):
+            if not matches(row[pos]):
+                return False
+        return True

@@ -1,0 +1,384 @@
+"""A small SQL parser for the query shapes the paper evaluates.
+
+The engine is not a general SQL system — the paper's workloads are
+``SELECT count(col) FROM T WHERE <conjunction>`` and two-table equality
+joins — but typing those as strings beats assembling predicate objects by
+hand.  Supported grammar (keywords case-insensitive)::
+
+    query   := SELECT COUNT '(' ( '*' | colref ) ')'
+               FROM ident (',' ident)?
+               ( WHERE cond (AND cond)* )?
+    cond    := colref op literal
+             | colref BETWEEN literal AND literal
+             | colref IN '(' literal (',' literal)* ')'
+             | colref '=' colref                     -- join predicate
+    colref  := ident ('.' ident)?
+    op      := '<' | '<=' | '=' | '>=' | '>' | '!=' | '<>'
+    literal := integer | float | 'string' | DATE 'YYYY-MM-DD'
+
+Predicate order in the WHERE clause is preserved — it is the evaluation
+(short-circuit) order, which §III-B's prefix rule cares about.
+
+Entry points: :func:`parse_query` -> ``SingleTableQuery | JoinQuery``,
+and :func:`parse_predicate` -> ``Conjunction`` for monitor requests.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.common.errors import ExpressionError
+from repro.sql.predicates import (
+    AtomicPredicate,
+    Between,
+    Comparison,
+    Conjunction,
+    InList,
+    JoinEquality,
+)
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')      # 'text' with '' escaping
+      | (?P<number>\d+\.\d+|\d+)        # 123 or 1.5
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<op><=|>=|!=|<>|[<>=(),.*])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "count", "from", "where", "and", "between", "in", "date"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "string" | "number" | "ident" | "op" | "keyword"
+    text: str
+    position: int
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_PATTERN.match(sql, position)
+        if match is None or match.end() == position:
+            remainder = sql[position:].strip()
+            if not remainder:
+                break
+            raise ExpressionError(
+                f"cannot tokenize SQL at position {position}: {remainder[:20]!r}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        text = match.group(kind)
+        if kind == "ident" and text.lower() in _KEYWORDS:
+            tokens.append(_Token("keyword", text.lower(), match.start(kind)))
+        else:
+            tokens.append(_Token(kind, text, match.start(kind)))
+    return tokens
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly table-qualified column reference."""
+
+    table: Optional[str]
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class ParsedCondition:
+    """One WHERE condition before table resolution."""
+
+    predicate: Optional[AtomicPredicate]  # None for join conditions
+    column: ColumnRef
+    join_right: Optional[ColumnRef] = None  # set for colref = colref
+
+
+class _Parser:
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = _tokenize(sql)
+        self.index = 0
+
+    # -- token primitives ----------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ExpressionError(f"unexpected end of SQL: {self.sql!r}")
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise ExpressionError(
+                f"expected {wanted!r} at position {token.position}, "
+                f"got {token.text!r}"
+            )
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if (
+            token is not None
+            and token.kind == kind
+            and (text is None or token.text == text)
+        ):
+            self.index += 1
+            return token
+        return None
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+    # -- grammar ----------------------------------------------------------
+    def column_ref(self) -> ColumnRef:
+        first = self._expect("ident").text
+        if self._accept("op", "."):
+            second = self._expect("ident").text
+            return ColumnRef(table=first, column=second)
+        return ColumnRef(table=None, column=first)
+
+    def literal(self) -> Any:
+        token = self._peek()
+        if token is None:
+            raise ExpressionError("expected a literal, found end of SQL")
+        if token.kind == "keyword" and token.text == "date":
+            self._next()
+            raw = self._expect("string").text
+            return _parse_date(raw[1:-1])
+        if token.kind == "string":
+            self._next()
+            return token.text[1:-1].replace("''", "'")
+        if token.kind == "number":
+            self._next()
+            return float(token.text) if "." in token.text else int(token.text)
+        raise ExpressionError(
+            f"expected a literal at position {token.position}, got {token.text!r}"
+        )
+
+    def condition(self) -> ParsedCondition:
+        column = self.column_ref()
+        token = self._peek()
+        if token is None:
+            raise ExpressionError(f"dangling column reference {column}")
+        if token.kind == "keyword" and token.text == "between":
+            self._next()
+            low = self.literal()
+            self._expect("keyword", "and")
+            high = self.literal()
+            return ParsedCondition(
+                predicate=Between(column.column, low, high), column=column
+            )
+        if token.kind == "keyword" and token.text == "in":
+            self._next()
+            self._expect("op", "(")
+            values = [self.literal()]
+            while self._accept("op", ","):
+                values.append(self.literal())
+            self._expect("op", ")")
+            return ParsedCondition(
+                predicate=InList(column.column, values), column=column
+            )
+        if token.kind == "op" and token.text in ("<", "<=", "=", ">=", ">", "!=", "<>"):
+            self._next()
+            operator = "!=" if token.text == "<>" else token.text
+            # ``colref = colref`` is a join condition.
+            right = self._peek()
+            if (
+                operator == "="
+                and right is not None
+                and right.kind == "ident"
+            ):
+                right_ref = self.column_ref()
+                return ParsedCondition(
+                    predicate=None, column=column, join_right=right_ref
+                )
+            value = self.literal()
+            return ParsedCondition(
+                predicate=Comparison(column.column, operator, value), column=column
+            )
+        raise ExpressionError(
+            f"expected an operator after {column} at position {token.position}, "
+            f"got {token.text!r}"
+        )
+
+    def conditions(self) -> list[ParsedCondition]:
+        parsed = [self.condition()]
+        while self._accept("keyword", "and"):
+            parsed.append(self.condition())
+        return parsed
+
+    def query(self):
+        self._expect("keyword", "select")
+        self._expect("keyword", "count")
+        self._expect("op", "(")
+        if self._accept("op", "*"):
+            count_ref: Optional[ColumnRef] = None
+        else:
+            count_ref = self.column_ref()
+        self._expect("op", ")")
+        self._expect("keyword", "from")
+        tables = [self._expect("ident").text]
+        while self._accept("op", ","):
+            tables.append(self._expect("ident").text)
+        if len(tables) > 2:
+            raise ExpressionError(
+                f"at most two tables are supported, got {len(tables)}"
+            )
+        conditions: list[ParsedCondition] = []
+        if self._accept("keyword", "where"):
+            conditions = self.conditions()
+        if not self.at_end():
+            token = self._peek()
+            raise ExpressionError(
+                f"unexpected trailing input at position {token.position}: "
+                f"{token.text!r}"
+            )
+        if len(tables) == 1:
+            return _build_single(tables[0], count_ref, conditions)
+        return _build_join(tables, count_ref, conditions)
+
+
+def _parse_date(text: str) -> datetime.date:
+    try:
+        return datetime.date.fromisoformat(text)
+    except ValueError as exc:
+        raise ExpressionError(f"invalid DATE literal {text!r}") from exc
+
+
+def _resolve_table(ref: ColumnRef, tables: list[str], context: str) -> str:
+    if ref.table is not None:
+        if ref.table not in tables:
+            raise ExpressionError(
+                f"{context}: table {ref.table!r} is not in the FROM clause "
+                f"{tables}"
+            )
+        return ref.table
+    if len(tables) == 1:
+        return tables[0]
+    raise ExpressionError(
+        f"{context}: column {ref.column!r} must be qualified when two "
+        f"tables are joined"
+    )
+
+
+def _build_single(
+    table: str, count_ref: Optional[ColumnRef], conditions: list[ParsedCondition]
+):
+    # Imported lazily: the optimizer package (which owns the query types)
+    # itself depends on repro.sql, and a module-level import would cycle.
+    from repro.optimizer.optimizer import SingleTableQuery
+    terms = []
+    for condition in conditions:
+        if condition.join_right is not None:
+            raise ExpressionError(
+                "join conditions are not allowed in a single-table query"
+            )
+        _resolve_table(condition.column, [table], condition.column.column)
+        terms.append(condition.predicate)
+    count_column = None
+    if count_ref is not None:
+        _resolve_table(count_ref, [table], "count column")
+        count_column = count_ref.column
+    return SingleTableQuery(
+        table=table, predicate=Conjunction(tuple(terms)), count_column=count_column
+    )
+
+
+def _build_join(
+    tables: list[str],
+    count_ref: Optional[ColumnRef],
+    conditions: list[ParsedCondition],
+):
+    from repro.optimizer.optimizer import JoinQuery  # lazy: avoids a cycle
+    join_predicate: Optional[JoinEquality] = None
+    per_table: dict[str, list[AtomicPredicate]] = {name: [] for name in tables}
+    for condition in conditions:
+        if condition.join_right is not None:
+            left_table = _resolve_table(condition.column, tables, "join")
+            right_table = _resolve_table(condition.join_right, tables, "join")
+            if left_table == right_table:
+                raise ExpressionError(
+                    "join condition must relate the two FROM tables"
+                )
+            if join_predicate is not None:
+                raise ExpressionError("only one join condition is supported")
+            join_predicate = JoinEquality(
+                left_table,
+                condition.column.column,
+                right_table,
+                condition.join_right.column,
+            )
+        else:
+            table = _resolve_table(condition.column, tables, "selection")
+            per_table[table].append(condition.predicate)
+    if join_predicate is None:
+        raise ExpressionError(
+            "a two-table query needs a join condition (t1.a = t2.b)"
+        )
+    count_column = None
+    if count_ref is not None:
+        count_table = _resolve_table(count_ref, tables, "count column")
+        count_column = f"{count_table}.{count_ref.column}"
+    predicates = {
+        name: Conjunction(tuple(terms))
+        for name, terms in per_table.items()
+        if terms
+    }
+    return JoinQuery(
+        join_predicate=join_predicate,
+        predicates=predicates,
+        count_column=count_column,
+    )
+
+
+def parse_query(sql: str):
+    """Parse a COUNT query into the optimizer's query objects
+    (:class:`~repro.optimizer.SingleTableQuery` or
+    :class:`~repro.optimizer.JoinQuery`)."""
+    return _Parser(sql).query()
+
+
+def parse_predicate(text: str) -> Conjunction:
+    """Parse a bare conjunction (``"c2 < 500 AND state = 'CA'"``).
+
+    Useful for building :class:`~repro.core.AccessPathRequest` expressions
+    without constructing predicate objects by hand.  Column references
+    must be unqualified; join conditions are rejected.
+    """
+    parser = _Parser(text)
+    conditions = parser.conditions()
+    if not parser.at_end():
+        token = parser._peek()
+        raise ExpressionError(
+            f"unexpected trailing input at position {token.position}: "
+            f"{token.text!r}"
+        )
+    terms = []
+    for condition in conditions:
+        if condition.join_right is not None:
+            raise ExpressionError("join conditions are not valid predicates here")
+        if condition.column.table is not None:
+            raise ExpressionError(
+                f"qualified column {condition.column} is not valid in a bare "
+                "predicate"
+            )
+        terms.append(condition.predicate)
+    return Conjunction(tuple(terms))

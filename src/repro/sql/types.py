@@ -1,0 +1,84 @@
+"""SQL value types for the simulated engine.
+
+The engine stores plain Python values inside pages; this module defines the
+small type system the catalog uses to describe columns and the predicates
+use to validate comparisons.  Dates are modelled as :class:`datetime.date`
+(the paper's motivating predicates are on ``Shipdate``-style columns).
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from typing import Any
+
+from repro.common.errors import SchemaError
+
+
+class SqlType(enum.Enum):
+    """Column types supported by the simulated engine."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    DATE = "date"
+
+    @property
+    def python_type(self) -> type:
+        """The Python type used to store values of this SQL type."""
+        return _PYTHON_TYPES[self]
+
+    def validate(self, value: Any) -> Any:
+        """Check ``value`` is storable under this type; return it unchanged.
+
+        Integers are accepted for FLOAT columns (widening), mirroring SQL's
+        implicit numeric promotion.  ``None`` is accepted everywhere (SQL
+        NULL).  Raises :class:`SchemaError` otherwise.
+        """
+        if value is None:
+            return None
+        expected = _PYTHON_TYPES[self]
+        if isinstance(value, bool):
+            # bool is an int subclass but never a valid SQL value here.
+            raise SchemaError(f"bool value {value!r} is not a valid {self.value}")
+        if isinstance(value, expected):
+            return value
+        if self is SqlType.FLOAT and isinstance(value, int):
+            return float(value)
+        raise SchemaError(
+            f"value {value!r} (type {type(value).__name__}) is not a valid {self.value}"
+        )
+
+    def comparable_with(self, other: "SqlType") -> bool:
+        """Whether values of this type can be compared with ``other``'s."""
+        numeric = {SqlType.INT, SqlType.FLOAT}
+        if self in numeric and other in numeric:
+            return True
+        return self is other
+
+
+_PYTHON_TYPES: dict[SqlType, type] = {
+    SqlType.INT: int,
+    SqlType.FLOAT: float,
+    SqlType.STR: str,
+    SqlType.DATE: datetime.date,
+}
+
+
+def infer_sql_type(value: Any) -> SqlType:
+    """Infer the :class:`SqlType` of a literal Python value.
+
+    Raises :class:`SchemaError` for unsupported types (including ``None``,
+    whose type cannot be inferred).
+    """
+    if isinstance(value, bool) or value is None:
+        raise SchemaError(f"cannot infer SQL type of {value!r}")
+    if isinstance(value, int):
+        return SqlType.INT
+    if isinstance(value, float):
+        return SqlType.FLOAT
+    if isinstance(value, str):
+        return SqlType.STR
+    if isinstance(value, datetime.date):
+        return SqlType.DATE
+    raise SchemaError(f"unsupported literal type {type(value).__name__}")

@@ -1,0 +1,31 @@
+"""Storage engine: pages, files, indexes, buffer pool and the disk model."""
+
+from repro.storage.btree import BTreeIndex
+from repro.storage.buffer import BufferPool, BufferPoolStats
+from repro.storage.clustered import ClusteredFile
+from repro.storage.disk import ClockSnapshot, DiskParameters, SimulatedClock
+from repro.storage.heap import DataFile, HeapFile
+from repro.storage.page import (
+    PAGE_SIZE_BYTES,
+    USABLE_PAGE_BYTES,
+    Page,
+    rows_per_page,
+)
+from repro.storage.table import Table
+
+__all__ = [
+    "BTreeIndex",
+    "BufferPool",
+    "BufferPoolStats",
+    "ClockSnapshot",
+    "ClusteredFile",
+    "DataFile",
+    "DiskParameters",
+    "HeapFile",
+    "PAGE_SIZE_BYTES",
+    "Page",
+    "SimulatedClock",
+    "Table",
+    "USABLE_PAGE_BYTES",
+    "rows_per_page",
+]

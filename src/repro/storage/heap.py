@@ -1,0 +1,113 @@
+"""Heap files: unordered pages of rows.
+
+:class:`DataFile` is the shared base for the two physical table layouts
+(heap and clustered); it owns the page array, bulk append and RID fetch.
+All *reads* are routed through the buffer pool so the simulated clock sees
+them.  Scans read pages in allocation order with sequential I/O charges
+(readahead); RID fetches are random reads — this asymmetry is the entire
+economics of the paper's Index Seek vs. Table Scan decision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.common.errors import StorageError
+from repro.common.types import RID, FileId, PageId
+from repro.storage.buffer import BufferPool
+from repro.storage.page import Page, rows_per_page
+
+
+class DataFile:
+    """A sequence of pages holding full rows of one table."""
+
+    def __init__(
+        self,
+        file_id: FileId,
+        row_width_bytes: int,
+        buffer_pool: BufferPool,
+        fill_factor: float = 1.0,
+    ) -> None:
+        if not 0.0 < fill_factor <= 1.0:
+            raise StorageError(f"fill_factor must be in (0, 1], got {fill_factor}")
+        self.file_id = file_id
+        self.buffer_pool = buffer_pool
+        full_capacity = rows_per_page(row_width_bytes)
+        self.page_capacity = max(1, int(full_capacity * fill_factor))
+        self._pages: list[Page] = []
+
+    # ------------------------------------------------------------------
+    # Load path (no I/O charges: loading happens "offline")
+    # ------------------------------------------------------------------
+    def append_row(self, row: Sequence[Any]) -> RID:
+        """Append one row, opening a new page when the last one is full."""
+        if not self._pages or self._pages[-1].is_full:
+            self._pages.append(Page(PageId(len(self._pages)), self.page_capacity))
+        page = self._pages[-1]
+        slot = page.append(row)
+        return RID(page.page_id, slot)
+
+    def bulk_append(self, rows: Iterator[Sequence[Any]]) -> list[RID]:
+        """Append many rows; returns their RIDs in insertion order."""
+        return [self.append_row(row) for row in rows]
+
+    # ------------------------------------------------------------------
+    # Read path (charges the buffer pool / clock)
+    # ------------------------------------------------------------------
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def num_rows(self) -> int:
+        return sum(p.num_rows for p in self._pages)
+
+    def page(self, page_id: PageId) -> Page:
+        """Direct page access *without* I/O accounting (internal/tests)."""
+        if not 0 <= page_id < len(self._pages):
+            raise StorageError(
+                f"file {int(self.file_id)}: page {int(page_id)} out of range "
+                f"(file has {len(self._pages)} pages)"
+            )
+        return self._pages[page_id]
+
+    def fetch(self, rid: RID) -> tuple[PageId, tuple]:
+        """Random-access read of one row by RID.
+
+        Returns ``(page_id, row)`` — the page id is what the paper's
+        Fetch-side monitors consume.  Charges a random physical read if the
+        page is not buffered.
+        """
+        page = self.page(rid.page_id)
+        self.buffer_pool.access(self.file_id, rid.page_id, sequential=False)
+        return rid.page_id, page.get(rid.slot)
+
+    def scan_pages(
+        self, start_page: int = 0, end_page: Optional[int] = None
+    ) -> Iterator[tuple[PageId, Page]]:
+        """Iterate pages in allocation order, charging sequential reads.
+
+        ``start_page``/``end_page`` bound the scan (used by clustered range
+        seeks); ``end_page`` is exclusive and defaults to the file end.
+        """
+        stop = len(self._pages) if end_page is None else min(end_page, len(self._pages))
+        for page_id in range(start_page, stop):
+            page = self._pages[page_id]
+            self.buffer_pool.access(self.file_id, page.page_id, sequential=True)
+            yield page.page_id, page
+
+    def scan_rows(self) -> Iterator[tuple[PageId, int, tuple]]:
+        """Full scan yielding ``(page_id, slot, row)`` in grouped page order.
+
+        This ordering is the *grouped page access* property of Section III:
+        once the iterator moves past a page, that page never reappears.
+        """
+        for page_id, page in self.scan_pages():
+            for slot, row in enumerate(page.rows()):
+                yield page_id, slot, row
+
+
+class HeapFile(DataFile):
+    """An unordered table: rows live wherever insertion placed them."""
+
+    layout_name = "heap"

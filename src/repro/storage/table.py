@@ -1,0 +1,216 @@
+"""The table facade: schema + physical layout + secondary indexes + stats.
+
+:class:`Table` is what the executor and optimizer hold.  It wires together
+a :class:`~repro.storage.heap.HeapFile` or
+:class:`~repro.storage.clustered.ClusteredFile`, any number of
+:class:`~repro.storage.btree.BTreeIndex` secondary indexes, and the
+catalog statistics built at load time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.common.errors import CatalogError, StorageError
+from repro.common.types import RID, FileId, PageId
+from repro.catalog.schema import IndexDef, TableSchema
+from repro.catalog.statistics import TableStatistics, build_statistics
+from repro.storage.btree import BTreeIndex
+from repro.storage.buffer import BufferPool
+from repro.storage.clustered import ClusteredFile
+from repro.storage.heap import DataFile, HeapFile
+
+
+class Table:
+    """One stored table."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        data_file: DataFile,
+        clustered_index: Optional[IndexDef] = None,
+    ) -> None:
+        self.schema = schema
+        self.data_file = data_file
+        self.clustered_index = clustered_index
+        self.indexes: dict[str, BTreeIndex] = {}
+        self.statistics: Optional[TableStatistics] = None
+        self._rids: list[RID] = []
+        self._loaded = False
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.table_name
+
+    @property
+    def num_pages(self) -> int:
+        return self.data_file.num_pages
+
+    @property
+    def num_rows(self) -> int:
+        return self.data_file.num_rows
+
+    @property
+    def is_clustered(self) -> bool:
+        return isinstance(self.data_file, ClusteredFile)
+
+    @property
+    def buffer_pool(self) -> BufferPool:
+        return self.data_file.buffer_pool
+
+    def require_statistics(self) -> TableStatistics:
+        if self.statistics is None:
+            raise CatalogError(f"table {self.name}: statistics were never built")
+        return self.statistics
+
+    # ------------------------------------------------------------------
+    # Load path
+    # ------------------------------------------------------------------
+    def bulk_load(self, rows: Sequence[Sequence[Any]]) -> None:
+        """Load all rows (validating against the schema) exactly once."""
+        if self._loaded:
+            raise StorageError(f"table {self.name} was already loaded")
+        validated = [self.schema.validate_row(row) for row in rows]
+        if isinstance(self.data_file, ClusteredFile):
+            self.data_file.bulk_load(validated)
+            self._rids = [
+                RID(page_id, slot)
+                for page_id, slot, _ in _silent_scan(self.data_file)
+            ]
+        else:
+            self._rids = self.data_file.bulk_append(iter(validated))
+        self._loaded = True
+
+    def append_rows(self, rows: Sequence[Sequence[Any]]) -> list[RID]:
+        """Append rows after the initial load (heap tables only).
+
+        Secondary indexes are maintained incrementally; **statistics are
+        not** — they go stale exactly as in a real engine, and
+        :attr:`statistics_stale` flags it so callers (and the staleness
+        bench) can decide when to rebuild.  Clustered tables reject
+        appends: keeping rows physically key-ordered would require page
+        splits, which this simulation's contiguous-run clustered layout
+        deliberately does not model (see DESIGN.md).
+        """
+        if not self._loaded:
+            raise StorageError(f"table {self.name}: bulk_load before append_rows")
+        if isinstance(self.data_file, ClusteredFile):
+            raise StorageError(
+                f"table {self.name} is clustered; appends would violate the "
+                "contiguous key-order layout (heap tables support appends)"
+            )
+        appended: list[RID] = []
+        for row in rows:
+            validated = self.schema.validate_row(row)
+            rid = self.data_file.append_row(validated)
+            appended.append(rid)
+            self._rids.append(rid)
+            for index in self.indexes.values():
+                index.insert(rid, validated)
+        if appended:
+            self._stats_dirty = True
+        return appended
+
+    @property
+    def statistics_stale(self) -> bool:
+        """Whether rows were appended since statistics were last built."""
+        return getattr(self, "_stats_dirty", False)
+
+    def create_index(self, definition: IndexDef, file_id: FileId) -> BTreeIndex:
+        """Build a secondary index over the loaded rows."""
+        if not self._loaded:
+            raise StorageError(
+                f"table {self.name}: load rows before building index "
+                f"{definition.name}"
+            )
+        if definition.name in self.indexes:
+            raise CatalogError(
+                f"table {self.name}: index {definition.name} already exists"
+            )
+        if definition.table_name != self.name:
+            raise CatalogError(
+                f"index {definition.name} is declared on {definition.table_name}, "
+                f"not {self.name}"
+            )
+        index = BTreeIndex(definition, self.schema, file_id, self.buffer_pool)
+        index.build(self._iter_rows_with_rids())
+        self.indexes[definition.name] = index
+        return index
+
+    def build_table_statistics(self, num_buckets: int = 64) -> TableStatistics:
+        """Full-scan statistics: row/page counts and per-column histograms."""
+        if not self._loaded:
+            raise StorageError(f"table {self.name}: load rows before statistics")
+        rows = [row for _, _, row in _silent_scan(self.data_file)]
+        self.statistics = build_statistics(
+            table_name=self.name,
+            rows=rows,
+            column_names=list(self.schema.column_names),
+            page_count=self.num_pages,
+            num_buckets=num_buckets,
+        )
+        self._stats_dirty = False
+        return self.statistics
+
+    def _iter_rows_with_rids(self) -> Iterator[tuple[RID, tuple]]:
+        for page_id, slot, row in _silent_scan(self.data_file):
+            yield RID(page_id, slot), row
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def index(self, name: str) -> BTreeIndex:
+        try:
+            return self.indexes[name]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name} has no index {name!r}; "
+                f"available: {sorted(self.indexes)}"
+            ) from None
+
+    def indexes_on_column(self, column: str) -> list[BTreeIndex]:
+        """Indexes whose *leading* key column is ``column``."""
+        return [
+            idx
+            for idx in self.indexes.values()
+            if idx.definition.leading_column == column
+        ]
+
+    def fetch(self, rid: RID) -> tuple[PageId, tuple]:
+        """Random-access row fetch (the Fetch operator's storage call)."""
+        return self.data_file.fetch(rid)
+
+    def scan_rows(self) -> Iterator[tuple[PageId, int, tuple]]:
+        """Full sequential scan in grouped page order (charges I/O)."""
+        return self.data_file.scan_rows()
+
+    def clustered_file(self) -> ClusteredFile:
+        if not isinstance(self.data_file, ClusteredFile):
+            raise StorageError(f"table {self.name} is a heap, not clustered")
+        return self.data_file
+
+    def all_page_ids(self) -> list[PageId]:
+        """Every page id of the table (no I/O charge; used by oracles)."""
+        return [PageId(i) for i in range(self.data_file.num_pages)]
+
+    def rows_on_page(self, page_id: PageId) -> list[tuple]:
+        """Rows of one page without I/O accounting (oracle/test helper)."""
+        return list(self.data_file.page(page_id).rows())
+
+    def __repr__(self) -> str:
+        layout = self.data_file.layout_name
+        return (
+            f"Table({self.name}: {self.num_rows} rows, {self.num_pages} pages, "
+            f"{layout}, indexes={sorted(self.indexes)})"
+        )
+
+
+def _silent_scan(data_file: DataFile) -> Iterator[tuple[PageId, int, tuple]]:
+    """Scan without buffer-pool/clock accounting (load-time operations)."""
+    for page_index in range(data_file.num_pages):
+        page = data_file.page(PageId(page_index))
+        for slot, row in enumerate(page.rows()):
+            yield page.page_id, slot, row

@@ -1,0 +1,54 @@
+"""Workloads: synthetic + real-world-analogue datasets and query generators."""
+
+from repro.workloads.permutations import (
+    block_permutation,
+    identity_permutation,
+    noisy_permutation,
+    permutation_correlation,
+)
+from repro.workloads.queries import (
+    GeneratedQuery,
+    clustering_probe_predicates,
+    join_workload,
+    multi_predicate_query,
+    single_table_workload,
+)
+from repro.workloads.realworld import (
+    ColumnSpec,
+    DatasetSpec,
+    build_real_world_databases,
+    default_dataset_specs,
+    load_dataset,
+)
+from repro.workloads.tpch import TPCH_QUERY_COLUMNS, build_tpch_database
+from repro.workloads.synthetic import (
+    DEFAULT_COLUMN_NOISE,
+    add_synthetic_copy,
+    build_synthetic_database,
+    generate_synthetic_rows,
+    synthetic_schema,
+)
+
+__all__ = [
+    "ColumnSpec",
+    "DEFAULT_COLUMN_NOISE",
+    "DatasetSpec",
+    "TPCH_QUERY_COLUMNS",
+    "build_real_world_databases",
+    "build_tpch_database",
+    "clustering_probe_predicates",
+    "default_dataset_specs",
+    "load_dataset",
+    "GeneratedQuery",
+    "add_synthetic_copy",
+    "block_permutation",
+    "build_synthetic_database",
+    "generate_synthetic_rows",
+    "identity_permutation",
+    "join_workload",
+    "multi_predicate_query",
+    "noisy_permutation",
+    "permutation_correlation",
+    "single_table_workload",
+    "synthetic_schema",
+]

@@ -1,0 +1,245 @@
+"""Query workload generators for the paper's experiments.
+
+Each generated query carries the metadata the evaluation methodology
+needs: the predicate column, the target and *exact* selectivity, and the
+exact cardinalities to inject (the paper isolates page-count error by
+giving the optimizer accurate cardinalities, §V-B).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.catalog.catalog import Database
+from repro.common.errors import WorkloadError
+from repro.common.rng import make_random
+from repro.optimizer.injection import InjectionSet
+from repro.optimizer.optimizer import JoinQuery, SingleTableQuery
+from repro.sql.predicates import Comparison, Conjunction, JoinEquality
+
+
+@dataclass
+class GeneratedQuery:
+    """A query plus the ground truth the harness needs."""
+
+    query: SingleTableQuery | JoinQuery
+    column: str
+    selectivity: float
+    #: exact cardinalities per (table, expression) to inject
+    exact_cardinalities: list[tuple[str, Conjunction, float]] = field(
+        default_factory=list
+    )
+    label: str = ""
+
+    def injections(self, base: Optional[InjectionSet] = None) -> InjectionSet:
+        """An InjectionSet carrying this query's exact cardinalities."""
+        injections = base.copy() if base is not None else InjectionSet()
+        for table, expression, rows in self.exact_cardinalities:
+            injections.inject_cardinality(table, expression, rows)
+        return injections
+
+
+class _ColumnQuantiles:
+    """Exact quantile lookup over one column's values (for selectivity
+    targeting) plus exact range cardinalities."""
+
+    def __init__(self, database: Database, table: str, column: str) -> None:
+        tbl = database.table(table)
+        position = tbl.schema.position(column)
+        values = []
+        for page_id in tbl.all_page_ids():
+            for row in tbl.rows_on_page(page_id):
+                if row[position] is not None:
+                    values.append(row[position])
+        if not values:
+            raise WorkloadError(f"column {table}.{column} has no non-null values")
+        self.sorted_values = sorted(values)
+        self.total = len(values)
+
+    def value_at_selectivity(self, selectivity: float):
+        """A value ``v`` such that ``column < v`` matches ~selectivity."""
+        index = min(
+            self.total - 1, max(0, int(round(selectivity * self.total)))
+        )
+        return self.sorted_values[index]
+
+    def cardinality_below(self, value) -> int:
+        """Exact count of rows with ``column < value``."""
+        return bisect.bisect_left(self.sorted_values, value)
+
+
+def single_table_workload(
+    database: Database,
+    table: str,
+    columns: Sequence[str],
+    queries_per_column: int,
+    selectivity_range: tuple[float, float] = (0.01, 0.10),
+    count_column: str = "padding",
+    seed: int = 0,
+) -> list[GeneratedQuery]:
+    """The Fig. 6/7 workload: ``SELECT count(padding) FROM T WHERE Ci < val``
+    with selectivities drawn uniformly from ``selectivity_range``,
+    ``queries_per_column`` queries for each column (paper: 25 x 4 = 100).
+    """
+    low, high = selectivity_range
+    if not 0.0 < low <= high <= 1.0:
+        raise WorkloadError(f"bad selectivity range {selectivity_range}")
+    rng = make_random(seed, "single-table-workload", table)
+    workload = []
+    for column in columns:
+        quantiles = _ColumnQuantiles(database, table, column)
+        for query_index in range(queries_per_column):
+            target = rng.uniform(low, high)
+            value = quantiles.value_at_selectivity(target)
+            exact_rows = quantiles.cardinality_below(value)
+            predicate = Conjunction((Comparison(column, "<", value),))
+            query = SingleTableQuery(
+                table=table, predicate=predicate, count_column=count_column
+            )
+            workload.append(
+                GeneratedQuery(
+                    query=query,
+                    column=column,
+                    selectivity=exact_rows / quantiles.total,
+                    exact_cardinalities=[(table, predicate, float(exact_rows))],
+                    label=f"{column}#{query_index}",
+                )
+            )
+    return workload
+
+
+def join_workload(
+    database: Database,
+    outer_table: str,
+    inner_table: str,
+    join_columns: Sequence[str],
+    queries_per_column: int,
+    outer_range_column: str = "c1",
+    selectivity_range: tuple[float, float] = (0.005, 0.10),
+    count_column: Optional[str] = None,
+    seed: int = 0,
+) -> list[GeneratedQuery]:
+    """The Fig. 8 workload::
+
+        SELECT count(T.padding) FROM T, T1
+        WHERE T1.C1 < val AND T1.Ci = T.Ci
+
+    One query per (join column, selectivity draw); the paper uses 40
+    queries with outer selectivities chosen around the plan-choice
+    crossover.
+    """
+    count_column = count_column or f"{inner_table}.padding"
+    rng = make_random(seed, "join-workload", outer_table, inner_table)
+    quantiles = _ColumnQuantiles(database, outer_table, outer_range_column)
+    low, high = selectivity_range
+    workload = []
+    for column in join_columns:
+        for query_index in range(queries_per_column):
+            target = rng.uniform(low, high)
+            value = quantiles.value_at_selectivity(target)
+            exact_rows = quantiles.cardinality_below(value)
+            outer_predicate = Conjunction(
+                (Comparison(outer_range_column, "<", value),)
+            )
+            join_predicate = JoinEquality(
+                outer_table, column, inner_table, column
+            )
+            query = JoinQuery(
+                join_predicate=join_predicate,
+                predicates={outer_table: outer_predicate},
+                count_column=count_column,
+            )
+            workload.append(
+                GeneratedQuery(
+                    query=query,
+                    column=column,
+                    selectivity=exact_rows / quantiles.total,
+                    exact_cardinalities=[
+                        (outer_table, outer_predicate, float(exact_rows))
+                    ],
+                    label=f"join-{column}#{query_index}",
+                )
+            )
+    return workload
+
+
+def clustering_probe_predicates(
+    database: Database,
+    table: str,
+    column: str,
+    num_probes: int,
+    max_selectivity: float = 0.10,
+    seed: int = 0,
+) -> list[Conjunction]:
+    """Predicates for Clustering Ratio measurement (Fig. 10).
+
+    Fig. 10 uses queries "whose selectivity is less than 10%".  Columns
+    with few distinct values (categoricals) get equality probes; dense
+    columns get range probes at random selectivities in (0.5%, max].
+    """
+    rng = make_random(seed, "clustering-probes", table, column)
+    quantiles = _ColumnQuantiles(database, table, column)
+    distinct = len(set(quantiles.sorted_values))
+    predicates: list[Conjunction] = []
+    if distinct <= 200:
+        values = sorted(set(quantiles.sorted_values), key=repr)
+        rng.shuffle(values)
+        for value in values:
+            count = (
+                bisect.bisect_right(quantiles.sorted_values, value)
+                - bisect.bisect_left(quantiles.sorted_values, value)
+            )
+            if 0 < count <= max_selectivity * quantiles.total:
+                predicates.append(Conjunction((Comparison(column, "=", value),)))
+            if len(predicates) >= num_probes:
+                break
+    else:
+        for _ in range(num_probes):
+            target = rng.uniform(0.005, max_selectivity)
+            value = quantiles.value_at_selectivity(target)
+            predicates.append(Conjunction((Comparison(column, "<", value),)))
+    return predicates
+
+
+def multi_predicate_query(
+    database: Database,
+    table: str,
+    columns: Sequence[str],
+    per_term_selectivity: float = 0.5,
+    count_column: str = "padding",
+    seed: int = 0,
+) -> GeneratedQuery:
+    """One conjunctive query with ``len(columns)`` predicates (Fig. 9).
+
+    Each term is a range predicate with the given selectivity; terms are
+    ordered as supplied, which is also the evaluation (short-circuit)
+    order.
+    """
+    if not columns:
+        raise WorkloadError("multi_predicate_query needs at least one column")
+    rng = make_random(seed, "multi-predicate", table)
+    terms = []
+    exact = []
+    for column in columns:
+        quantiles = _ColumnQuantiles(database, table, column)
+        jitter = rng.uniform(0.9, 1.1)
+        value = quantiles.value_at_selectivity(
+            min(0.99, per_term_selectivity * jitter)
+        )
+        term = Comparison(column, "<", value)
+        terms.append(term)
+        exact_rows = quantiles.cardinality_below(value)
+        exact.append((table, Conjunction((term,)), float(exact_rows)))
+    predicate = Conjunction(tuple(terms))
+    query = SingleTableQuery(
+        table=table, predicate=predicate, count_column=count_column
+    )
+    return GeneratedQuery(
+        query=query,
+        column="+".join(columns),
+        selectivity=per_term_selectivity ** len(columns),
+        exact_cardinalities=exact,
+        label=f"{len(columns)}-predicates",
+    )

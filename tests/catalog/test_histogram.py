@@ -1,0 +1,132 @@
+"""Tests for equi-depth histograms and their estimates."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog.histogram import Bucket, EquiDepthHistogram
+from repro.common.errors import EstimationError
+from repro.sql.predicates import Between, Comparison, InList
+
+
+def exact_count(values, predicate) -> int:
+    return sum(1 for v in values if v is not None and predicate.matches(v))
+
+
+class TestConstruction:
+    def test_counts_preserved(self):
+        values = list(range(1000))
+        histogram = EquiDepthHistogram.build("c", values, num_buckets=16)
+        assert histogram.total_rows == 1000
+        assert sum(b.row_count for b in histogram.buckets) == 1000
+
+    def test_null_counted_separately(self):
+        histogram = EquiDepthHistogram.build("c", [1, 2, None, None], num_buckets=2)
+        assert histogram.null_count == 2
+        assert histogram.total_rows == 4
+
+    def test_equal_values_never_straddle_buckets(self):
+        values = [5] * 100 + list(range(100))
+        histogram = EquiDepthHistogram.build("c", values, num_buckets=8)
+        highs = [b.high for b in histogram.buckets]
+        lows = [b.low for b in histogram.buckets]
+        for high, next_low in zip(highs, lows[1:]):
+            assert high < next_low or high != next_low
+
+    def test_empty_column(self):
+        histogram = EquiDepthHistogram.build("c", [None, None])
+        assert histogram.estimate_predicate(Comparison("c", "<", 1)) == 0.0
+
+    def test_bad_bucket_count(self):
+        with pytest.raises(EstimationError):
+            EquiDepthHistogram.build("c", [1], num_buckets=0)
+
+    def test_bucket_validation(self):
+        with pytest.raises(EstimationError):
+            Bucket(0, 1, row_count=1, distinct_count=2)
+        with pytest.raises(EstimationError):
+            Bucket(0, 1, row_count=-1, distinct_count=0)
+
+
+class TestEstimates:
+    @pytest.fixture(scope="class")
+    def uniform(self):
+        return EquiDepthHistogram.build("c", list(range(10_000)), num_buckets=64)
+
+    def test_equality_on_unique_column(self, uniform):
+        estimate = uniform.estimate_predicate(Comparison("c", "=", 5_000))
+        assert estimate == pytest.approx(1.0, abs=0.5)
+
+    def test_range_estimate_close(self, uniform):
+        estimate = uniform.estimate_predicate(Comparison("c", "<", 2_500))
+        assert estimate == pytest.approx(2_500, rel=0.05)
+
+    def test_ge_complements_lt(self, uniform):
+        lt = uniform.estimate_predicate(Comparison("c", "<", 3_000))
+        ge = uniform.estimate_predicate(Comparison("c", ">=", 3_000))
+        assert lt + ge == pytest.approx(10_000, rel=0.01)
+
+    def test_between(self, uniform):
+        estimate = uniform.estimate_predicate(Between("c", 1_000, 1_999))
+        assert estimate == pytest.approx(1_000, rel=0.1)
+
+    def test_in_list(self, uniform):
+        estimate = uniform.estimate_predicate(InList("c", [1, 2, 3]))
+        assert estimate == pytest.approx(3.0, abs=1.5)
+
+    def test_not_equals(self, uniform):
+        estimate = uniform.estimate_predicate(Comparison("c", "!=", 1))
+        assert estimate == pytest.approx(9_999, rel=0.01)
+
+    def test_out_of_domain_equality_is_zero(self, uniform):
+        assert uniform.estimate_predicate(Comparison("c", "=", -5)) == 0.0
+        assert uniform.estimate_predicate(Comparison("c", "=", 999_999)) == 0.0
+
+    def test_selectivity_bounded(self, uniform):
+        assert 0.0 <= uniform.estimate_selectivity(Comparison("c", "<", 99_999)) <= 1.0
+
+    def test_wrong_column_rejected(self, uniform):
+        with pytest.raises(EstimationError):
+            uniform.estimate_predicate(Comparison("other", "<", 1))
+
+    def test_skewed_equality_uses_distinct(self):
+        values = [1] * 900 + list(range(2, 102))
+        histogram = EquiDepthHistogram.build("c", values, num_buckets=10)
+        heavy = histogram.estimate_predicate(Comparison("c", "=", 1))
+        assert heavy > 100  # the heavy value dominates its bucket
+
+    def test_distinct_estimate(self):
+        histogram = EquiDepthHistogram.build("c", [1, 1, 2, 3, 3, 3], num_buckets=2)
+        assert histogram.estimate_distinct() == 3
+
+    def test_dates_interpolate(self):
+        base = datetime.date(2007, 1, 1)
+        values = [base + datetime.timedelta(days=i) for i in range(365)]
+        histogram = EquiDepthHistogram.build("d", values, num_buckets=12)
+        mid = base + datetime.timedelta(days=182)
+        estimate = histogram.estimate_predicate(Comparison("d", "<", mid))
+        assert estimate == pytest.approx(182, rel=0.1)
+
+    def test_strings_supported_via_half_bucket(self):
+        values = [f"k{i:04d}" for i in range(1000)]
+        histogram = EquiDepthHistogram.build("s", values, num_buckets=8)
+        estimate = histogram.estimate_predicate(Comparison("s", "<", "k0500"))
+        assert 300 < estimate < 700  # half-bucket heuristic: coarse but sane
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(-50, 50), min_size=1, max_size=300),
+    cut=st.integers(-60, 60),
+    buckets=st.integers(1, 16),
+)
+def test_range_estimates_track_truth(values, cut, buckets):
+    """Range estimates stay within a few buckets' worth of the true count."""
+    histogram = EquiDepthHistogram.build("c", values, num_buckets=buckets)
+    predicate = Comparison("c", "<", cut)
+    estimate = histogram.estimate_predicate(predicate)
+    truth = exact_count(values, predicate)
+    largest_bucket = max((b.row_count for b in histogram.buckets), default=0)
+    assert abs(estimate - truth) <= 2 * largest_bucket + 1
+    assert 0.0 <= estimate <= len(values)

@@ -1,0 +1,99 @@
+"""Tests for table schemas and index definitions."""
+
+import pytest
+
+from repro.catalog.schema import ColumnDef, IndexDef, TableSchema
+from repro.common.errors import SchemaError
+from repro.sql.types import SqlType
+
+
+def schema() -> TableSchema:
+    return TableSchema(
+        "sales",
+        [
+            ColumnDef("id", SqlType.INT),
+            ColumnDef("shipdate", SqlType.DATE),
+            ColumnDef("state", SqlType.STR),
+        ],
+    )
+
+
+class TestColumnDef:
+    def test_default_widths(self):
+        assert ColumnDef("a", SqlType.INT).width_bytes == 8
+        assert ColumnDef("a", SqlType.DATE).width_bytes == 4
+        assert ColumnDef("a", SqlType.STR).width_bytes == 32
+
+    def test_explicit_width(self):
+        assert ColumnDef("a", SqlType.STR, width_bytes=100).width_bytes == 100
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnDef("a", SqlType.INT, width_bytes=-1)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnDef("2bad", SqlType.INT)
+
+
+class TestTableSchema:
+    def test_positions(self):
+        s = schema()
+        assert s.position("id") == 0
+        assert s.position("state") == 2
+        assert s.column_names == ("id", "shipdate", "state")
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError):
+            schema().position("zip")
+        assert not schema().has_column("zip")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [ColumnDef("a", SqlType.INT)] * 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_bad_table_name(self):
+        with pytest.raises(SchemaError):
+            TableSchema("bad name", [ColumnDef("a", SqlType.INT)])
+
+    def test_row_width_sums_columns(self):
+        assert schema().row_width_bytes == 8 + 4 + 32
+
+    def test_validate_row(self):
+        import datetime
+
+        row = schema().validate_row([1, datetime.date(2007, 6, 1), "CA"])
+        assert row == (1, datetime.date(2007, 6, 1), "CA")
+
+    def test_validate_row_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            schema().validate_row([1, None])
+
+    def test_validate_row_wrong_type(self):
+        with pytest.raises(SchemaError):
+            schema().validate_row([1, "not-a-date", "CA"])
+
+
+class TestIndexDef:
+    def test_leading_column(self):
+        idx = IndexDef("ix", "sales", ("shipdate", "state"))
+        assert idx.leading_column == "shipdate"
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(SchemaError):
+            IndexDef("ix", "sales", ())
+
+    def test_key_included_overlap_rejected(self):
+        with pytest.raises(SchemaError):
+            IndexDef("ix", "sales", ("a",), included_columns=("a",))
+
+    def test_carried_and_covers(self):
+        idx = IndexDef("ix", "sales", ("shipdate",), included_columns=("state",))
+        assert idx.carried_columns() == ("shipdate", "state")
+        assert idx.covers(["state"])
+        assert idx.covers(["shipdate", "state"])
+        assert not idx.covers(["id"])

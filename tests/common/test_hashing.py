@@ -1,0 +1,76 @@
+"""Tests for the deterministic hashing primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.hashing import hash_to_bucket, hash_value, mix64
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_seed_changes_output(self):
+        assert mix64(12345, seed=1) != mix64(12345, seed=2)
+
+    def test_zero_input_not_zero_output(self):
+        # The identity would be catastrophic for dense small page ids.
+        assert mix64(0) != 0
+
+    def test_consecutive_inputs_scatter(self):
+        # Consecutive page ids must not land in consecutive buckets.
+        outputs = [mix64(i) % 1024 for i in range(100)]
+        diffs = {b - a for a, b in zip(outputs, outputs[1:])}
+        assert len(diffs) > 50
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_stays_in_64_bits(self, value):
+        assert 0 <= mix64(value) < 2**64
+
+    @given(st.integers(), st.integers())
+    def test_any_int_accepted(self, value, seed):
+        assert 0 <= mix64(value, seed) < 2**64
+
+
+class TestHashToBucket:
+    def test_range(self):
+        for value in range(1000):
+            assert 0 <= hash_to_bucket(value, 37) < 37
+
+    def test_rejects_nonpositive_buckets(self):
+        with pytest.raises(ValueError):
+            hash_to_bucket(1, 0)
+        with pytest.raises(ValueError):
+            hash_to_bucket(1, -5)
+
+    def test_roughly_uniform(self):
+        buckets = [0] * 16
+        for value in range(16_000):
+            buckets[hash_to_bucket(value, 16)] += 1
+        # Each bucket expects 1000; allow generous slack.
+        assert min(buckets) > 800
+        assert max(buckets) < 1200
+
+    def test_independent_seeds_differ(self):
+        same = sum(
+            hash_to_bucket(v, 64, seed=0) == hash_to_bucket(v, 64, seed=1)
+            for v in range(1000)
+        )
+        # ~1/64 collisions expected by chance.
+        assert same < 60
+
+
+class TestHashValue:
+    def test_int_deterministic_across_calls(self):
+        assert hash_value(42) == hash_value(42)
+
+    def test_bool_distinct_handling(self):
+        assert hash_value(True) == hash_value(1)  # documented int-parity
+
+    def test_strings_supported(self):
+        assert isinstance(hash_value("CA"), int)
+
+    def test_dates_supported(self):
+        import datetime
+
+        assert isinstance(hash_value(datetime.date(2007, 6, 1)), int)

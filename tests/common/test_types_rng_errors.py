@@ -1,0 +1,81 @@
+"""Tests for RID/PageId types, seed derivation and the error hierarchy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import errors
+from repro.common.rng import derive_seed, make_numpy_rng, make_random
+from repro.common.types import INVALID_PAGE_ID, RID, PageId
+
+
+class TestRID:
+    def test_fields(self):
+        rid = RID(PageId(3), 7)
+        assert rid.page_id == 3
+        assert rid.slot == 7
+
+    def test_rejects_negative_page(self):
+        with pytest.raises(ValueError):
+            RID(PageId(-1), 0)
+
+    def test_rejects_negative_slot(self):
+        with pytest.raises(ValueError):
+            RID(PageId(0), -2)
+
+    def test_hashable_and_equal(self):
+        assert RID(PageId(1), 2) == RID(PageId(1), 2)
+        assert len({RID(PageId(1), 2), RID(PageId(1), 2)}) == 1
+
+    def test_ordering_key_usable(self):
+        rids = [RID(PageId(2), 0), RID(PageId(1), 5), RID(PageId(1), 1)]
+        ordered = sorted(rids, key=lambda r: (r.page_id, r.slot))
+        assert ordered[0] == RID(PageId(1), 1)
+
+    def test_repr_compact(self):
+        assert repr(RID(PageId(4), 9)) == "RID(4:9)"
+
+    def test_invalid_page_id_sentinel(self):
+        assert INVALID_PAGE_ID == -1
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(7, "a", "b") == derive_seed(7, "a", "b")
+
+    def test_path_sensitive(self):
+        assert derive_seed(7, "a", "b") != derive_seed(7, "b", "a")
+
+    def test_root_sensitive(self):
+        assert derive_seed(7, "x") != derive_seed(8, "x")
+
+    @given(st.integers(min_value=0, max_value=2**32), st.text(max_size=20))
+    def test_in_31_bit_range(self, root, name):
+        assert 0 <= derive_seed(root, name) < 2**31
+
+    def test_make_random_streams_independent(self):
+        a = [make_random(1, "x").random() for _ in range(5)]
+        b = [make_random(1, "y").random() for _ in range(5)]
+        assert a != b
+
+    def test_make_numpy_rng_reproducible(self):
+        first = make_numpy_rng(3, "z").integers(0, 1000, 10).tolist()
+        second = make_numpy_rng(3, "z").integers(0, 1000, 10).tolist()
+        assert first == second
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    def test_specificity(self):
+        assert issubclass(errors.PageError, errors.StorageError)
+        assert issubclass(errors.BufferPoolError, errors.StorageError)
+        assert issubclass(errors.SchemaError, errors.CatalogError)
+        assert issubclass(errors.EstimationError, errors.OptimizerError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.MonitorError("boom")

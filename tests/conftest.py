@@ -1,0 +1,67 @@
+"""Shared fixtures: small, session-scoped databases.
+
+The databases are read-only in every test, so session scope is safe and
+keeps the suite fast; tests that need to mutate state build their own.
+``Database.reset_measurements`` is called per-test via the autouse
+fixture so clock/buffer state never leaks between tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import ColumnDef, Database, IndexDef, TableSchema
+from repro.sql.types import SqlType
+from repro.workloads import build_synthetic_database
+
+
+@pytest.fixture(scope="session")
+def synthetic_db() -> Database:
+    """20k-row synthetic database (t clustered on c1, ix_c2..ix_c5)."""
+    return build_synthetic_database(num_rows=20_000, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def join_db() -> Database:
+    """Synthetic database with the independently-permuted copy t1."""
+    return build_synthetic_database(num_rows=20_000, seed=99, with_copy=True)
+
+
+@pytest.fixture(autouse=True)
+def _reset_measurements(request):
+    """Cold cache + zeroed clocks on the shared databases before each test."""
+    yield
+    for name in ("synthetic_db", "join_db"):
+        if name in request.fixturenames:
+            request.getfixturevalue(name).reset_measurements()
+
+
+def make_tiny_table(
+    num_rows: int = 500,
+    clustered: bool = True,
+    seed: int = 0,
+    rows_per_page_width: int = 100,
+):
+    """A small two-column table helper for storage/exec tests.
+
+    Returns ``(database, table, rows)`` where rows are
+    ``(k, v, pad)`` with ``k`` the clustering key and ``v = (k * 37) %
+    num_rows`` (a fixed permutation, so expected counts are computable).
+    """
+    database = Database(f"tiny{seed}", buffer_pool_pages=10_000)
+    schema = TableSchema(
+        "tiny",
+        [
+            ColumnDef("k", SqlType.INT),
+            ColumnDef("v", SqlType.INT),
+            ColumnDef("pad", SqlType.STR, width_bytes=rows_per_page_width),
+        ],
+    )
+    rows = [(i, (i * 37) % num_rows, "x") for i in range(num_rows)]
+    table = database.load_table(
+        schema,
+        rows,
+        clustered_on=["k"] if clustered else None,
+        indexes=[IndexDef("ix_v", "tiny", ("v",))],
+    )
+    return database, table, rows

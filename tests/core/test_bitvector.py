@@ -1,0 +1,115 @@
+"""Tests for bit-vector filters (paper Fig. 5 / §IV)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import MonitorError
+from repro.core.bitvector import (
+    BitVectorFilter,
+    PartialBitVectorFilter,
+    recommended_bitvector_bits,
+)
+
+
+class TestExactness:
+    def test_no_false_negatives_ever(self):
+        bitvector = BitVectorFilter(64)
+        for value in range(0, 200, 3):
+            bitvector.insert(value)
+        for value in range(0, 200, 3):
+            assert bitvector.may_contain(value)
+
+    def test_no_false_positives_with_domain_sized_vector(self):
+        """§IV: bits >= distinct values of a dense int domain -> exact."""
+        domain = 1000
+        bitvector = BitVectorFilter(domain)
+        inserted = set(range(0, domain, 7))
+        for value in inserted:
+            bitvector.insert(value)
+        for value in range(domain):
+            assert bitvector.may_contain(value) == (value in inserted)
+
+    def test_undersized_vector_only_overestimates(self):
+        """Collisions produce false positives, never false negatives —
+        page counts can only be OVER-estimated (§IV)."""
+        bitvector = BitVectorFilter(100)  # half the domain
+        inserted = set(range(0, 50))
+        for value in inserted:
+            bitvector.insert(value)
+        false_positives = [
+            v for v in range(200) if v not in inserted and bitvector.may_contain(v)
+        ]
+        # Identity-mod aliasing: exactly the values v with v % 100 in [0, 50).
+        assert false_positives == [v for v in range(100, 150)]
+
+    def test_integer_identity_mod_placement(self):
+        bitvector = BitVectorFilter(128)
+        bitvector.insert(5)
+        assert bitvector.may_contain(5 + 128)  # structured alias
+        assert not bitvector.may_contain(6)
+
+
+class TestAccounting:
+    def test_counters(self):
+        bitvector = BitVectorFilter(64)
+        bitvector.insert_all([1, 2, 2])
+        bitvector.may_contain(1)
+        bitvector.may_contain(3)
+        assert bitvector.inserts == 3
+        assert bitvector.probes == 2
+        assert bitvector.bits_set == 2
+        assert bitvector.fill_ratio == pytest.approx(2 / 64)
+
+    def test_size_validation(self):
+        with pytest.raises(MonitorError):
+            BitVectorFilter(0)
+
+    def test_non_integer_values_supported(self):
+        bitvector = BitVectorFilter(1024)
+        bitvector.insert("CA")
+        assert bitvector.may_contain("CA")
+        import datetime
+
+        bitvector.insert(datetime.date(2007, 6, 1))
+        assert bitvector.may_contain(datetime.date(2007, 6, 1))
+
+
+class TestPartial:
+    def test_tracks_high_key(self):
+        partial = PartialBitVectorFilter(64)
+        partial.insert(3)
+        partial.insert(9)
+        partial.insert(5)
+        assert partial.high_key == 9
+
+    def test_probe_before_fill_is_negative(self):
+        partial = PartialBitVectorFilter(64)
+        assert not partial.may_contain(5)
+        partial.insert(5)
+        assert partial.may_contain(5)
+
+
+class TestRecommendedBits:
+    def test_headroom(self):
+        assert recommended_bitvector_bits(1000, headroom=1.25) == 1250
+
+    def test_floor_and_validation(self):
+        assert recommended_bitvector_bits(0) == 64
+        with pytest.raises(MonitorError):
+            recommended_bitvector_bits(-1)
+        with pytest.raises(MonitorError):
+            recommended_bitvector_bits(10, headroom=0.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    inserted=st.sets(st.integers(0, 500), max_size=80),
+    probes=st.lists(st.integers(0, 500), max_size=80),
+    bits=st.integers(501, 2000),
+)
+def test_domain_sized_filter_is_exact_semijoin(inserted, probes, bits):
+    bitvector = BitVectorFilter(bits)
+    for value in inserted:
+        bitvector.insert(value)
+    for probe in probes:
+        assert bitvector.may_contain(probe) == (probe in inserted)

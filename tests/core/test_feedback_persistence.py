@@ -1,0 +1,121 @@
+"""Tests for feedback-store persistence and the CLI entry points."""
+
+import pytest
+
+from repro.common.errors import FeedbackError
+from repro.core.feedback import FeedbackStore
+from repro.core.requests import (
+    AccessPathRequest,
+    Mechanism,
+    PageCountObservation,
+)
+from repro.sql import Comparison, conjunction_of
+
+
+def observation(column, estimate, exact=True):
+    return PageCountObservation(
+        request=AccessPathRequest("t", conjunction_of(Comparison(column, "<", 9))),
+        mechanism=Mechanism.EXACT_SCAN_COUNT if exact else Mechanism.DPSAMPLE,
+        estimate=estimate,
+        exact=exact,
+    )
+
+
+class TestPersistence:
+    def make_store(self):
+        store = FeedbackStore()
+        store.record_observations(
+            [observation("a", 12.0), observation("b", 7.5, exact=False)]
+        )
+        store.record_cardinality("CARD(t, a < 9)", 500.0)
+        return store
+
+    def test_json_roundtrip(self):
+        store = self.make_store()
+        clone = FeedbackStore.from_json(store.to_json())
+        assert clone.keys() == store.keys()
+        for key in store.keys():
+            original, copied = store.record(key), clone.record(key)
+            assert copied.page_count == original.page_count
+            assert copied.page_count_exact == original.page_count_exact
+            assert copied.cardinality == original.cardinality
+
+    def test_file_roundtrip(self, tmp_path):
+        store = self.make_store()
+        path = tmp_path / "feedback.json"
+        store.save(path)
+        loaded = FeedbackStore.load(path)
+        assert loaded.keys() == store.keys()
+
+    def test_roundtrip_preserves_injections(self):
+        store = self.make_store()
+        clone = FeedbackStore.from_json(store.to_json())
+        key = observation("a", 0).key
+        assert (
+            clone.to_injections()._page_counts[key]
+            == store.to_injections()._page_counts[key]
+        )
+
+    def test_recency_survives_roundtrip(self):
+        store = self.make_store()
+        clone = FeedbackStore.from_json(store.to_json())
+        # New feedback recorded after loading still beats the old record.
+        clone.record_observations([observation("a", 99.0)])
+        assert clone.record(observation("a", 0).key).page_count == 99.0
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(FeedbackError):
+            FeedbackStore.from_json("not json at all")
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(FeedbackError):
+            FeedbackStore.from_json('{"version": 99}')
+
+
+class TestCli:
+    def test_inventory_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["inventory", "--scale", "0.05"]) == 0
+        output = capsys.readouterr().out
+        assert "TABLE I" in output and "synthetic" in output
+
+    def test_explain_command(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            [
+                "explain",
+                "SELECT count(padding) FROM t WHERE c2 < 300",
+                "--rows",
+                "5000",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SeqScan" in output and "IndexSeek" in output
+
+    def test_figures_unknown_name(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["figures", "fig99"]) == 2
+
+    def test_diagnose_command_with_feedback(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        path = tmp_path / "fb.json"
+        code = main(
+            [
+                "diagnose",
+                "SELECT count(padding) FROM t WHERE c2 < 300",
+                "--rows",
+                "8000",
+                "--feedback",
+                str(path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "distinct page counts" in output
+        assert path.exists()
+        assert len(FeedbackStore.load(path)) >= 1

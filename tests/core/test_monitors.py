@@ -1,0 +1,204 @@
+"""Tests for the scan/fetch monitor bundles (protocol + counting)."""
+
+import pytest
+
+from repro.common.errors import MonitorError
+from repro.common.types import PageId
+from repro.core.bitvector import BitVectorFilter
+from repro.core.dpsample import BernoulliPageSampler
+from repro.core.monitors import FetchMonitorBundle, ScanMonitorBundle
+from repro.core.requests import AccessPathRequest, Mechanism
+from repro.sql import Comparison, conjunction_of
+from repro.sql.evaluator import TermOutcome
+from repro.storage.disk import SimulatedClock
+
+
+def outcome(*truth) -> TermOutcome:
+    evaluated = sum(1 for t in truth if t is not None)
+    passed = all(t is True for t in truth if t is not None) and False not in truth
+    return TermOutcome(passed=passed, truth=tuple(truth), evaluations=evaluated)
+
+
+def request(expr="a < 1"):
+    return AccessPathRequest("t", conjunction_of(Comparison("a", "<", 1)))
+
+
+class TestScanBundleProtocol:
+    def make(self, sampler=None):
+        return ScanMonitorBundle("t", query_term_count=1, clock=SimulatedClock(), sampler=sampler)
+
+    def test_double_start_page_rejected(self):
+        bundle = self.make()
+        bundle.add_expression_request(request(), (0,), exact=True)
+        bundle.start_page(PageId(0))
+        with pytest.raises(MonitorError):
+            bundle.start_page(PageId(1))
+
+    def test_observe_outside_page_rejected(self):
+        bundle = self.make()
+        with pytest.raises(MonitorError):
+            bundle.observe_row(outcome(True), (1,))
+
+    def test_end_outside_page_rejected(self):
+        bundle = self.make()
+        with pytest.raises(MonitorError):
+            bundle.end_page()
+
+    def test_sampler_required_for_nonprefix(self):
+        bundle = self.make(sampler=None)
+        bundle.add_expression_request(request(), (0,), exact=False)
+        with pytest.raises(MonitorError):
+            bundle.start_page(PageId(0))
+
+
+class TestExactCounting:
+    def test_counts_pages_with_any_satisfying_row(self):
+        bundle = ScanMonitorBundle("t", 1, SimulatedClock())
+        bundle.add_expression_request(request(), (0,), exact=True)
+        # Page 0: one satisfying row among several.
+        bundle.start_page(PageId(0))
+        bundle.observe_row(outcome(False), (9,))
+        bundle.observe_row(outcome(True), (0,))
+        bundle.observe_row(outcome(False), (9,))
+        bundle.end_page()
+        # Page 1: no satisfying rows.
+        bundle.start_page(PageId(1))
+        bundle.observe_row(outcome(False), (9,))
+        bundle.end_page()
+        (observation,) = bundle.finish()
+        assert observation.mechanism is Mechanism.EXACT_SCAN_COUNT
+        assert observation.exact
+        assert observation.estimate == 1.0
+
+    def test_multiple_requests_independent(self):
+        clock = SimulatedClock()
+        bundle = ScanMonitorBundle("t", 2, clock)
+        first = AccessPathRequest("t", conjunction_of(Comparison("a", "<", 1)))
+        second = AccessPathRequest("t", conjunction_of(Comparison("b", "<", 1)))
+        bundle.add_expression_request(first, (0,), exact=True)
+        bundle.add_expression_request(second, (1,), exact=True)
+        bundle.start_page(PageId(0))
+        bundle.observe_row(outcome(True, False), ())
+        bundle.end_page()
+        observations = {o.key: o.estimate for o in bundle.finish()}
+        assert observations[first.key()] == 1.0
+        assert observations[second.key()] == 0.0
+
+    def test_monitor_check_charged_per_row(self):
+        clock = SimulatedClock()
+        bundle = ScanMonitorBundle("t", 1, clock)
+        bundle.add_expression_request(request(), (0,), exact=True)
+        bundle.start_page(PageId(0))
+        for _ in range(10):
+            bundle.observe_row(outcome(True), ())
+        bundle.end_page()
+        assert clock.cpu_ms == pytest.approx(10 * clock.params.cpu_monitor_check_ms)
+
+
+class TestSampledCounting:
+    def test_estimate_scales_by_fraction(self):
+        sampler = BernoulliPageSampler(1.0)  # sample everything: exact path
+        bundle = ScanMonitorBundle("t", 0, SimulatedClock(), sampler=sampler)
+        bundle.add_expression_request(request(), (0,), exact=False)
+        for page in range(4):
+            bundle.start_page(PageId(page))
+            bundle.observe_row(outcome(page % 2 == 0), ())
+            bundle.end_page()
+        (observation,) = bundle.finish()
+        assert observation.mechanism is Mechanism.DPSAMPLE
+        assert observation.estimate == 2.0
+        assert observation.exact  # fraction 1.0
+
+    def test_needs_full_evaluation_only_on_sampled_pages(self):
+        sampler = BernoulliPageSampler(0.5, seed=3)
+        bundle = ScanMonitorBundle("t", 0, SimulatedClock(), sampler=sampler)
+        bundle.add_expression_request(request(), (0,), exact=False)
+        flags = []
+        for page in range(100):
+            bundle.start_page(PageId(page))
+            flags.append(bundle.needs_full_evaluation())
+            bundle.end_page()
+        assert 20 < sum(flags) < 80  # only sampled pages
+
+
+class TestBitVectorEntries:
+    def test_semijoin_page_counting(self):
+        clock = SimulatedClock()
+        sampler = BernoulliPageSampler(1.0)
+        bundle = ScanMonitorBundle("t", 0, clock, sampler=sampler)
+        bitvector = BitVectorFilter(100)
+        bitvector.insert(5)
+        req = request()
+        bundle.add_bitvector_request(req, column_position=0, filter=bitvector)
+        # Page 0 contains a row with join value 5 -> counted.
+        bundle.start_page(PageId(0))
+        bundle.observe_row(outcome(), (5,))
+        bundle.end_page()
+        # Page 1 contains no matching join value.
+        bundle.start_page(PageId(1))
+        bundle.observe_row(outcome(), (6,))
+        bundle.end_page()
+        (observation,) = bundle.finish()
+        assert observation.mechanism is Mechanism.BITVECTOR_DPSAMPLE
+        assert observation.estimate == 1.0
+
+    def test_null_join_values_skipped(self):
+        sampler = BernoulliPageSampler(1.0)
+        bundle = ScanMonitorBundle("t", 0, SimulatedClock(), sampler=sampler)
+        bitvector = BitVectorFilter(100)
+        bitvector.insert(0)
+        bundle.add_bitvector_request(request(), 0, bitvector)
+        bundle.start_page(PageId(0))
+        bundle.observe_row(outcome(), (None,))
+        bundle.end_page()
+        (observation,) = bundle.finish()
+        assert observation.estimate == 0.0
+
+    def test_probe_stops_after_page_satisfied(self):
+        sampler = BernoulliPageSampler(1.0)
+        bundle = ScanMonitorBundle("t", 0, SimulatedClock(), sampler=sampler)
+        bitvector = BitVectorFilter(100)
+        bitvector.insert(1)
+        bundle.add_bitvector_request(request(), 0, bitvector)
+        bundle.start_page(PageId(0))
+        for _ in range(10):
+            bundle.observe_row(outcome(), (1,))
+        bundle.end_page()
+        assert bitvector.probes == 1  # first row satisfied the page
+
+
+class TestFetchBundle:
+    def test_counts_distinct_fetch_pages(self):
+        clock = SimulatedClock()
+        bundle = FetchMonitorBundle("t", clock)
+        req = request()
+        bundle.add_request(req, (), num_bits=512)
+        for page in [0, 1, 0, 2, 1, 0]:
+            bundle.observe_fetch(PageId(page), None)
+        (observation,) = bundle.finish()
+        assert observation.mechanism is Mechanism.LINEAR_COUNTING
+        assert observation.estimate == pytest.approx(3.0, abs=1.0)
+        assert observation.details["observations"] == 6
+
+    def test_residual_terms_gate_observation(self):
+        bundle = FetchMonitorBundle("t", SimulatedClock())
+        bundle.add_request(request(), (0,), num_bits=512)
+        bundle.observe_fetch(PageId(0), outcome(True))
+        bundle.observe_fetch(PageId(1), outcome(False))
+        bundle.observe_fetch(PageId(2), outcome(None))  # skipped term: no count
+        (observation,) = bundle.finish()
+        assert observation.estimate == pytest.approx(1.0, abs=0.6)
+
+    def test_hash_charged_per_counted_fetch(self):
+        clock = SimulatedClock()
+        bundle = FetchMonitorBundle("t", clock)
+        bundle.add_request(request(), (), num_bits=512)
+        for page in range(5):
+            bundle.observe_fetch(PageId(page), None)
+        assert clock.cpu_ms == pytest.approx(5 * clock.params.cpu_hash_ms)
+
+    def test_has_requests(self):
+        bundle = FetchMonitorBundle("t", SimulatedClock())
+        assert not bundle.has_requests
+        bundle.add_request(request(), (), num_bits=64)
+        assert bundle.has_requests

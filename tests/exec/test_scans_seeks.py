@@ -1,0 +1,217 @@
+"""Tests for scan and seek operators: result correctness and accounting."""
+
+import pytest
+
+from repro.exec import (
+    ClusteredRangeScan,
+    CountAggregate,
+    CoveringIndexScan,
+    IndexIntersectionFetch,
+    IndexSeekFetch,
+    SeekSpec,
+    SeqScan,
+    execute,
+)
+from repro.catalog import IndexDef
+from repro.sql import Comparison, Conjunction, conjunction_of
+
+from tests.conftest import make_tiny_table
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return make_tiny_table(num_rows=1000, seed=5)
+
+
+def brute_force(rows, predicate: Conjunction) -> list[tuple]:
+    from repro.sql.evaluator import BoundConjunction
+
+    bound = BoundConjunction(predicate, ("k", "v", "pad"))
+    return [row for row in rows if bound.passes(row)]
+
+
+class TestSeqScan:
+    def test_results_match_bruteforce(self, tiny):
+        database, table, rows = tiny
+        predicate = conjunction_of(Comparison("v", "<", 200))
+        scan = SeqScan(table, predicate)
+        result = execute(scan, database)
+        assert sorted(result.rows) == sorted(brute_force(rows, predicate))
+
+    def test_empty_predicate_returns_all(self, tiny):
+        database, table, rows = tiny
+        result = execute(SeqScan(table, Conjunction()), database)
+        assert len(result.rows) == len(rows)
+
+    def test_reads_every_page_sequentially(self, tiny):
+        database, table, _rows = tiny
+        result = execute(SeqScan(table, Conjunction()), database)
+        assert result.runstats.sequential_reads == table.num_pages
+        assert result.runstats.random_reads == 0
+
+    def test_stats_rows_and_pages(self, tiny):
+        database, table, rows = tiny
+        predicate = conjunction_of(Comparison("v", "<", 100))
+        scan = SeqScan(table, predicate)
+        result = execute(scan, database)
+        assert scan.stats.actual_rows == 100
+        assert scan.stats.pages_touched == table.num_pages
+
+    def test_output_columns(self, tiny):
+        _db, table, _rows = tiny
+        assert SeqScan(table, Conjunction()).output_columns == ("k", "v", "pad")
+
+
+class TestClusteredRangeScan:
+    def test_range_with_residual(self, tiny):
+        database, table, rows = tiny
+        residual = conjunction_of(Comparison("v", "<", 500))
+        scan = ClusteredRangeScan(
+            table, low=(100,), high=(300,), query_conjunction=residual,
+            high_inclusive=False,
+        )
+        result = execute(scan, database)
+        expected = [r for r in rows if 100 <= r[0] < 300 and r[1] < 500]
+        assert sorted(result.rows) == sorted(expected)
+
+    def test_reads_fraction_of_pages(self, tiny):
+        database, table, _rows = tiny
+        scan = ClusteredRangeScan(
+            table, low=(0,), high=(100,), query_conjunction=Conjunction(),
+            high_inclusive=False,
+        )
+        result = execute(scan, database)
+        assert 0 < scan.stats.pages_touched < table.num_pages / 3
+
+    def test_open_low_bound(self, tiny):
+        database, table, rows = tiny
+        scan = ClusteredRangeScan(
+            table, low=None, high=(50,), query_conjunction=Conjunction(),
+            high_inclusive=False,
+        )
+        result = execute(scan, database)
+        assert len(result.rows) == 50
+
+
+class TestIndexSeekFetch:
+    def test_matches_bruteforce(self, tiny):
+        database, table, rows = tiny
+        seek = IndexSeekFetch(
+            table, "ix_v", low=None, high=(150,), residual=Conjunction(),
+            high_inclusive=False,
+        )
+        result = execute(seek, database)
+        assert sorted(result.rows) == sorted(r for r in rows if r[1] < 150)
+
+    def test_residual_applied_after_fetch(self, tiny):
+        database, table, rows = tiny
+        residual = conjunction_of(Comparison("k", "<", 400))
+        seek = IndexSeekFetch(
+            table, "ix_v", low=None, high=(150,), residual=residual,
+            high_inclusive=False,
+        )
+        result = execute(seek, database)
+        expected = [r for r in rows if r[1] < 150 and r[0] < 400]
+        assert sorted(result.rows) == sorted(expected)
+
+    def test_random_reads_bounded_by_distinct_pages(self, tiny):
+        database, table, _rows = tiny
+        seek = IndexSeekFetch(
+            table, "ix_v", low=None, high=(50,), residual=Conjunction(),
+            high_inclusive=False,
+        )
+        result = execute(seek, database)
+        # Random reads = distinct table pages + first index leaf.
+        assert result.runstats.random_reads <= seek.stats.pages_touched + 1
+
+    def test_equality_seek(self, tiny):
+        database, table, rows = tiny
+        seek = IndexSeekFetch(
+            table, "ix_v", low=(77,), high=(77,), residual=Conjunction()
+        )
+        result = execute(seek, database)
+        assert result.rows == [r for r in rows if r[1] == 77]
+
+
+class TestIndexIntersection:
+    @pytest.fixture()
+    def with_second_index(self):
+        database, table, rows = make_tiny_table(num_rows=1000, seed=6)
+        database.create_index("tiny", IndexDef("ix_k2", "tiny", ("k",)))
+        return database, table, rows
+
+    def test_matches_bruteforce(self, with_second_index):
+        database, table, rows = with_second_index
+        operator = IndexIntersectionFetch(
+            table,
+            seeks=[
+                SeekSpec("ix_v", None, (300,), high_inclusive=False),
+                SeekSpec("ix_k2", None, (500,), high_inclusive=False),
+            ],
+            residual=Conjunction(),
+        )
+        result = execute(operator, database)
+        expected = [r for r in rows if r[1] < 300 and r[0] < 500]
+        assert sorted(result.rows) == sorted(expected)
+
+    def test_requires_two_seeks(self, with_second_index):
+        _db, table, _rows = with_second_index
+        with pytest.raises(ValueError):
+            IndexIntersectionFetch(
+                table, seeks=[SeekSpec("ix_v", None, (10,))], residual=Conjunction()
+            )
+
+    def test_fetches_in_rid_order(self, with_second_index):
+        database, table, rows = with_second_index
+        operator = IndexIntersectionFetch(
+            table,
+            seeks=[
+                SeekSpec("ix_v", None, (300,), high_inclusive=False),
+                SeekSpec("ix_k2", None, (500,), high_inclusive=False),
+            ],
+            residual=Conjunction(),
+        )
+        result = execute(operator, database)
+        ks = [row[0] for row in result.rows]
+        assert ks == sorted(ks)  # clustered table: RID order == key order
+
+
+class TestCoveringIndexScan:
+    @pytest.fixture()
+    def with_covering(self):
+        database, table, rows = make_tiny_table(num_rows=1000, seed=7)
+        database.create_index(
+            "tiny", IndexDef("ix_cov", "tiny", ("v",), included_columns=("pad",))
+        )
+        return database, table, rows
+
+    def test_outputs_carried_columns_only(self, with_covering):
+        database, table, rows = with_covering
+        scan = CoveringIndexScan(table, "ix_cov", Conjunction())
+        assert scan.output_columns == ("v", "pad")
+        result = execute(scan, database)
+        assert sorted(result.rows) == sorted((r[1], r[2]) for r in rows)
+
+    def test_predicate_filters(self, with_covering):
+        database, table, rows = with_covering
+        scan = CoveringIndexScan(
+            table, "ix_cov", conjunction_of(Comparison("v", "<", 100))
+        )
+        result = execute(scan, database)
+        assert len(result.rows) == 100
+
+    def test_never_touches_table_pages(self, with_covering):
+        database, table, _rows = with_covering
+        result = execute(CoveringIndexScan(table, "ix_cov", Conjunction()), database)
+        # All physical reads are index-file reads: count equals leaf pages.
+        index = table.index("ix_cov")
+        total_reads = result.runstats.random_reads + result.runstats.sequential_reads
+        assert total_reads == index.num_leaf_pages
+
+    def test_count_on_top(self, with_covering):
+        database, table, _rows = with_covering
+        scan = CoveringIndexScan(
+            table, "ix_cov", conjunction_of(Comparison("v", "<", 250))
+        )
+        result = execute(CountAggregate(scan, "pad"), database)
+        assert result.scalar() == 250

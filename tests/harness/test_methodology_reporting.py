@@ -1,0 +1,144 @@
+"""Tests for the evaluation methodology and the reporting helpers."""
+
+import pytest
+
+from repro.core.requests import AccessPathRequest, JoinMethodRequest
+from repro.harness.methodology import (
+    EvaluationOutcome,
+    default_requests,
+    evaluate_query,
+)
+from repro.harness.reporting import format_table, percent, summarize
+from repro.optimizer import JoinQuery, SingleTableQuery
+from repro.sql import Comparison, JoinEquality, conjunction_of
+from repro.workloads.queries import GeneratedQuery, single_table_workload, join_workload
+
+
+class TestDefaultRequests:
+    def test_per_indexed_term(self, synthetic_db):
+        query = SingleTableQuery(
+            "t",
+            conjunction_of(Comparison("c2", "<", 100), Comparison("c5", "<", 100)),
+            "padding",
+        )
+        requests = default_requests(synthetic_db, query)
+        access = [r for r in requests if isinstance(r, AccessPathRequest)]
+        assert len(access) == 3  # c2 term, c5 term, conjunction
+        keys = {r.key() for r in access}
+        assert "DPC(t, c2 < 100)" in keys
+        assert "DPC(t, c2 < 100 AND c5 < 100)" in keys
+
+    def test_clustering_key_term_included(self, synthetic_db):
+        query = SingleTableQuery(
+            "t", conjunction_of(Comparison("c1", "<", 100)), "padding"
+        )
+        requests = default_requests(synthetic_db, query)
+        assert len(requests) == 1
+
+    def test_unindexed_term_skipped(self, synthetic_db):
+        query = SingleTableQuery(
+            "t", conjunction_of(Comparison("padding", "=", "x")), "padding"
+        )
+        assert default_requests(synthetic_db, query) == []
+
+    def test_join_requests_per_accessible_inner(self, join_db):
+        query = JoinQuery(
+            join_predicate=JoinEquality("t1", "c2", "t", "c2"),
+            predicates={"t1": conjunction_of(Comparison("c1", "<", 100))},
+            count_column="t.padding",
+        )
+        requests = default_requests(join_db, query)
+        # Only t has an index on c2; t1 does not.
+        assert [r.inner_table for r in requests] == ["t"]
+
+    def test_join_on_clustering_key_both_sides(self, join_db):
+        query = JoinQuery(
+            join_predicate=JoinEquality("t1", "c1", "t", "c1"),
+            count_column="t.padding",
+        )
+        requests = default_requests(join_db, query)
+        assert {r.inner_table for r in requests} == {"t", "t1"}
+
+
+class TestEvaluateQuery:
+    def test_correlated_column_improves(self, synthetic_db):
+        (generated,) = single_table_workload(
+            synthetic_db, "t", ["c2"], 1, selectivity_range=(0.02, 0.05), seed=2
+        )
+        outcome = evaluate_query(synthetic_db, generated)
+        assert outcome.plan_changed
+        assert outcome.speedup > 0.2
+        assert outcome.time_improved_ms < outcome.time_original_ms
+
+    def test_uncorrelated_column_unchanged(self, synthetic_db):
+        (generated,) = single_table_workload(
+            synthetic_db, "t", ["c5"], 1, selectivity_range=(0.02, 0.05), seed=2
+        )
+        outcome = evaluate_query(synthetic_db, generated)
+        assert not outcome.plan_changed
+        assert outcome.speedup == 0.0
+
+    def test_overhead_small_and_positive(self, synthetic_db):
+        (generated,) = single_table_workload(
+            synthetic_db, "t", ["c3"], 1, seed=3
+        )
+        outcome = evaluate_query(synthetic_db, generated)
+        assert 0.0 <= outcome.overhead < 0.05
+
+    def test_join_query_end_to_end(self, join_db):
+        (generated,) = join_workload(
+            join_db, "t1", "t", ["c2"], 1, selectivity_range=(0.01, 0.02), seed=4
+        )
+        outcome = evaluate_query(join_db, generated)
+        assert outcome.observations
+        assert outcome.original_plan.access_method() == "HashJoinPlan"
+        assert outcome.improved_plan.access_method() == "INLJoinPlan"
+        assert outcome.speedup > 0.0
+
+    def test_summary_renders(self, synthetic_db):
+        (generated,) = single_table_workload(synthetic_db, "t", ["c2"], 1, seed=5)
+        outcome = evaluate_query(synthetic_db, generated)
+        text = outcome.summary()
+        assert "speedup=" in text and "overhead=" in text
+
+    def test_speedup_guard_on_zero_time(self):
+        from repro.optimizer.plans import SeqScanPlan
+        from repro.sql import Conjunction
+
+        plan = SeqScanPlan("t", Conjunction())
+        outcome = EvaluationOutcome(
+            generated=GeneratedQuery(
+                query=SingleTableQuery("t", Conjunction()), column="x", selectivity=0
+            ),
+            original_plan=plan,
+            improved_plan=plan,
+            time_original_ms=0.0,
+            time_monitored_ms=0.0,
+            time_improved_ms=0.0,
+        )
+        assert outcome.speedup == 0.0 and outcome.overhead == 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["alpha", 1.5], ["b", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+
+    def test_format_table_handles_percent_strings(self):
+        text = format_table(["p"], [["12.5%"], ["3.0%"]])
+        assert "12.5%" in text
+
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats["mean"] == 2.0
+        assert stats["min"] == 1.0 and stats["max"] == 3.0
+        assert stats["stddev"] == pytest.approx(0.8165, rel=0.01)
+
+    def test_summarize_empty(self):
+        assert summarize([])["count"] == 0
+
+    def test_percent(self):
+        assert percent(0.125) == "12.5%"

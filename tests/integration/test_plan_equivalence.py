@@ -1,0 +1,145 @@
+"""Integration: every physical plan for a query returns the same result,
+with and without monitoring attached (monitoring never changes results,
+§V-A), and the feedback loop improves correlated queries end-to-end."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.planner import MonitorConfig, build_executable
+from repro.exec import execute
+from repro.harness.methodology import default_requests
+from repro.optimizer import JoinQuery, Optimizer, SingleTableQuery
+from repro.session import Session
+from repro.sql import Comparison, JoinEquality, conjunction_of
+
+
+def run_plan(database, plan, requests=(), config=None):
+    build = build_executable(
+        plan, database, list(requests), config or MonitorConfig()
+    )
+    result = execute(build.root, database)
+    return result
+
+
+class TestAllPlansAgree:
+    @pytest.mark.parametrize("column", ["c2", "c3", "c4", "c5"])
+    def test_single_table_candidates(self, synthetic_db, column):
+        query = SingleTableQuery(
+            "t",
+            conjunction_of(
+                Comparison(column, "<", 1_200), Comparison("c1", "<", 15_000)
+            ),
+            "padding",
+        )
+        candidates = Optimizer(synthetic_db).candidates(query)
+        assert len(candidates) >= 3
+        results = {
+            plan.signature(): run_plan(synthetic_db, plan).scalar()
+            for plan in candidates
+        }
+        assert len(set(results.values())) == 1, results
+
+    def test_join_candidates(self, join_db):
+        query = JoinQuery(
+            join_predicate=JoinEquality("t1", "c3", "t", "c3"),
+            predicates={"t1": conjunction_of(Comparison("c1", "<", 800))},
+            count_column="t.padding",
+        )
+        candidates = Optimizer(join_db).candidates(query)
+        counts = {
+            plan.signature(): run_plan(join_db, plan).scalar()
+            for plan in candidates
+        }
+        assert len(set(counts.values())) == 1, counts
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        cut=st.integers(100, 19_000),
+        column=st.sampled_from(["c2", "c4", "c5"]),
+    )
+    def test_property_candidates_agree(self, synthetic_db, cut, column):
+        query = SingleTableQuery(
+            "t", conjunction_of(Comparison(column, "<", cut)), "padding"
+        )
+        candidates = Optimizer(synthetic_db).candidates(query)
+        values = {run_plan(synthetic_db, plan).scalar() for plan in candidates}
+        assert values == {cut}  # permutation column: count == cut
+
+
+class TestMonitoringIsTransparent:
+    def test_same_rows_with_and_without_monitoring(self, synthetic_db):
+        query = SingleTableQuery(
+            "t", conjunction_of(Comparison("c4", "<", 2_000)), "padding"
+        )
+        plan = Optimizer(synthetic_db).optimize(query)
+        bare = run_plan(synthetic_db, plan)
+        monitored = run_plan(
+            synthetic_db, plan, default_requests(synthetic_db, query)
+        )
+        assert bare.rows == monitored.rows
+
+    def test_monitoring_adds_no_io(self, synthetic_db):
+        """The mechanisms are CPU-only: same physical reads either way."""
+        query = SingleTableQuery(
+            "t", conjunction_of(Comparison("c4", "<", 2_000)), "padding"
+        )
+        plan = Optimizer(synthetic_db).optimize(query)
+        bare = run_plan(synthetic_db, plan)
+        monitored = run_plan(
+            synthetic_db, plan, default_requests(synthetic_db, query)
+        )
+        assert monitored.runstats.random_reads == bare.runstats.random_reads
+        assert monitored.runstats.sequential_reads == bare.runstats.sequential_reads
+        assert monitored.runstats.io_ms == pytest.approx(bare.runstats.io_ms)
+
+    def test_join_monitoring_transparent(self, join_db):
+        query = JoinQuery(
+            join_predicate=JoinEquality("t1", "c2", "t", "c2"),
+            predicates={"t1": conjunction_of(Comparison("c1", "<", 600))},
+            count_column="t.padding",
+        )
+        plan = Optimizer(join_db).optimize(query)
+        bare = run_plan(join_db, plan)
+        monitored = run_plan(join_db, plan, default_requests(join_db, query))
+        assert bare.rows == monitored.rows
+
+
+class TestSessionFeedbackLoop:
+    def test_monitor_remember_improve(self, synthetic_db):
+        session = Session(synthetic_db)
+        predicate = conjunction_of(Comparison("c2", "<", 700))
+        query = SingleTableQuery("t", predicate, "padding")
+        from repro.core.requests import AccessPathRequest
+
+        first = session.run(query, requests=[AccessPathRequest("t", predicate)])
+        assert session.remember(first) == 1
+        second = session.run(query, use_feedback=True)
+        assert second.plan.signature() != first.plan.signature()
+        assert second.elapsed_ms < first.elapsed_ms
+        assert second.result.rows == first.result.rows
+
+    def test_feedback_survives_for_similar_future_queries(self, synthetic_db):
+        """LEO-style reuse: the same expression benefits later without
+        re-monitoring."""
+        session = Session(synthetic_db)
+        predicate = conjunction_of(Comparison("c2", "<", 700))
+        query = SingleTableQuery("t", predicate, "padding")
+        from repro.core.requests import AccessPathRequest
+
+        session.remember(
+            session.run(query, requests=[AccessPathRequest("t", predicate)])
+        )
+        # A different query object with the same expression:
+        same_expression = SingleTableQuery("t", predicate, "padding")
+        improved = session.optimize(same_expression, use_feedback=True)
+        assert "IndexSeek" in improved.signature()
+
+    def test_hinted_run(self, synthetic_db):
+        from repro.optimizer import PlanHint
+
+        session = Session(synthetic_db)
+        query = SingleTableQuery(
+            "t", conjunction_of(Comparison("c2", "<", 700)), "padding"
+        )
+        executed = session.run(query, hint=PlanHint("index_seek"))
+        assert "IndexSeek" in executed.plan.signature()

@@ -1,0 +1,117 @@
+"""Tests for the Session facade and miscellaneous end-to-end behaviour."""
+
+import pytest
+
+from repro.core.planner import MonitorConfig
+from repro.core.requests import AccessPathRequest
+from repro.optimizer import InjectionSet, Optimizer, PlanHint, SingleTableQuery
+from repro.session import Session
+from repro.sql import Comparison, conjunction_of
+
+
+@pytest.fixture()
+def session(synthetic_db):
+    return Session(synthetic_db)
+
+
+def c2_query(cut=700):
+    return SingleTableQuery(
+        "t", conjunction_of(Comparison("c2", "<", cut)), "padding"
+    )
+
+
+class TestSession:
+    def test_run_returns_executed_query(self, session):
+        executed = session.run(c2_query())
+        assert executed.result.scalar() == 700
+        assert executed.elapsed_ms > 0
+        assert executed.plan is not None
+
+    def test_run_plan_uses_given_plan(self, session, synthetic_db):
+        query = c2_query()
+        plan = Optimizer(synthetic_db, hint=PlanHint("index_seek")).optimize(query)
+        executed = session.run_plan(query, plan)
+        assert executed.plan is plan
+        assert executed.result.scalar() == 700
+
+    def test_unanswerable_requests_surface(self, session):
+        query = c2_query()
+        ghost = AccessPathRequest("t", conjunction_of(Comparison("nope", "<", 1)))
+        executed = session.run(query, requests=[ghost])
+        (observation,) = executed.observations
+        assert not observation.answered
+
+    def test_summary_text(self, session):
+        executed = session.run(
+            c2_query(), requests=[AccessPathRequest("t", c2_query().predicate)]
+        )
+        text = executed.summary()
+        assert "SELECT count(padding)" in text
+        assert "distinct page counts" in text
+
+    def test_extra_injections_do_not_leak(self, session, synthetic_db):
+        extra = InjectionSet()
+        predicate = c2_query().predicate
+        extra.inject_access_page_count("t", predicate, 5.0)
+        plan = session.optimizer(extra_injections=extra).optimize(c2_query())
+        assert "IndexSeek" in plan.signature()
+        # The session's own injections were never touched.
+        assert len(session.injections) == 0
+        default_plan = session.optimize(c2_query())
+        assert "SeqScan" in default_plan.signature()
+
+    def test_monitor_config_respected(self, synthetic_db):
+        session = Session(
+            synthetic_db, monitor_config=MonitorConfig(dpsample_fraction=1.0)
+        )
+        foreign = conjunction_of(Comparison("c5", "<", 1_000))
+        executed = session.run(
+            c2_query(), requests=[AccessPathRequest("t", foreign)]
+        )
+        (observation,) = executed.observations
+        assert observation.details["fraction"] == 1.0
+
+    def test_feedback_accumulates_across_queries(self, session):
+        for cut in (500, 900):
+            query = c2_query(cut)
+            executed = session.run(
+                query, requests=[AccessPathRequest("t", query.predicate)]
+            )
+            session.remember(executed)
+        assert len(session.feedback) == 2
+
+
+class TestFetchFullEvaluationOption:
+    def test_non_prefix_fetch_request_with_option(self, synthetic_db):
+        """allow_fetch_full_evaluation makes non-prefix residual subsets
+        answerable on index plans (at CPU cost)."""
+        seek = Comparison("c2", "<", 800)
+        residual_a = Comparison("c4", "<", 15_000)
+        residual_b = Comparison("c5", "<", 15_000)
+        predicate = conjunction_of(seek, residual_a, residual_b)
+        query = SingleTableQuery("t", predicate, "padding")
+        # Request seek + the SECOND residual term: not a prefix of (a, b).
+        request = AccessPathRequest("t", conjunction_of(seek, residual_b))
+
+        from repro.core.planner import build_executable
+        from repro.exec import execute
+
+        plan = Optimizer(
+            synthetic_db, hint=PlanHint("index_seek", index_name="ix_c2")
+        ).optimize(query)
+
+        strict = build_executable(plan, synthetic_db, [request], MonitorConfig())
+        result = execute(strict.root, synthetic_db)
+        assert strict.unanswerable and not strict.unanswerable[0].answered
+
+        relaxed_config = MonitorConfig(allow_fetch_full_evaluation=True)
+        relaxed = build_executable(
+            plan, synthetic_db, [request], relaxed_config
+        )
+        result = execute(relaxed.root, synthetic_db)
+        (observation,) = result.runstats.observations
+        assert observation.answered
+        from repro.core.dpc import exact_dpc
+
+        truth = exact_dpc(synthetic_db.table("t"), request.expression)
+        assert observation.estimate == pytest.approx(truth, rel=0.3, abs=2)

@@ -1,0 +1,259 @@
+"""Tests for access-path enumeration, join enumeration, hints and the
+optimizer front-end."""
+
+import pytest
+
+from repro.catalog import IndexDef
+from repro.common.errors import OptimizerError
+from repro.core.dpc import exact_dpc
+from repro.optimizer import (
+    InjectionSet,
+    JoinQuery,
+    Optimizer,
+    PlanHint,
+    SingleTableQuery,
+)
+from repro.optimizer.access_paths import seek_bounds
+from repro.optimizer.plans import (
+    ClusteredRangeScanPlan,
+    CountPlan,
+    CoveringScanPlan,
+    HashJoinPlan,
+    IndexIntersectionPlan,
+    IndexSeekPlan,
+    INLJoinPlan,
+    MergeJoinPlan,
+    SeqScanPlan,
+)
+from repro.sql import Between, Comparison, Conjunction, InList, JoinEquality, conjunction_of
+
+from tests.conftest import make_tiny_table
+
+
+class TestSeekBounds:
+    @pytest.mark.parametrize(
+        "op,expect",
+        [
+            ("=", ((5,), (5,), True, True)),
+            ("<", (None, (5,), True, False)),
+            ("<=", (None, (5,), True, True)),
+            (">", ((5,), None, False, True)),
+            (">=", ((5,), None, True, True)),
+        ],
+    )
+    def test_comparisons(self, op, expect):
+        assert seek_bounds(Comparison("c", op, 5)) == expect
+
+    def test_between(self):
+        assert seek_bounds(Between("c", 1, 9)) == ((1,), (9,), True, True)
+
+    def test_unseekable(self):
+        assert seek_bounds(Comparison("c", "!=", 5)) is None
+        assert seek_bounds(InList("c", [1, 2])) is None
+
+
+def plan_types(plans):
+    return {type(p.child if isinstance(p, CountPlan) else p) for p in plans}
+
+
+class TestAccessPathEnumeration:
+    def test_scan_always_present(self, synthetic_db):
+        query = SingleTableQuery("t", Conjunction(), "padding")
+        assert SeqScanPlan in plan_types(Optimizer(synthetic_db).candidates(query))
+
+    def test_seek_per_indexed_term(self, synthetic_db):
+        query = SingleTableQuery(
+            "t",
+            conjunction_of(Comparison("c2", "<", 100), Comparison("c5", "<", 100)),
+            "padding",
+        )
+        candidates = Optimizer(synthetic_db).candidates(query)
+        seeks = [
+            p.child for p in candidates if isinstance(p.child, IndexSeekPlan)
+        ]
+        assert {s.index_name for s in seeks} == {"ix_c2", "ix_c5"}
+        # Residuals exclude the seek term and keep the other one.
+        for seek in seeks:
+            assert len(seek.residual) == 1
+            assert seek.seek_term not in seek.residual.terms
+
+    def test_intersection_for_two_indexed_terms(self, synthetic_db):
+        query = SingleTableQuery(
+            "t",
+            conjunction_of(Comparison("c2", "<", 100), Comparison("c5", "<", 100)),
+            "padding",
+        )
+        kinds = plan_types(Optimizer(synthetic_db).candidates(query))
+        assert IndexIntersectionPlan in kinds
+
+    def test_clustered_range_for_clustering_term(self, synthetic_db):
+        query = SingleTableQuery(
+            "t", conjunction_of(Comparison("c1", "<", 100)), "padding"
+        )
+        kinds = plan_types(Optimizer(synthetic_db).candidates(query))
+        assert ClusteredRangeScanPlan in kinds
+
+    def test_covering_plan_when_index_covers(self):
+        database, table, _rows = make_tiny_table(num_rows=500, seed=31)
+        database.create_index(
+            "tiny", IndexDef("ix_cov", "tiny", ("v",), included_columns=("pad",))
+        )
+        query = SingleTableQuery(
+            "tiny", conjunction_of(Comparison("v", "<", 100)), "pad"
+        )
+        kinds = plan_types(Optimizer(database).candidates(query))
+        assert CoveringScanPlan in kinds
+
+    def test_dpc_source_recorded(self, synthetic_db):
+        predicate = conjunction_of(Comparison("c2", "<", 100))
+        query = SingleTableQuery("t", predicate, "padding")
+        injections = InjectionSet()
+        injections.inject_access_page_count("t", predicate, 3.0)
+        candidates = Optimizer(synthetic_db, injections=injections).candidates(query)
+        seek = next(p.child for p in candidates if isinstance(p.child, IndexSeekPlan))
+        assert seek.dpc_source == "injected"
+        assert seek.estimated_dpc == 3.0
+
+    def test_estimates_populated(self, synthetic_db):
+        query = SingleTableQuery(
+            "t", conjunction_of(Comparison("c2", "<", 2000)), "padding"
+        )
+        for plan in Optimizer(synthetic_db).candidates(query):
+            assert plan.estimated_cost_ms > 0
+            assert plan.child.estimated_rows == pytest.approx(2000, rel=0.2)
+
+
+class TestOptimizerChoices:
+    def test_analytical_model_prefers_scan_on_correlated(self, synthetic_db):
+        """The paper's error: Yao overestimates DPC on c2, so the scan wins."""
+        query = SingleTableQuery(
+            "t", conjunction_of(Comparison("c2", "<", 600)), "padding"
+        )
+        plan = Optimizer(synthetic_db).optimize(query)
+        assert isinstance(plan.child, SeqScanPlan)
+
+    def test_accurate_dpc_flips_to_seek(self, synthetic_db):
+        predicate = conjunction_of(Comparison("c2", "<", 600))
+        query = SingleTableQuery("t", predicate, "padding")
+        injections = InjectionSet()
+        truth = exact_dpc(synthetic_db.table("t"), predicate)
+        injections.inject_access_page_count("t", predicate, truth)
+        plan = Optimizer(synthetic_db, injections=injections).optimize(query)
+        assert isinstance(plan.child, IndexSeekPlan)
+
+    def test_accurate_dpc_keeps_scan_on_uncorrelated(self, synthetic_db):
+        predicate = conjunction_of(Comparison("c5", "<", 600))
+        query = SingleTableQuery("t", predicate, "padding")
+        injections = InjectionSet()
+        truth = exact_dpc(synthetic_db.table("t"), predicate)
+        injections.inject_access_page_count("t", predicate, truth)
+        plan = Optimizer(synthetic_db, injections=injections).optimize(query)
+        assert isinstance(plan.child, SeqScanPlan)
+
+    def test_clustering_key_range_beats_scan(self, synthetic_db):
+        query = SingleTableQuery(
+            "t", conjunction_of(Comparison("c1", "<", 600)), "padding"
+        )
+        plan = Optimizer(synthetic_db).optimize(query)
+        assert isinstance(plan.child, ClusteredRangeScanPlan)
+
+    def test_explain_lists_all_candidates(self, synthetic_db):
+        query = SingleTableQuery(
+            "t", conjunction_of(Comparison("c2", "<", 600)), "padding"
+        )
+        text = Optimizer(synthetic_db).explain(query)
+        assert "SeqScan" in text and "IndexSeek" in text
+        assert "-> #1" in text
+
+
+class TestJoinEnumeration:
+    def make_query(self, join_db, column="c2"):
+        return JoinQuery(
+            join_predicate=JoinEquality("t1", column, "t", column),
+            predicates={"t1": conjunction_of(Comparison("c1", "<", 500))},
+            count_column="t.padding",
+        )
+
+    def test_all_methods_enumerated(self, join_db):
+        query = self.make_query(join_db)
+        kinds = plan_types(Optimizer(join_db).candidates(query))
+        assert {HashJoinPlan, INLJoinPlan, MergeJoinPlan} <= kinds
+
+    def test_inl_requires_inner_access(self, join_db):
+        # t1 has no index on c2 and is clustered on c1, so t1 can never be
+        # the INL inner for a c2-join.
+        query = self.make_query(join_db)
+        inls = [
+            p.child
+            for p in Optimizer(join_db).candidates(query)
+            if isinstance(p.child, INLJoinPlan)
+        ]
+        assert inls and all(plan.inner_table == "t" for plan in inls)
+
+    def test_join_on_clustering_key_allows_clustered_inner(self, join_db):
+        query = self.make_query(join_db, column="c1")
+        inls = [
+            p.child
+            for p in Optimizer(join_db).candidates(query)
+            if isinstance(p.child, INLJoinPlan)
+        ]
+        assert any(plan.inner_index_name is None for plan in inls)
+
+    def test_merge_sort_flags(self, join_db):
+        query = self.make_query(join_db, column="c1")
+        merges = [
+            p.child
+            for p in Optimizer(join_db).candidates(query)
+            if isinstance(p.child, MergeJoinPlan)
+        ]
+        (merge,) = merges
+        assert not merge.sort_outer and not merge.sort_inner
+
+    def test_qualified_count_column_required(self, join_db):
+        query = JoinQuery(
+            join_predicate=JoinEquality("t1", "c2", "t", "c2"),
+            count_column="padding",
+        )
+        with pytest.raises(OptimizerError):
+            Optimizer(join_db).candidates(query)
+
+    def test_predicate_on_non_participant_rejected(self, join_db):
+        with pytest.raises(OptimizerError):
+            JoinQuery(
+                join_predicate=JoinEquality("t1", "c2", "t", "c2"),
+                predicates={"ghost": Conjunction()},
+            )
+
+
+class TestHints:
+    def test_hint_restricts_choice(self, synthetic_db):
+        query = SingleTableQuery(
+            "t", conjunction_of(Comparison("c2", "<", 600)), "padding"
+        )
+        plan = Optimizer(synthetic_db, hint=PlanHint("index_seek")).optimize(query)
+        assert isinstance(plan.child, IndexSeekPlan)
+
+    def test_hint_with_index_name(self, synthetic_db):
+        query = SingleTableQuery(
+            "t",
+            conjunction_of(Comparison("c2", "<", 600), Comparison("c5", "<", 9000)),
+            "padding",
+        )
+        plan = Optimizer(
+            synthetic_db, hint=PlanHint("index_seek", index_name="ix_c5")
+        ).optimize(query)
+        assert plan.child.index_name == "ix_c5"
+
+    def test_unsatisfiable_hint_raises(self, synthetic_db):
+        query = SingleTableQuery(
+            "t", conjunction_of(Comparison("padding", "=", "x")), "padding"
+        )
+        with pytest.raises(OptimizerError):
+            Optimizer(synthetic_db, hint=PlanHint("index_seek")).optimize(query)
+
+    def test_unknown_hint_kind_rejected(self):
+        with pytest.raises(OptimizerError):
+            PlanHint("warp_drive")
+
+    def test_hint_str(self):
+        assert "index=ix" in str(PlanHint("index_seek", index_name="ix"))

@@ -1,0 +1,87 @@
+"""Tests for the prefix rule and scan-request planning (§III-B)."""
+
+import pytest
+
+from repro.common.errors import MonitorError
+from repro.sql.analysis import (
+    analyze_scan_request,
+    augment_scan_conjunction,
+    plan_scan_requests,
+)
+from repro.sql.predicates import Comparison, Conjunction, conjunction_of
+
+A = Comparison("a", "<", 1)
+B = Comparison("b", "<", 2)
+C = Comparison("c", "<", 3)
+
+
+class TestAnalyzeScanRequest:
+    def test_prefix_detected(self):
+        plan = analyze_scan_request(Conjunction((A, B)), Conjunction((A,)))
+        assert plan.is_prefix
+        assert plan.term_indexes == (0,)
+
+    def test_full_conjunction_is_prefix(self):
+        plan = analyze_scan_request(Conjunction((A, B)), Conjunction((A, B)))
+        assert plan.is_prefix
+
+    def test_non_prefix_subset(self):
+        plan = analyze_scan_request(Conjunction((A, B)), Conjunction((B,)))
+        assert not plan.is_prefix
+        assert plan.term_indexes == (1,)
+
+    def test_missing_term_rejected(self):
+        with pytest.raises(MonitorError):
+            analyze_scan_request(Conjunction((A,)), Conjunction((C,)))
+
+
+class TestSatisfiedBy:
+    def test_true_when_all_terms_true(self):
+        plan = analyze_scan_request(Conjunction((A, B)), Conjunction((A, B)))
+        assert plan.satisfied_by((True, True))
+
+    def test_false_when_any_needed_term_false(self):
+        plan = analyze_scan_request(Conjunction((A, B)), Conjunction((A, B)))
+        assert not plan.satisfied_by((True, False))
+
+    def test_early_false_decides_without_later_terms(self):
+        # Short-circuit skipped term B, but A already decides FALSE.
+        plan = analyze_scan_request(Conjunction((A, B)), Conjunction((A, B)))
+        assert not plan.satisfied_by((False, None))
+
+    def test_skipped_needed_term_raises(self):
+        plan = analyze_scan_request(Conjunction((A, B)), Conjunction((B,)))
+        with pytest.raises(MonitorError):
+            plan.satisfied_by((True, None))
+
+    def test_decidable_from(self):
+        plan = analyze_scan_request(Conjunction((A, B)), Conjunction((A, B)))
+        assert plan.decidable_from((False, None))
+        assert plan.decidable_from((True, True))
+        assert not plan.decidable_from((True, None))
+
+
+class TestPlanScanRequests:
+    def test_needs_full_eval_only_for_non_prefix(self):
+        scan = Conjunction((A, B))
+        plans, needs = plan_scan_requests(scan, [Conjunction((A,))])
+        assert not needs
+        plans, needs = plan_scan_requests(scan, [Conjunction((A,)), Conjunction((B,))])
+        assert needs
+        assert [p.is_prefix for p in plans] == [True, False]
+
+
+class TestAugment:
+    def test_appends_missing_terms_once(self):
+        augmented = augment_scan_conjunction(
+            Conjunction((A,)), [Conjunction((B,)), Conjunction((B, C))]
+        )
+        assert augmented.terms == (A, B, C)
+
+    def test_keeps_query_order_as_prefix(self):
+        augmented = augment_scan_conjunction(Conjunction((A, B)), [Conjunction((C,))])
+        assert Conjunction((A, B)).is_prefix_of(augmented)
+
+    def test_no_requests_is_identity(self):
+        base = conjunction_of(A, B)
+        assert augment_scan_conjunction(base, []) == base

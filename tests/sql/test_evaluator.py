@@ -1,0 +1,111 @@
+"""Tests for bound-conjunction evaluation and short-circuit accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ExpressionError
+from repro.sql.evaluator import BoundConjunction
+from repro.sql.predicates import Comparison, Conjunction, conjunction_of
+
+COLUMNS = ("a", "b", "c")
+
+
+def bound(*terms) -> BoundConjunction:
+    return BoundConjunction(Conjunction(terms), COLUMNS)
+
+
+class TestBinding:
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ExpressionError):
+            BoundConjunction(conjunction_of(Comparison("z", "<", 1)), COLUMNS)
+
+    def test_empty_conjunction_passes_everything(self):
+        evaluator = BoundConjunction(Conjunction(), COLUMNS)
+        outcome = evaluator.evaluate((1, 2, 3))
+        assert outcome.passed and outcome.evaluations == 0
+
+
+class TestShortCircuit:
+    def test_stops_at_first_false(self):
+        evaluator = bound(Comparison("a", "<", 0), Comparison("b", "<", 10))
+        outcome = evaluator.evaluate((5, 5, 5), short_circuit=True)
+        assert not outcome.passed
+        assert outcome.evaluations == 1
+        assert outcome.truth == (False, None)
+
+    def test_full_evaluation_when_disabled(self):
+        evaluator = bound(Comparison("a", "<", 0), Comparison("b", "<", 10))
+        outcome = evaluator.evaluate((5, 5, 5), short_circuit=False)
+        assert not outcome.passed
+        assert outcome.evaluations == 2
+        assert outcome.truth == (False, True)
+
+    def test_all_true_evaluates_all(self):
+        evaluator = bound(Comparison("a", "<", 10), Comparison("b", "<", 10))
+        outcome = evaluator.evaluate((5, 5, 5))
+        assert outcome.passed
+        assert outcome.evaluations == 2
+        assert outcome.truth == (True, True)
+
+    def test_term_known(self):
+        evaluator = bound(Comparison("a", "<", 0), Comparison("b", "<", 10))
+        outcome = evaluator.evaluate((5, 5, 5))
+        assert outcome.term_known(0)
+        assert not outcome.term_known(1)
+
+
+class TestEvaluatePrefix:
+    def test_prefix_limits_work(self):
+        evaluator = bound(
+            Comparison("a", "<", 10), Comparison("b", "<", 10), Comparison("c", "<", 0)
+        )
+        outcome = evaluator.evaluate_prefix((1, 1, 1), 2)
+        assert outcome.passed  # prefix of 2 terms only
+        assert outcome.truth == (True, True, None)
+        assert outcome.evaluations == 2
+
+    def test_zero_prefix_trivially_passes(self):
+        evaluator = bound(Comparison("a", "<", 0))
+        outcome = evaluator.evaluate_prefix((5,) * 3, 0)
+        assert outcome.passed and outcome.evaluations == 0
+        assert outcome.truth == (None,)
+
+    def test_out_of_range_prefix_rejected(self):
+        evaluator = bound(Comparison("a", "<", 0))
+        with pytest.raises(ExpressionError):
+            evaluator.evaluate_prefix((5,) * 3, 2)
+
+    def test_prefix_short_circuits_too(self):
+        evaluator = bound(Comparison("a", "<", 0), Comparison("b", "<", 10))
+        outcome = evaluator.evaluate_prefix((5, 5, 5), 2, short_circuit=True)
+        assert outcome.evaluations == 1
+
+
+class TestPasses:
+    def test_matches_evaluate(self):
+        evaluator = bound(Comparison("a", "<", 10), Comparison("b", ">", 2))
+        for row in [(5, 5, 0), (15, 5, 0), (5, 1, 0)]:
+            assert evaluator.passes(row) == evaluator.evaluate(row).passed
+
+
+@given(
+    rows=st.lists(
+        st.tuples(*(st.integers(-20, 20) for _ in COLUMNS)), min_size=1, max_size=30
+    ),
+    cuts=st.tuples(*(st.integers(-20, 20) for _ in COLUMNS)),
+)
+def test_short_circuit_agrees_with_full_evaluation(rows, cuts):
+    """Short-circuited and exhaustive evaluation must agree on `passed`,
+    and whenever a term was evaluated its truth must match ground truth."""
+    terms = tuple(Comparison(c, "<", cut) for c, cut in zip(COLUMNS, cuts))
+    evaluator = BoundConjunction(Conjunction(terms), COLUMNS)
+    for row in rows:
+        fast = evaluator.evaluate(row, short_circuit=True)
+        full = evaluator.evaluate(row, short_circuit=False)
+        assert fast.passed == full.passed == all(
+            row[i] < cuts[i] for i in range(len(COLUMNS))
+        )
+        assert full.evaluations == len(COLUMNS)
+        for index, value in enumerate(fast.truth):
+            if value is not None:
+                assert value == full.truth[index]

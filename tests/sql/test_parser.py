@@ -1,0 +1,187 @@
+"""Tests for the SQL-text front end."""
+
+import datetime
+
+import pytest
+
+from repro.common.errors import ExpressionError
+from repro.optimizer import JoinQuery, SingleTableQuery
+from repro.sql.parser import parse_predicate, parse_query
+from repro.sql.predicates import Between, Comparison, InList
+
+
+class TestParsePredicate:
+    def test_single_comparison(self):
+        conj = parse_predicate("c2 < 500")
+        assert conj.terms == (Comparison("c2", "<", 500),)
+
+    @pytest.mark.parametrize("op", ["<", "<=", "=", ">=", ">", "!="])
+    def test_all_operators(self, op):
+        conj = parse_predicate(f"c {op} 5")
+        assert conj.terms[0].op == op
+
+    def test_diamond_is_not_equals(self):
+        conj = parse_predicate("c <> 5")
+        assert conj.terms[0].op == "!="
+
+    def test_and_preserves_order(self):
+        conj = parse_predicate("a < 1 AND b = 2 AND c > 3")
+        assert [t.column for t in conj.terms] == ["a", "b", "c"]
+
+    def test_between(self):
+        conj = parse_predicate("c BETWEEN 10 AND 20")
+        assert conj.terms == (Between("c", 10, 20),)
+
+    def test_between_followed_by_and(self):
+        conj = parse_predicate("c BETWEEN 10 AND 20 AND d = 5")
+        assert len(conj.terms) == 2
+        assert isinstance(conj.terms[0], Between)
+
+    def test_in_list(self):
+        conj = parse_predicate("state IN ('CA', 'WA')")
+        assert conj.terms == (InList("state", ["CA", "WA"]),)
+
+    def test_string_literal_with_escape(self):
+        conj = parse_predicate("name = 'O''Brien'")
+        assert conj.terms[0].value == "O'Brien"
+
+    def test_float_literal(self):
+        conj = parse_predicate("price < 9.99")
+        assert conj.terms[0].value == 9.99
+
+    def test_date_literal(self):
+        conj = parse_predicate("shipdate = DATE '2007-06-01'")
+        assert conj.terms[0].value == datetime.date(2007, 6, 1)
+
+    def test_bad_date_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse_predicate("d = DATE 'yesterday'")
+
+    def test_keywords_case_insensitive(self):
+        conj = parse_predicate("c between 1 and 2 AND d In (3)")
+        assert len(conj.terms) == 2
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse_predicate("c < 5 extra")
+        with pytest.raises(ExpressionError):
+            parse_predicate("c &&& 5")
+        with pytest.raises(ExpressionError):
+            parse_predicate("c <")
+
+    def test_qualified_column_rejected_in_bare_predicate(self):
+        with pytest.raises(ExpressionError):
+            parse_predicate("t.c < 5")
+
+    def test_join_condition_rejected_in_bare_predicate(self):
+        with pytest.raises(ExpressionError):
+            parse_predicate("a = b")
+
+
+class TestParseSingleTableQuery:
+    def test_basic(self):
+        query = parse_query(
+            "SELECT count(padding) FROM t WHERE c2 < 500 AND c5 = 7"
+        )
+        assert isinstance(query, SingleTableQuery)
+        assert query.table == "t"
+        assert query.count_column == "padding"
+        assert query.predicate.key() == "c2 < 500 AND c5 = 7"
+
+    def test_count_star(self):
+        query = parse_query("SELECT count(*) FROM t")
+        assert query.count_column is None
+        assert len(query.predicate) == 0
+
+    def test_qualified_count_column(self):
+        query = parse_query("SELECT count(t.padding) FROM t")
+        assert query.count_column == "padding"
+
+    def test_qualified_predicate_column(self):
+        query = parse_query("SELECT count(*) FROM t WHERE t.c2 < 5")
+        assert query.predicate.terms[0].column == "c2"
+
+    def test_wrong_qualifier_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse_query("SELECT count(*) FROM t WHERE other.c2 < 5")
+
+    def test_join_condition_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse_query("SELECT count(*) FROM t WHERE a = b")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse_query("SELECT count(*) WHERE a < 5")
+
+
+class TestParseJoinQuery:
+    SQL = (
+        "SELECT count(t.padding) FROM t, t1 "
+        "WHERE t1.c1 < 1000 AND t1.c2 = t.c2"
+    )
+
+    def test_basic(self):
+        query = parse_query(self.SQL)
+        assert isinstance(query, JoinQuery)
+        assert query.join_predicate.key() == "t1.c2 = t.c2"
+        assert query.count_column == "t.padding"
+        assert query.predicates["t1"].key() == "c1 < 1000"
+
+    def test_unqualified_column_rejected_in_join(self):
+        with pytest.raises(ExpressionError):
+            parse_query("SELECT count(*) FROM a, b WHERE c < 5 AND a.x = b.y")
+
+    def test_join_needed(self):
+        with pytest.raises(ExpressionError):
+            parse_query("SELECT count(*) FROM a, b WHERE a.c < 5")
+
+    def test_self_join_condition_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse_query("SELECT count(*) FROM a, b WHERE a.x = a.y")
+
+    def test_two_join_conditions_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse_query(
+                "SELECT count(*) FROM a, b WHERE a.x = b.y AND a.z = b.w"
+            )
+
+    def test_three_tables_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse_query("SELECT count(*) FROM a, b, c WHERE a.x = b.y")
+
+    def test_selections_on_both_sides(self):
+        query = parse_query(
+            "SELECT count(a.p) FROM a, b "
+            "WHERE a.u < 5 AND a.x = b.y AND b.v = 3"
+        )
+        assert query.predicates["a"].key() == "u < 5"
+        assert query.predicates["b"].key() == "v = 3"
+
+
+class TestEndToEnd:
+    def test_parsed_query_runs(self, synthetic_db):
+        from repro.session import Session
+
+        query = parse_query("SELECT count(padding) FROM t WHERE c2 < 444")
+        executed = Session(synthetic_db).run(query)
+        assert executed.result.scalar() == 444
+
+    def test_parsed_join_runs(self, join_db):
+        from repro.session import Session
+
+        query = parse_query(
+            "SELECT count(t.padding) FROM t, t1 "
+            "WHERE t1.c1 < 300 AND t1.c2 = t.c2"
+        )
+        executed = Session(join_db).run(query)
+        assert executed.result.scalar() == 300
+
+    def test_parsed_predicate_as_request(self, synthetic_db):
+        from repro.core.requests import AccessPathRequest
+        from repro.session import Session
+
+        query = parse_query("SELECT count(padding) FROM t WHERE c2 < 444")
+        request = AccessPathRequest("t", parse_predicate("c2 < 444"))
+        executed = Session(synthetic_db).run(query, requests=[request])
+        (observation,) = executed.observations
+        assert observation.answered and observation.exact

@@ -1,0 +1,158 @@
+"""Tests for atomic predicates, conjunctions and join predicates."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ExpressionError
+from repro.sql.predicates import (
+    Between,
+    Comparison,
+    Conjunction,
+    InList,
+    JoinEquality,
+    conjunction_of,
+)
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,value,probe,expected",
+        [
+            ("<", 10, 5, True),
+            ("<", 10, 10, False),
+            ("<=", 10, 10, True),
+            ("=", 10, 10, True),
+            ("=", 10, 11, False),
+            (">=", 10, 10, True),
+            (">", 10, 10, False),
+            (">", 10, 11, True),
+            ("!=", 10, 11, True),
+            ("!=", 10, 10, False),
+        ],
+    )
+    def test_ops(self, op, value, probe, expected):
+        assert Comparison("c", op, value).matches(probe) is expected
+
+    def test_null_never_matches(self):
+        for op in ("<", "<=", "=", ">=", ">", "!="):
+            assert Comparison("c", op, 10).matches(None) is False
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison("c", "<>", 10)
+
+    def test_dates(self):
+        predicate = Comparison("d", "<", datetime.date(2007, 6, 1))
+        assert predicate.matches(datetime.date(2007, 5, 31))
+        assert not predicate.matches(datetime.date(2007, 6, 1))
+
+    def test_key_stable(self):
+        assert Comparison("c", "<", 10).key() == "c < 10"
+
+    def test_equality_by_key(self):
+        assert Comparison("c", "<", 10) == Comparison("c", "<", 10)
+        assert Comparison("c", "<", 10) != Comparison("c", "<", 11)
+        assert hash(Comparison("c", "<", 10)) == hash(Comparison("c", "<", 10))
+
+
+class TestBetween:
+    def test_closed_range(self):
+        predicate = Between("c", 5, 10)
+        assert predicate.matches(5)
+        assert predicate.matches(10)
+        assert not predicate.matches(4)
+        assert not predicate.matches(11)
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(ExpressionError):
+            Between("c", 10, 5)
+
+    def test_incomparable_bounds_rejected(self):
+        with pytest.raises(ExpressionError):
+            Between("c", 1, "z")
+
+    def test_null_never_matches(self):
+        assert not Between("c", 0, 10).matches(None)
+
+
+class TestInList:
+    def test_membership(self):
+        predicate = InList("c", [1, 3, 5])
+        assert predicate.matches(3)
+        assert not predicate.matches(2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExpressionError):
+            InList("c", [])
+
+    def test_null_never_matches(self):
+        assert not InList("c", [1]).matches(None)
+
+    def test_key_order_independent(self):
+        assert InList("c", [3, 1]).key() == InList("c", [1, 3]).key()
+
+
+class TestConjunction:
+    def test_empty_is_true(self):
+        assert Conjunction().key() == "TRUE"
+        assert len(Conjunction()) == 0
+
+    def test_columns_deduplicated_in_order(self):
+        conj = conjunction_of(
+            Comparison("a", "<", 1), Comparison("b", "<", 2), Comparison("a", ">", 0)
+        )
+        assert conj.columns() == ("a", "b")
+
+    def test_prefix(self):
+        conj = conjunction_of(Comparison("a", "<", 1), Comparison("b", "<", 2))
+        assert conj.prefix(1).terms == (Comparison("a", "<", 1),)
+        with pytest.raises(ExpressionError):
+            conj.prefix(3)
+
+    def test_is_prefix_of(self):
+        a, b, c = (Comparison(col, "<", 1) for col in "abc")
+        assert Conjunction((a,)).is_prefix_of(Conjunction((a, b)))
+        assert Conjunction((a, b)).is_prefix_of(Conjunction((a, b)))
+        assert not Conjunction((b,)).is_prefix_of(Conjunction((a, b)))
+        assert not Conjunction((a, b, c)).is_prefix_of(Conjunction((a, b)))
+        assert Conjunction(()).is_prefix_of(Conjunction((a,)))
+
+    def test_subset_of(self):
+        a, b, c = (Comparison(col, "<", 1) for col in "abc")
+        assert Conjunction((b,)).subset_of(Conjunction((a, b)))
+        assert not Conjunction((c,)).subset_of(Conjunction((a, b)))
+
+    def test_key_joins_terms(self):
+        conj = conjunction_of(Comparison("a", "<", 1), Comparison("b", "=", 2))
+        assert conj.key() == "a < 1 AND b = 2"
+
+    def test_hashable(self):
+        a = conjunction_of(Comparison("a", "<", 1))
+        b = conjunction_of(Comparison("a", "<", 1))
+        assert a == b and hash(a) == hash(b)
+
+    @given(st.lists(st.sampled_from("abcde"), max_size=5))
+    def test_prefix_property(self, columns):
+        terms = tuple(Comparison(c, "<", 1) for c in columns)
+        conj = Conjunction(terms)
+        for length in range(len(terms) + 1):
+            assert conj.prefix(length).is_prefix_of(conj)
+
+
+class TestJoinEquality:
+    def test_key(self):
+        assert JoinEquality("r1", "a", "r2", "b").key() == "r1.a = r2.b"
+
+    def test_reversed(self):
+        predicate = JoinEquality("r1", "a", "r2", "b")
+        assert predicate.reversed() == JoinEquality("r2", "b", "r1", "a")
+        assert predicate.reversed().reversed() == predicate
+
+    def test_column_for(self):
+        predicate = JoinEquality("r1", "a", "r2", "b")
+        assert predicate.column_for("r1") == "a"
+        assert predicate.column_for("r2") == "b"
+        with pytest.raises(ExpressionError):
+            predicate.column_for("r3")

@@ -1,0 +1,84 @@
+"""Tests for the SQL type system."""
+
+import datetime
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.sql.types import SqlType, infer_sql_type
+
+
+class TestValidate:
+    def test_int(self):
+        assert SqlType.INT.validate(5) == 5
+
+    def test_float_widens_int(self):
+        assert SqlType.FLOAT.validate(5) == 5.0
+        assert isinstance(SqlType.FLOAT.validate(5), float)
+
+    def test_str(self):
+        assert SqlType.STR.validate("x") == "x"
+
+    def test_date(self):
+        d = datetime.date(2007, 6, 1)
+        assert SqlType.DATE.validate(d) is d
+
+    def test_null_allowed_everywhere(self):
+        for sql_type in SqlType:
+            assert sql_type.validate(None) is None
+
+    def test_bool_rejected(self):
+        with pytest.raises(SchemaError):
+            SqlType.INT.validate(True)
+
+    @pytest.mark.parametrize(
+        "sql_type,bad",
+        [
+            (SqlType.INT, "x"),
+            (SqlType.INT, 1.5),
+            (SqlType.STR, 1),
+            (SqlType.DATE, "2007-06-01"),
+            (SqlType.FLOAT, "1.5"),
+        ],
+    )
+    def test_wrong_types_rejected(self, sql_type, bad):
+        with pytest.raises(SchemaError):
+            sql_type.validate(bad)
+
+
+class TestComparableWith:
+    def test_numeric_cross_comparable(self):
+        assert SqlType.INT.comparable_with(SqlType.FLOAT)
+        assert SqlType.FLOAT.comparable_with(SqlType.INT)
+
+    def test_same_type_comparable(self):
+        for sql_type in SqlType:
+            assert sql_type.comparable_with(sql_type)
+
+    def test_str_date_not_comparable(self):
+        assert not SqlType.STR.comparable_with(SqlType.DATE)
+        assert not SqlType.INT.comparable_with(SqlType.STR)
+
+
+class TestInfer:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (1, SqlType.INT),
+            (1.5, SqlType.FLOAT),
+            ("x", SqlType.STR),
+            (datetime.date(2000, 1, 1), SqlType.DATE),
+        ],
+    )
+    def test_infers(self, value, expected):
+        assert infer_sql_type(value) is expected
+
+    def test_none_and_bool_rejected(self):
+        with pytest.raises(SchemaError):
+            infer_sql_type(None)
+        with pytest.raises(SchemaError):
+            infer_sql_type(True)
+
+    def test_python_type_property(self):
+        assert SqlType.INT.python_type is int
+        assert SqlType.DATE.python_type is datetime.date

@@ -1,0 +1,161 @@
+"""Tests for pages, the buffer pool and the simulated clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import BufferPoolError, PageError
+from repro.common.types import FileId, PageId
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskParameters, SimulatedClock
+from repro.storage.page import (
+    ROW_OVERHEAD_BYTES,
+    USABLE_PAGE_BYTES,
+    Page,
+    rows_per_page,
+)
+
+
+class TestPage:
+    def test_append_and_get(self):
+        page = Page(PageId(0), capacity=3)
+        assert page.append((1,)) == 0
+        assert page.append((2,)) == 1
+        assert page.get(1) == (2,)
+        assert page.num_rows == 2
+
+    def test_full_page_rejects(self):
+        page = Page(PageId(0), capacity=1)
+        page.append((1,))
+        assert page.is_full
+        with pytest.raises(PageError):
+            page.append((2,))
+
+    def test_bad_slot(self):
+        page = Page(PageId(0), capacity=2)
+        with pytest.raises(PageError):
+            page.get(0)
+
+    def test_rows_in_slot_order(self):
+        page = Page(PageId(0), capacity=5)
+        for i in range(5):
+            page.append((i,))
+        assert [r[0] for r in page.rows()] == list(range(5))
+
+    def test_capacity_validation(self):
+        with pytest.raises(PageError):
+            Page(PageId(0), capacity=0)
+
+    def test_rows_per_page_formula(self):
+        assert rows_per_page(100) == USABLE_PAGE_BYTES // (100 + ROW_OVERHEAD_BYTES)
+        assert rows_per_page(10**9) == 1  # huge rows still fit one per page
+        with pytest.raises(PageError):
+            rows_per_page(0)
+
+
+class TestBufferPool:
+    def make(self, capacity=4):
+        clock = SimulatedClock()
+        return BufferPool(clock, capacity_pages=capacity), clock
+
+    def test_miss_then_hit(self):
+        pool, clock = self.make()
+        assert pool.access(FileId(0), PageId(1)) is False
+        assert pool.access(FileId(0), PageId(1)) is True
+        assert pool.stats.logical_reads == 2
+        assert pool.stats.physical_reads == 1
+
+    def test_random_vs_sequential_charges(self):
+        pool, clock = self.make()
+        pool.access(FileId(0), PageId(1), sequential=False)
+        pool.access(FileId(0), PageId(2), sequential=True)
+        params = clock.params
+        assert clock.io_ms == pytest.approx(
+            params.random_read_ms + params.sequential_read_ms
+        )
+        assert pool.stats.physical_random == 1
+        assert pool.stats.physical_sequential == 1
+
+    def test_lru_eviction_order(self):
+        pool, _clock = self.make(capacity=2)
+        pool.access(FileId(0), PageId(1))
+        pool.access(FileId(0), PageId(2))
+        pool.access(FileId(0), PageId(1))  # touch 1: now 2 is LRU
+        pool.access(FileId(0), PageId(3))  # evicts 2
+        assert (FileId(0), PageId(1)) in pool
+        assert (FileId(0), PageId(2)) not in pool
+        assert pool.stats.evictions == 1
+
+    def test_files_are_distinct(self):
+        pool, _clock = self.make()
+        pool.access(FileId(0), PageId(1))
+        assert pool.access(FileId(1), PageId(1)) is False  # different file
+
+    def test_reset_keeps_stats(self):
+        pool, _clock = self.make()
+        pool.access(FileId(0), PageId(1))
+        pool.reset()
+        assert pool.resident_pages == 0
+        assert pool.stats.physical_reads == 1
+        pool.reset_stats()
+        assert pool.stats.physical_reads == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(BufferPoolError):
+            BufferPool(SimulatedClock(), capacity_pages=0)
+
+    def test_hit_ratio(self):
+        pool, _clock = self.make()
+        assert pool.stats.hit_ratio == 0.0
+        pool.access(FileId(0), PageId(1))
+        pool.access(FileId(0), PageId(1))
+        assert pool.stats.hit_ratio == 0.5
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=200))
+    def test_resident_never_exceeds_capacity(self, accesses):
+        pool, _clock = self.make(capacity=5)
+        for page in accesses:
+            pool.access(FileId(0), PageId(page))
+        assert pool.resident_pages <= 5
+
+
+class TestSimulatedClock:
+    def test_charges_accumulate(self):
+        clock = SimulatedClock()
+        clock.charge_random_read(2)
+        clock.charge_rows(100)
+        assert clock.random_reads == 2
+        assert clock.now_ms == pytest.approx(
+            2 * clock.params.random_read_ms + 100 * clock.params.cpu_row_ms
+        )
+
+    def test_snapshot_delta(self):
+        clock = SimulatedClock()
+        clock.charge_sequential_read(3)
+        before = clock.snapshot()
+        clock.charge_random_read(1)
+        clock.charge_hashes(10)
+        delta = before.delta(clock.snapshot())
+        assert delta.random_reads == 1
+        assert delta.sequential_reads == 0
+        assert delta.total_ms == pytest.approx(
+            clock.params.random_read_ms + 10 * clock.params.cpu_hash_ms
+        )
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.charge_random_read()
+        clock.reset()
+        assert clock.now_ms == 0 and clock.random_reads == 0
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            DiskParameters(random_read_ms=-1)
+
+    def test_all_charge_kinds(self):
+        clock = SimulatedClock()
+        clock.charge_predicates(5)
+        clock.charge_bitvector_probes(5)
+        clock.charge_index_entries(5)
+        clock.charge_index_descent(2)
+        clock.charge_monitor_checks(100)
+        assert clock.cpu_ms > 0 and clock.io_ms == 0
