@@ -10,7 +10,10 @@ Commands:
   page-count monitoring, print the statistics-xml-style output and the
   estimate-vs-actual report, recommend a plan hint, and optionally
   persist the gathered feedback;
-* ``inventory [--scale S]`` — print Table I's database inventory.
+* ``inventory [--scale S]`` — print Table I's database inventory;
+* ``analyze [--strict] [--json] [--rules ...] [--plans] [paths]`` — run the
+  two-tier static analysis (codebase rules R001–R005; with ``--plans`` also
+  the plan-linter rules P001–P006 over a synthetic workload's plans).
 
 The synthetic database commands exist so the tool is usable out of the
 box; programmatic users point the same APIs at their own ``Database``.
@@ -20,7 +23,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 
 def _add_figures(subparsers) -> None:
@@ -77,12 +79,14 @@ def _cmd_figures(args) -> int:
     if unknown:
         print(f"unknown figures {unknown}; choose from {list(drivers)}")
         return 2
+    from repro.harness.timing import Stopwatch
+
     for name in names:
-        start = time.time()
+        watch = Stopwatch()
         result = drivers[name]()
         print("=" * 78)
         print(result.render())
-        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+        print(f"[{name} regenerated in {watch.elapsed_seconds:.1f}s]\n")
     return 0
 
 
@@ -127,6 +131,7 @@ def _cmd_diagnose(args) -> int:
         executed.observations,
         optimizer=session.optimizer(),
         query=query,
+        lint_findings=session.lint_findings,
     )
     print(report.render())
     hint = recommend_hint(database, query, executed.observations)
@@ -154,6 +159,35 @@ def _cmd_inventory(args) -> int:
     return 0
 
 
+def _add_analyze(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "analyze", help="run the two-tier static analysis (see docs/static_analysis.md)"
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"])
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument(
+        "--strict", action="store_true", help="exit non-zero on any finding"
+    )
+    parser.add_argument("--rules", default=None)
+    parser.add_argument(
+        "--plans",
+        action="store_true",
+        help="also lint a synthetic workload's candidate plans",
+    )
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis.cli import main as analysis_main
+
+    argv = list(args.paths)
+    for flag in ("json", "strict", "plans"):
+        if getattr(args, flag):
+            argv.append(f"--{flag}")
+    if args.rules:
+        argv.extend(["--rules", args.rules])
+    return analysis_main(argv)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -168,6 +202,7 @@ def main(argv: list[str] | None = None) -> int:
     inventory = subparsers.add_parser("inventory", help="print Table I")
     inventory.add_argument("--scale", type=float, default=0.25)
     inventory.add_argument("--seed", type=int, default=3)
+    _add_analyze(subparsers)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -175,6 +210,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _cmd_explain,
         "diagnose": _cmd_diagnose,
         "inventory": _cmd_inventory,
+        "analyze": _cmd_analyze,
     }
     return handlers[args.command](args)
 

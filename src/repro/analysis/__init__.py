@@ -1,0 +1,40 @@
+"""Two-tier static analysis for the reproduction (see docs/static_analysis.md).
+
+* **Tier 1** (:mod:`repro.analysis.planlint`) lints physical plan trees
+  between the optimizer and the monitor planner: structural soundness,
+  estimate sanity, DPC bounds and injection provenance, shape-key hygiene
+  (rules ``P001``–``P006``).
+* **Tier 2** (:mod:`repro.analysis.codelint`) checks repo-wide invariants
+  over the source tree with ``ast``: seeded RNG discipline, buffer-pool
+  accounting discipline, float-comparison and wall-clock hygiene (rules
+  ``R001``–``R005``).
+
+Both tiers report through :class:`repro.analysis.findings.Finding` and the
+shared text/JSON renderers; ``python -m repro.analysis`` (or ``python -m
+repro analyze``) runs them from the command line.
+"""
+
+from repro.analysis.codelint import CODE_RULES, lint_paths, lint_source
+from repro.analysis.findings import (
+    Finding,
+    Severity,
+    errors,
+    findings_to_json,
+    render_findings,
+    summarize,
+)
+from repro.analysis.planlint import PLAN_RULES, lint_plan
+
+__all__ = [
+    "CODE_RULES",
+    "Finding",
+    "PLAN_RULES",
+    "Severity",
+    "errors",
+    "findings_to_json",
+    "lint_paths",
+    "lint_plan",
+    "lint_source",
+    "render_findings",
+    "summarize",
+]

@@ -1,0 +1,139 @@
+"""Command line for the static-analysis subsystem.
+
+``python -m repro.analysis [--json] [--strict] [--rules ...] [paths]``
+runs the Tier-2 codebase linter over the given files/directories (default
+``src/repro``).  ``--plans`` additionally exercises the Tier-1 plan linter
+by optimizing a small synthetic workload and linting every candidate plan
+the optimizer produces — a smoke check that the optimizer's output obeys
+the plan invariants end to end.
+
+Exit status: ``0`` when clean; ``1`` when any error-severity finding (or,
+with ``--strict``, any finding at all) was produced; ``2`` on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.codelint import CODE_RULES, lint_paths
+from repro.analysis.findings import (
+    Finding,
+    errors,
+    findings_to_json,
+    render_findings,
+    summarize,
+)
+from repro.analysis.planlint import PLAN_RULES, lint_plan
+from repro.common.errors import AnalysisError
+
+
+def _split_rules(spec: Optional[str]) -> tuple[Optional[list[str]], Optional[list[str]]]:
+    """``"R001,P002"`` -> (code rules, plan rules); ``None`` -> all rules."""
+    if spec is None:
+        return None, None
+    requested = [part.strip() for part in spec.split(",") if part.strip()]
+    unknown = [r for r in requested if r not in CODE_RULES and r not in PLAN_RULES]
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule(s) {unknown}; known: "
+            f"{sorted(CODE_RULES) + sorted(PLAN_RULES)}"
+        )
+    return (
+        [r for r in requested if r in CODE_RULES],
+        [r for r in requested if r in PLAN_RULES],
+    )
+
+
+def _lint_sample_plans(plan_rules: Optional[list[str]]) -> list[Finding]:
+    """Optimize a tiny synthetic workload and lint every candidate plan."""
+    from repro.optimizer.optimizer import Optimizer
+    from repro.workloads import build_synthetic_database
+    from repro.workloads.queries import single_table_workload
+
+    database = build_synthetic_database(num_rows=2_000, seed=7)
+    optimizer = Optimizer(database)
+    findings: list[Finding] = []
+    for generated in single_table_workload(
+        database, "t", ["c2", "c3"], queries_per_column=2, seed=7
+    ):
+        for candidate in optimizer.candidates(generated.query):
+            findings.extend(
+                lint_plan(
+                    candidate,
+                    database,
+                    injections=optimizer.injections,
+                    rules=plan_rules,
+                )
+            )
+    return findings
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Two-tier static analysis: codebase invariants (R001-R005) "
+        "and plan-tree invariants (P001-P006).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on any finding (default: errors only)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated subset of rule ids, e.g. R001,R003,P005",
+    )
+    parser.add_argument(
+        "--plans",
+        action="store_true",
+        help="also lint every candidate plan of a small synthetic workload",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        code_rules, plan_rules = _split_rules(args.rules)
+        findings: list[Finding] = []
+        if code_rules is None or code_rules:
+            findings.extend(lint_paths(args.paths, rules=code_rules))
+        if args.plans and (plan_rules is None or plan_rules):
+            findings.extend(_lint_sample_plans(plan_rules))
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.json:
+            print(findings_to_json(findings))
+        else:
+            if findings:
+                print(render_findings(findings))
+            print(summarize(findings))
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # The consumer (`... | head`, `... | jq -e`) closed the pipe early;
+        # the findings still determine the exit status.  Detach stdout so
+        # interpreter shutdown does not re-raise on the final flush.
+        sys.stdout = open(os.devnull, "w")  # noqa: SIM115
+    if args.strict:
+        return 1 if findings else 0
+    return 1 if errors(findings) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

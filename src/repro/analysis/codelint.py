@@ -1,0 +1,346 @@
+"""Tier 2 — ``ast``-based invariant checker over the repro codebase.
+
+The simulated engine's claims rest on repo-wide conventions that no unit
+test can see: determinism requires every RNG to be seeded through
+:mod:`repro.common.rng`, exact DPC ground truth requires every physical
+read to be charged through :class:`~repro.storage.buffer.BufferPool`, and
+reproducible experiments require nothing to read the host wall clock.
+This module enforces them statically:
+
+========  =====================================================================
+``R001``  no direct RNG construction or module-level ``random.*`` /
+          ``np.random.*`` calls outside ``common/rng.py`` — unseeded (or
+          globally seeded) randomness breaks run-to-run determinism
+``R002``  no direct clock I/O charges (``charge_random_read`` /
+          ``charge_sequential_read``) outside ``storage/buffer.py`` — a
+          page read that bypasses the buffer pool corrupts both the
+          logical/physical accounting and monitored DPC ground truth
+``R003``  no ``==`` / ``!=`` between float-typed cost/estimate
+          expressions — compare with tolerances instead
+``R004``  no mutable default arguments
+``R005``  no wall-clock reads (``time.time`` / ``datetime.now`` /
+          ``perf_counter`` …) outside ``harness/timing.py`` — simulated
+          time comes from :class:`~repro.storage.disk.SimulatedClock`
+========  =====================================================================
+
+Suppress a finding inline with a trailing ``# lint: disable=R003`` (or a
+comma-separated list) on the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.findings import Finding, Severity
+from repro.common.errors import AnalysisError
+
+#: Rule id -> one-line description (the CLI and docs render this catalog).
+CODE_RULES: dict[str, str] = {
+    "R001": "RNG construction only through common/rng.py (determinism)",
+    "R002": "physical-read charges only inside storage/buffer.py",
+    "R003": "no ==/!= between float cost/estimate expressions",
+    "R004": "no mutable default arguments",
+    "R005": "no wall-clock reads outside harness/timing.py",
+}
+
+#: Per-rule path suffixes where the rule intentionally does not apply.
+ALLOWED_PATHS: dict[str, tuple[str, ...]] = {
+    "R001": ("common/rng.py",),
+    "R002": ("storage/buffer.py", "storage/disk.py"),
+    "R005": ("harness/timing.py",),
+}
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9, ]+)")
+
+_RNG_CALL_NAMES = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "seed",
+        "Random",
+        "SystemRandom",
+        "getrandbits",
+    }
+)
+
+_TIME_CALL_NAMES = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+    }
+)
+_DATETIME_CALL_NAMES = frozenset({"now", "utcnow", "today"})
+
+#: Identifiers that mark an expression as a float cost/estimate (R003).
+_FLOAT_NAME_RE = re.compile(
+    r"(^|_)(cost|costs|ms|dpc|selectivity|selectivities|ratio|fraction|"
+    r"overhead|speedup)($|_)|(^|_)estimated?_"
+)
+
+
+def _dotted(node: ast.AST) -> Optional[tuple[str, ...]]:
+    """``a.b.c`` -> ``("a", "b", "c")``; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _is_float_like(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    chain = _dotted(node)
+    if chain is None:
+        return False
+    return bool(_FLOAT_NAME_RE.search(chain[-1]))
+
+
+class _FileChecker(ast.NodeVisitor):
+    def __init__(self, file_label: str, rules: Sequence[str]) -> None:
+        self.file_label = file_label
+        self.rules = set(rules)
+        self.findings: list[Finding] = []
+
+    def report(self, rule: str, node: ast.AST, message: str, hint: str = "") -> None:
+        if rule not in self.rules:
+            return
+        self.findings.append(
+            Finding(
+                rule=rule,
+                severity=Severity.ERROR,
+                message=message,
+                file=self.file_label,
+                line=getattr(node, "lineno", 0),
+                hint=hint,
+            )
+        )
+
+    # -- R001 / R002 / R005: forbidden calls ---------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _dotted(node.func)
+        if chain is not None:
+            self._check_call_chain(node, chain)
+        self.generic_visit(node)
+
+    def _check_call_chain(self, node: ast.Call, chain: tuple[str, ...]) -> None:
+        root, leaf = chain[0], chain[-1]
+        if root == "random" and leaf in _RNG_CALL_NAMES:
+            self.report(
+                "R001",
+                node,
+                f"direct RNG call {'.'.join(chain)}()",
+                hint="derive a seeded stream via repro.common.rng.make_random",
+            )
+        elif (
+            root in ("np", "numpy")
+            and len(chain) >= 3
+            and chain[1] == "random"
+        ):
+            self.report(
+                "R001",
+                node,
+                f"direct numpy RNG call {'.'.join(chain)}()",
+                hint="use repro.common.rng.make_numpy_rng",
+            )
+        elif leaf in ("charge_random_read", "charge_sequential_read"):
+            self.report(
+                "R002",
+                node,
+                f"direct physical-read charge {'.'.join(chain)}()",
+                hint="route page reads through BufferPool.access so the "
+                "logical/physical counters stay exact",
+            )
+        elif root == "time" and leaf in _TIME_CALL_NAMES and len(chain) == 2:
+            self.report(
+                "R005",
+                node,
+                f"wall-clock read {'.'.join(chain)}()",
+                hint="use repro.harness.timing; simulated time comes from "
+                "SimulatedClock",
+            )
+        elif root in ("datetime", "date") and leaf in _DATETIME_CALL_NAMES:
+            self.report(
+                "R005",
+                node,
+                f"wall-clock read {'.'.join(chain)}()",
+                hint="use repro.harness.timing (or pass dates explicitly)",
+            )
+
+    # -- R001 / R005: forbidden imports --------------------------------
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        names = {alias.name for alias in node.names}
+        if module == "random" and names & _RNG_CALL_NAMES:
+            self.report(
+                "R001",
+                node,
+                f"importing RNG entry points from random: {sorted(names)}",
+                hint="derive a seeded stream via repro.common.rng",
+            )
+        elif module == "numpy.random" or (module == "numpy" and "random" in names):
+            self.report(
+                "R001",
+                node,
+                "importing numpy RNG entry points",
+                hint="use repro.common.rng.make_numpy_rng",
+            )
+        elif module == "time" and names & _TIME_CALL_NAMES:
+            self.report(
+                "R005",
+                node,
+                f"importing wall-clock entry points from time: {sorted(names)}",
+                hint="use repro.harness.timing",
+            )
+        self.generic_visit(node)
+
+    # -- R003: float equality ------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_like(left) or _is_float_like(right):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                self.report(
+                    "R003",
+                    node,
+                    f"float cost/estimate compared with {symbol}",
+                    hint="use math.isclose or an explicit tolerance",
+                )
+        self.generic_visit(node)
+
+    # -- R004: mutable defaults ----------------------------------------
+    def _check_defaults(self, node: ast.AST, args: ast.arguments) -> None:
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is None:
+                continue
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if not mutable and isinstance(default, ast.Call):
+                chain = _dotted(default.func)
+                mutable = chain is not None and chain[-1] in (
+                    "list",
+                    "dict",
+                    "set",
+                    "bytearray",
+                    "OrderedDict",
+                    "defaultdict",
+                )
+            if mutable:
+                self.report(
+                    "R004",
+                    default,
+                    "mutable default argument",
+                    hint="default to None (or use dataclasses.field) and "
+                    "construct inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+
+def _suppressed_rules(source: str) -> dict[int, set[str]]:
+    """Line number -> rules suppressed by a trailing lint comment."""
+    suppressions: dict[int, set[str]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            suppressions[number] = {r for r in rules if r}
+    return suppressions
+
+
+def _rules_for(path_label: str, rules: Sequence[str]) -> list[str]:
+    return [
+        rule
+        for rule in rules
+        if not any(
+            path_label.replace("\\", "/").endswith(suffix)
+            for suffix in ALLOWED_PATHS.get(rule, ())
+        )
+    ]
+
+
+def lint_source(
+    source: str, file_label: str, rules: Optional[Iterable[str]] = None
+) -> list[Finding]:
+    """Lint one file's source text; ``file_label`` is used in findings."""
+    selected = list(CODE_RULES) if rules is None else list(rules)
+    unknown = [r for r in selected if r not in CODE_RULES]
+    if unknown:
+        raise AnalysisError(
+            f"unknown code-lint rule(s) {unknown}; known: {sorted(CODE_RULES)}"
+        )
+    applicable = _rules_for(file_label, selected)
+    if not applicable:
+        return []
+    try:
+        tree = ast.parse(source, filename=file_label)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="R000",
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+                file=file_label,
+                line=exc.lineno or 0,
+            )
+        ]
+    checker = _FileChecker(file_label, applicable)
+    checker.visit(tree)
+    suppressions = _suppressed_rules(source)
+    return [
+        finding
+        for finding in checker.findings
+        if finding.rule not in suppressions.get(finding.line, set())
+    ]
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            files.add(path)
+        elif not path.exists():
+            raise AnalysisError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rules: Optional[Iterable[str]] = None
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, str(file_path), rules))
+    return findings

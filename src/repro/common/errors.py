@@ -67,3 +67,11 @@ class FeedbackError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload/data generator received invalid parameters."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis subsystem received invalid input."""
+
+
+class PlanLintError(AnalysisError):
+    """A plan-linter rule fired in strict mode (see repro.analysis)."""

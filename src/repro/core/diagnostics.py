@@ -13,8 +13,9 @@ better plan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
+from repro.analysis.findings import Finding, render_findings
 from repro.catalog.catalog import Database
 from repro.core.requests import PageCountObservation
 from repro.optimizer.hints import PlanHint
@@ -72,12 +73,20 @@ class DiagnosticReport:
     query: str
     plan_description: str
     lines: list[DiagnosticLine] = field(default_factory=list)
+    #: Plan-linter findings for the executed plan (repro.analysis.planlint);
+    #: a structurally suspect plan makes its DPC numbers suspect too, so
+    #: the DBA report carries them alongside the estimate-vs-actual lines.
+    lint_findings: list[Finding] = field(default_factory=list)
 
     def flagged(self, threshold: float = 2.0) -> list[DiagnosticLine]:
         return [line for line in self.lines if line.flagged(threshold)]
 
     def render(self, threshold: float = 2.0) -> str:
         rows = [f"query: {self.query}", f"plan:  {self.plan_description}", ""]
+        if self.lint_findings:
+            rows.append("plan lint:")
+            rows.append(render_findings(self.lint_findings))
+            rows.append("")
         header = f"{'expression':<58} {'est':>10} {'actual':>10} {'flag':>5}"
         rows.append(header)
         rows.append("-" * len(header))
@@ -103,7 +112,7 @@ def _plan_dpc_estimates(plan: PlanNode) -> dict[str, float]:
     from repro.core.requests import AccessPathRequest, JoinMethodRequest
     from repro.sql.predicates import Conjunction
 
-    def walk(node: PlanNode) -> None:
+    for _path, node in plan.walk():
         if isinstance(node, IndexSeekPlan):
             key = AccessPathRequest(
                 node.table, Conjunction((node.seek_term,))
@@ -128,10 +137,6 @@ def _plan_dpc_estimates(plan: PlanNode) -> dict[str, float]:
                     node.inner_table, node.join_predicate.reversed()
                 ).key()
             ] = node.estimated_dpc
-        for child in node.children():
-            walk(child)
-
-    walk(plan)
     return estimates
 
 
@@ -141,6 +146,7 @@ def diagnose(
     observations: list[PageCountObservation],
     optimizer: Optional[Optimizer] = None,
     query: Optional[Query] = None,
+    lint_findings: Optional[Sequence[Finding]] = None,
 ) -> DiagnosticReport:
     """Build the estimate-vs-actual report for one executed query.
 
@@ -149,6 +155,9 @@ def diagnose(
     (e.g. an index the optimizer rejected), passing ``optimizer`` and
     ``query`` lets the report pull the estimate from the corresponding
     *candidate* plans, which is what a DBA comparing alternatives wants.
+    ``lint_findings`` (e.g. ``Session.lint_findings``) are carried into the
+    report so plan-invariant violations render next to the numbers they
+    taint.
     """
     estimates = _plan_dpc_estimates(executed_plan)
     if optimizer is not None and query is not None:
@@ -171,6 +180,7 @@ def diagnose(
         query=query_description,
         plan_description=executed_plan.describe(),
         lines=lines,
+        lint_findings=list(lint_findings or ()),
     )
 
 

@@ -116,7 +116,7 @@ def dpsample_error_bound(
         raise MonitorError(f"confidence must be in (0, 1), got {confidence}")
     if true_dpc < 0:
         raise MonitorError("true_dpc must be non-negative")
-    if true_dpc == 0 or fraction >= 1.0:
+    if true_dpc <= 0 or fraction >= 1.0:
         return 0.0
     delta = 1.0 - confidence
     return math.sqrt(true_dpc * math.log(2.0 / delta) / 2.0) / fraction

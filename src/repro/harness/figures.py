@@ -275,23 +275,14 @@ class PageSamplingResult:
         headers = ["#predicates"] + [
             f"overhead@{f:.0%}" for f in fractions
         ] + [f"maxerr@{f:.0%}" for f in fractions]
+        by_key = {(c.num_predicates, c.fraction): c for c in self.cells}
         body = []
         for count in predicate_counts:
             row: list = [count]
             for fraction in fractions:
-                cell = next(
-                    c
-                    for c in self.cells
-                    if c.num_predicates == count and c.fraction == fraction
-                )
-                row.append(percent(cell.overhead))
+                row.append(percent(by_key[(count, fraction)].overhead))
             for fraction in fractions:
-                cell = next(
-                    c
-                    for c in self.cells
-                    if c.num_predicates == count and c.fraction == fraction
-                )
-                row.append(percent(cell.max_relative_error))
+                row.append(percent(by_key[(count, fraction)].max_relative_error))
             body.append(row)
         lines.append(format_table(headers, body))
         lines.append(

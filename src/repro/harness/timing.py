@@ -1,0 +1,34 @@
+"""Wall-clock timing for the harness — the only sanctioned host-clock reader.
+
+Everything inside the simulated engine measures time on
+:class:`~repro.storage.disk.SimulatedClock`; reading the host clock there
+would leak nondeterminism into results.  The harness still legitimately
+wants wall-clock durations ("figure regenerated in 12.3s"), so this module
+owns that capability and the codebase linter (rule ``R005`` in
+:mod:`repro.analysis.codelint`) bans ``time.time`` / ``datetime.now`` and
+friends everywhere else.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+def wall_clock_seconds() -> float:
+    """Seconds since the epoch, from the host clock."""
+    return time.time()
+
+
+@dataclass
+class Stopwatch:
+    """Measure a wall-clock duration: ``Stopwatch()`` … ``.elapsed_seconds``."""
+
+    _start: float = field(default_factory=time.perf_counter)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return time.perf_counter() - self._start
+
+    def restart(self) -> None:
+        self._start = time.perf_counter()

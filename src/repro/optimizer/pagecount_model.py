@@ -62,7 +62,7 @@ def yao_estimate(n_rows: float, total_rows: int, total_pages: int) -> float:
     floor_n = int(math.floor(n_rows))
     frac = n_rows - floor_n
     low = _yao_integer(floor_n, total_rows, total_pages)
-    if frac == 0.0:
+    if frac <= 0.0:
         return low
     high = _yao_integer(floor_n + 1, total_rows, total_pages)
     return low + frac * (high - low)

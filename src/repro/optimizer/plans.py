@@ -12,7 +12,7 @@ operators and attaches monitors.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.sql.predicates import AtomicPredicate, Conjunction, JoinEquality
 
@@ -52,6 +52,21 @@ class PlanNode:
         parts = [self.shape_key()]
         parts.extend(child.signature() for child in self.children())
         return " | ".join(parts)
+
+    def walk(self, path: str = "") -> Iterator[tuple[str, "PlanNode"]]:
+        """Preorder traversal yielding ``(path, node)`` pairs.
+
+        ``path`` is a ``/``-separated chain of node class names rooted at
+        this node (e.g. ``CountPlan/INLJoinPlan/IndexSeekPlan``), which is
+        what the plan linter reports as a finding's location.  ``None``
+        children (a malformed tree) are skipped here and reported by the
+        structural lint rule instead.
+        """
+        here = f"{path}/{type(self).__name__}" if path else type(self).__name__
+        yield here, self
+        for child in self.children():
+            if child is not None:
+                yield from child.walk(here)
 
 
 @dataclass

@@ -16,7 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.analysis.findings import Finding, errors, render_findings
+from repro.analysis.planlint import lint_plan
 from repro.catalog.catalog import Database
+from repro.common.errors import PlanLintError
 from repro.core.feedback import FeedbackStore
 from repro.core.planner import MonitorConfig, build_executable
 from repro.core.requests import PageCountRequest
@@ -61,6 +64,13 @@ class Session:
     injections: InjectionSet = field(default_factory=InjectionSet)
     monitor_config: MonitorConfig = field(default_factory=MonitorConfig)
     page_count_model: Optional[AnalyticalPageCountModel] = None
+    #: Lint every optimized plan (repro.analysis.planlint, rules P001-P006)
+    #: before it reaches the monitor planner.  Findings accumulate in
+    #: :attr:`lint_findings`; with :attr:`strict_lint` an error-severity
+    #: finding raises :class:`~repro.common.errors.PlanLintError` instead.
+    lint_plans: bool = True
+    strict_lint: bool = False
+    lint_findings: list[Finding] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def optimizer(
@@ -87,7 +97,22 @@ class Session:
         use_feedback: bool = False,
         hint: Optional[PlanHint] = None,
     ) -> PlanNode:
-        return self.optimizer(use_feedback=use_feedback, hint=hint).optimize(query)
+        optimizer = self.optimizer(use_feedback=use_feedback, hint=hint)
+        plan = optimizer.optimize(query)
+        if self.lint_plans:
+            self._lint(plan, optimizer.injections)
+        return plan
+
+    def _lint(self, plan: PlanNode, injections: InjectionSet) -> None:
+        findings = lint_plan(plan, self.database, injections=injections)
+        if not findings:
+            return
+        self.lint_findings.extend(findings)
+        if self.strict_lint and errors(findings):
+            raise PlanLintError(
+                "optimized plan violates plan invariants:\n"
+                + render_findings(findings)
+            )
 
     # ------------------------------------------------------------------
     def run_plan(

@@ -48,7 +48,7 @@ def noisy_permutation(size: int, noise: float, seed: int = 0) -> np.ndarray:
     if not 0.0 <= noise <= 1.0:
         raise WorkloadError(f"noise must be in [0, 1], got {noise}")
     values = identity_permutation(size)
-    if noise == 0.0 or size < 2:
+    if noise <= 0.0 or size < 2:
         return values
     rng = make_numpy_rng(seed, "noisy-permutation", noise)
     if noise >= 1.0:

@@ -1,0 +1,168 @@
+"""Tier-2 codebase linter: every rule fires on a violating fixture and
+stays silent on a clean one; suppression comments and per-rule allowed
+paths are honoured."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.codelint import CODE_RULES, lint_paths, lint_source
+from repro.analysis.findings import Severity
+from repro.common.errors import AnalysisError
+
+
+def rules_fired(source: str, label: str = "src/repro/some/module.py") -> set[str]:
+    return {finding.rule for finding in lint_source(source, label)}
+
+
+# ----------------------------------------------------------------------
+# R001 — RNG discipline
+# ----------------------------------------------------------------------
+class TestR001:
+    def test_fires_on_random_module_call(self):
+        assert "R001" in rules_fired("import random\nx = random.random()\n")
+
+    def test_fires_on_random_constructor(self):
+        assert "R001" in rules_fired("import random\nrng = random.Random()\n")
+
+    def test_fires_on_numpy_default_rng(self):
+        assert "R001" in rules_fired(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+
+    def test_fires_on_from_import(self):
+        assert "R001" in rules_fired("from random import Random\n")
+
+    def test_silent_on_seeded_helper(self):
+        clean = (
+            "from repro.common.rng import make_random\n"
+            "rng = make_random(7, 'stream')\n"
+            "x = rng.random()\n"
+        )
+        assert "R001" not in rules_fired(clean)
+
+    def test_allowed_inside_rng_module(self):
+        violating = "import random\nrng = random.Random(3)\n"
+        assert "R001" not in rules_fired(violating, "src/repro/common/rng.py")
+
+
+# ----------------------------------------------------------------------
+# R002 — buffer-pool accounting discipline
+# ----------------------------------------------------------------------
+class TestR002:
+    def test_fires_on_direct_charge(self):
+        assert "R002" in rules_fired("clock.charge_random_read()\n")
+        assert "R002" in rules_fired("self.clock.charge_sequential_read(4)\n")
+
+    def test_silent_on_buffer_pool_access(self):
+        assert "R002" not in rules_fired("pool.access(file_id, page_id)\n")
+
+    def test_allowed_inside_buffer_module(self):
+        violating = "self.clock.charge_random_read()\n"
+        assert "R002" not in rules_fired(violating, "src/repro/storage/buffer.py")
+
+
+# ----------------------------------------------------------------------
+# R003 — float cost/estimate equality
+# ----------------------------------------------------------------------
+class TestR003:
+    def test_fires_on_cost_equality(self):
+        assert "R003" in rules_fired("if plan.estimated_cost_ms == other_cost:\n    pass\n")
+
+    def test_fires_on_dpc_inequality(self):
+        assert "R003" in rules_fired("flag = estimated_dpc != actual_dpc\n")
+
+    def test_fires_on_float_literal(self):
+        assert "R003" in rules_fired("if value == 1.5:\n    pass\n")
+
+    def test_silent_on_tolerant_comparison(self):
+        clean = (
+            "import math\n"
+            "ok = math.isclose(estimated_cost_ms, other_cost)\n"
+            "less = estimated_dpc < actual_dpc\n"
+        )
+        assert "R003" not in rules_fired(clean)
+
+    def test_silent_on_integer_counters(self):
+        assert "R003" not in rules_fired("if stats.page_count == 0:\n    pass\n")
+
+
+# ----------------------------------------------------------------------
+# R004 — mutable default arguments
+# ----------------------------------------------------------------------
+class TestR004:
+    def test_fires_on_list_default(self):
+        assert "R004" in rules_fired("def f(items=[]):\n    return items\n")
+
+    def test_fires_on_dict_call_default(self):
+        assert "R004" in rules_fired("def f(*, options=dict()):\n    return options\n")
+
+    def test_silent_on_none_default(self):
+        assert "R004" not in rules_fired(
+            "def f(items=None):\n    return items or []\n"
+        )
+
+
+# ----------------------------------------------------------------------
+# R005 — wall-clock discipline
+# ----------------------------------------------------------------------
+class TestR005:
+    def test_fires_on_time_time(self):
+        assert "R005" in rules_fired("import time\nstart = time.time()\n")
+
+    def test_fires_on_perf_counter_import(self):
+        assert "R005" in rules_fired("from time import perf_counter\n")
+
+    def test_fires_on_datetime_now(self):
+        assert "R005" in rules_fired(
+            "import datetime\nstamp = datetime.datetime.now()\n"
+        )
+
+    def test_silent_on_timedelta(self):
+        assert "R005" not in rules_fired(
+            "import datetime\nd = datetime.timedelta(days=3)\n"
+        )
+
+    def test_allowed_inside_timing_module(self):
+        violating = "import time\nnow = time.time()\n"
+        assert "R005" not in rules_fired(violating, "src/repro/harness/timing.py")
+
+
+# ----------------------------------------------------------------------
+# Shared machinery
+# ----------------------------------------------------------------------
+class TestMachinery:
+    def test_inline_suppression(self):
+        suppressed = "x = random.random()  # lint: disable=R001\n"
+        assert rules_fired("import random\n" + suppressed) == set()
+
+    def test_suppression_is_rule_specific(self):
+        wrong_rule = "x = random.random()  # lint: disable=R005\n"
+        assert "R001" in rules_fired("import random\n" + wrong_rule)
+
+    def test_findings_carry_location_and_severity(self):
+        findings = lint_source("import time\nt = time.time()\n", "pkg/mod.py")
+        (finding,) = findings
+        assert finding.file == "pkg/mod.py"
+        assert finding.line == 2
+        assert finding.severity is Severity.ERROR
+        assert "pkg/mod.py:2" in finding.render()
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(AnalysisError):
+            lint_source("x = 1\n", "m.py", rules=["R999"])
+
+    def test_syntax_error_reported_not_raised(self):
+        (finding,) = lint_source("def broken(:\n", "m.py")
+        assert finding.rule == "R000"
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "good.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_text("import random\nrandom.seed(0)\n")
+        findings = lint_paths([tmp_path])
+        assert {f.rule for f in findings} == {"R001"}
+        assert all("bad.py" in f.file for f in findings)
+
+    def test_every_rule_has_a_description(self):
+        assert set(CODE_RULES) == {"R001", "R002", "R003", "R004", "R005"}
+        assert all(CODE_RULES[rule] for rule in CODE_RULES)
