@@ -31,7 +31,10 @@ def fetch_stream(database, cut=10_000):
     table = database.table("t")
     index = table.index("ix_c5")
     return [
-        rid.page_id for _k, rid, _p in index.seek_range(low=None, high=(cut,))
+        rid.page_id
+        for _k, rid, _p in index.seek_range(
+            database.new_io_context(), low=None, high=(cut,)
+        )
     ]
 
 

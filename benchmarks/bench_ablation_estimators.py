@@ -27,7 +27,9 @@ def test_ablation_probabilistic_vs_sampling(benchmark):
             index = table.index(f"ix_{column}")
             stream = [
                 int(rid.page_id)
-                for _k, rid, _p in index.seek_range(low=None, high=(8_000,))
+                for _k, rid, _p in index.seek_range(
+                    database.new_io_context(), low=None, high=(8_000,)
+                )
             ]
             truth = len(set(stream))
             counter = LinearCounter(table.num_pages)  # 1 bit/page

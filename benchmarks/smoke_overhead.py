@@ -1,0 +1,72 @@
+"""CI smoke gate: monitoring overhead must respect the paper's 2% bound.
+
+Runs the Fig. 6/7 single-table methodology twice:
+
+* a **Fig. 6 configuration** — reduced scale (20k rows, 3 queries per
+  column), default monitors; checks the speedup machinery end to end;
+* a **Fig. 7 configuration** — paper-scale rows (60k), fewer queries,
+  with a 100% sampling fraction (the upper edge of the Fig. 9 overhead
+  sweep).
+
+Both must keep max monitoring overhead ``(T_monitored - T) / T`` at or
+under 2% ("the monitoring overhead ... is typically less than 2% of the
+execution time of the query").  Exit status 0/1 so CI can gate on it.
+
+Run directly (``PYTHONPATH=src python benchmarks/smoke_overhead.py``) or
+via pytest (the ``test_*`` wrapper below).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.planner import MonitorConfig
+from repro.harness.figures import run_fig6_fig7
+
+#: The paper's bound on acceptable monitoring overhead.
+OVERHEAD_BOUND = 0.02
+
+#: (label, num_rows, queries_per_column, seed, monitor config) per run.
+CONFIGURATIONS = [
+    ("fig6-default-monitors", 20_000, 3, 0, MonitorConfig()),
+    ("fig7-full-sampling", 60_000, 2, 1, MonitorConfig(dpsample_fraction=1.0)),
+]
+
+
+def run_smoke() -> list[str]:
+    """Run both configurations; returns a list of bound violations."""
+    violations: list[str] = []
+    for label, num_rows, queries_per_column, seed, config in CONFIGURATIONS:
+        result = run_fig6_fig7(
+            num_rows=num_rows,
+            queries_per_column=queries_per_column,
+            seed=seed,
+            monitor_config=config,
+        )
+        worst = max(result.overheads())
+        print(
+            f"{label}: {len(result.outcomes)} queries, "
+            f"max overhead {worst:.3%} (bound {OVERHEAD_BOUND:.0%}), "
+            f"max speedup {max(result.speedups()):.1%}"
+        )
+        if worst > OVERHEAD_BOUND:
+            violations.append(
+                f"{label}: max monitoring overhead {worst:.3%} exceeds "
+                f"the paper's {OVERHEAD_BOUND:.0%} bound"
+            )
+    return violations
+
+
+def test_monitoring_overhead_within_paper_bound():
+    assert run_smoke() == []
+
+
+def main() -> int:
+    violations = run_smoke()
+    for violation in violations:
+        print(f"FAIL: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

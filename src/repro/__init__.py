@@ -18,6 +18,7 @@ Quickstart::
 """
 
 from repro.catalog import ColumnDef, Database, IndexDef, TableSchema
+from repro.engine import Engine, WorkloadItem
 from repro.core import (
     AccessPathRequest,
     FeedbackStore,
@@ -57,6 +58,7 @@ __all__ = [
     "Comparison",
     "Conjunction",
     "Database",
+    "Engine",
     "ExecutedQuery",
     "FeedbackStore",
     "IndexDef",
@@ -71,6 +73,7 @@ __all__ = [
     "SingleTableQuery",
     "SqlType",
     "TableSchema",
+    "WorkloadItem",
     "conjunction_of",
     "diagnose",
     "exact_dpc",

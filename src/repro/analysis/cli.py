@@ -74,7 +74,7 @@ def _lint_sample_plans(plan_rules: Optional[list[str]]) -> list[Finding]:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Two-tier static analysis: codebase invariants (R001-R005) "
+        description="Two-tier static analysis: codebase invariants (R001-R006) "
         "and plan-tree invariants (P001-P006).",
     )
     parser.add_argument(

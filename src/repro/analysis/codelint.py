@@ -20,7 +20,12 @@ This module enforces them statically:
 ``R004``  no mutable default arguments
 ``R005``  no wall-clock reads (``time.time`` / ``datetime.now`` /
           ``perf_counter`` …) outside ``harness/timing.py`` — simulated
-          time comes from :class:`~repro.storage.disk.SimulatedClock`
+          time comes from :class:`~repro.storage.accounting.IOContext`
+``R006``  no global clock: ``database.clock`` / ``buffer_pool.clock``
+          attribute access, ``*.clock.snapshot()`` and ``SimulatedClock``
+          construction/import are forbidden outside ``storage/disk.py``,
+          ``harness/timing.py`` and ``storage/accounting.py`` — per-query
+          accounting flows through an explicit per-execution ``IOContext``
 ========  =====================================================================
 
 Suppress a finding inline with a trailing ``# lint: disable=R003`` (or a
@@ -44,13 +49,15 @@ CODE_RULES: dict[str, str] = {
     "R003": "no ==/!= between float cost/estimate expressions",
     "R004": "no mutable default arguments",
     "R005": "no wall-clock reads outside harness/timing.py",
+    "R006": "no global clock: accounting flows through per-execution IOContext",
 }
 
 #: Per-rule path suffixes where the rule intentionally does not apply.
 ALLOWED_PATHS: dict[str, tuple[str, ...]] = {
     "R001": ("common/rng.py",),
-    "R002": ("storage/buffer.py", "storage/disk.py"),
+    "R002": ("storage/buffer.py", "storage/disk.py", "storage/accounting.py"),
     "R005": ("harness/timing.py",),
+    "R006": ("storage/disk.py", "harness/timing.py", "storage/accounting.py"),
 }
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9, ]+)")
@@ -85,6 +92,9 @@ _TIME_CALL_NAMES = frozenset(
     }
 )
 _DATETIME_CALL_NAMES = frozenset({"now", "utcnow", "today"})
+
+#: Names whose ``.clock`` attribute was the pre-IOContext global clock (R006).
+_CLOCK_OWNER_NAMES = frozenset({"database", "db", "buffer_pool"})
 
 #: Identifiers that mark an expression as a float cost/estimate (R003).
 _FLOAT_NAME_RE = re.compile(
@@ -175,7 +185,7 @@ class _FileChecker(ast.NodeVisitor):
                 node,
                 f"wall-clock read {'.'.join(chain)}()",
                 hint="use repro.harness.timing; simulated time comes from "
-                "SimulatedClock",
+                "the per-execution IOContext",
             )
         elif root in ("datetime", "date") and leaf in _DATETIME_CALL_NAMES:
             self.report(
@@ -184,6 +194,27 @@ class _FileChecker(ast.NodeVisitor):
                 f"wall-clock read {'.'.join(chain)}()",
                 hint="use repro.harness.timing (or pass dates explicitly)",
             )
+        elif leaf == "SimulatedClock":
+            self.report(
+                "R006",
+                node,
+                "construction of the retired global SimulatedClock",
+                hint="create a per-execution IOContext "
+                "(repro.storage.accounting) instead",
+            )
+        elif leaf == "snapshot" and len(chain) >= 2 and "clock" in chain[-2]:
+            # `database.clock.snapshot()` is already reported by the
+            # attribute rule below; catch the aliased forms it cannot see
+            # (`clock.snapshot()`, `self.clock.snapshot()`, `some_clock.snapshot()`).
+            owner = chain[-3] if len(chain) >= 3 else None
+            if chain[-2] != "clock" or owner not in _CLOCK_OWNER_NAMES:
+                self.report(
+                    "R006",
+                    node,
+                    f"clock snapshot protocol {'.'.join(chain)}()",
+                    hint="read counters directly off the execution's "
+                    "IOContext; the snapshot/delta protocol is retired",
+                )
 
     # -- R001 / R005: forbidden imports --------------------------------
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -210,6 +241,28 @@ class _FileChecker(ast.NodeVisitor):
                 f"importing wall-clock entry points from time: {sorted(names)}",
                 hint="use repro.harness.timing",
             )
+        elif names & {"SimulatedClock", "ClockSnapshot"}:
+            self.report(
+                "R006",
+                node,
+                "importing the retired global-clock types "
+                f"{sorted(names & {'SimulatedClock', 'ClockSnapshot'})}",
+                hint="use repro.storage.accounting.IOContext",
+            )
+        self.generic_visit(node)
+
+    # -- R006: global clock attribute access ---------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "clock":
+            owner = _dotted(node.value)
+            if owner is not None and owner[-1] in _CLOCK_OWNER_NAMES:
+                self.report(
+                    "R006",
+                    node,
+                    f"global clock access {'.'.join(owner)}.clock",
+                    hint="thread the execution's IOContext "
+                    "(repro.storage.accounting) to here and charge it",
+                )
         self.generic_visit(node)
 
     # -- R003: float equality ------------------------------------------

@@ -1,9 +1,13 @@
 """The database catalog: tables, indexes, files and shared runtime objects.
 
-A :class:`Database` owns the simulated clock, the buffer pool, file-id
+A :class:`Database` owns the disk-parameter set, the buffer pool, file-id
 allocation and the table registry.  It is the single entry point for
 creating and loading tables — examples and the benchmark harness construct
-one ``Database`` per experiment.
+one ``Database`` per experiment.  Timing and I/O *counters* are not here:
+each execution carries its own
+:class:`~repro.storage.accounting.IOContext` (see
+:meth:`Database.new_io_context`), so per-query accounting never flows
+through shared mutable state.
 """
 
 from __future__ import annotations
@@ -13,15 +17,16 @@ from typing import Any, Optional, Sequence
 from repro.common.errors import CatalogError
 from repro.common.types import FileId
 from repro.catalog.schema import IndexDef, TableSchema
+from repro.storage.accounting import IOContext
 from repro.storage.buffer import BufferPool
 from repro.storage.clustered import ClusteredFile
-from repro.storage.disk import DiskParameters, SimulatedClock
+from repro.storage.disk import DiskParameters
 from repro.storage.heap import HeapFile
 from repro.storage.table import Table
 
 
 class Database:
-    """A named collection of tables sharing one buffer pool and clock."""
+    """A named collection of tables sharing one buffer pool."""
 
     def __init__(
         self,
@@ -30,10 +35,19 @@ class Database:
         disk_params: Optional[DiskParameters] = None,
     ) -> None:
         self.name = name
-        self.clock = SimulatedClock(params=disk_params or DiskParameters())
-        self.buffer_pool = BufferPool(self.clock, capacity_pages=buffer_pool_pages)
+        self.disk_params = disk_params or DiskParameters()
+        self.buffer_pool = BufferPool(capacity_pages=buffer_pool_pages)
         self.tables: dict[str, Table] = {}
         self._next_file_id = 0
+
+    def new_io_context(self, isolated: bool = False) -> IOContext:
+        """A fresh accounting context for one execution.
+
+        ``isolated=True`` gives the context its own cold private buffer
+        frames (same capacity as the shared pool), so concurrent
+        executions cannot perturb each other's physical-read counts.
+        """
+        return IOContext(params=self.disk_params, isolated=isolated)
 
     def _allocate_file_id(self) -> FileId:
         file_id = FileId(self._next_file_id)
@@ -121,10 +135,13 @@ class Database:
         self.buffer_pool.reset()
 
     def reset_measurements(self) -> None:
-        """Cold cache + zeroed clock and I/O counters, for a fresh run."""
+        """Cold cache + zeroed shared-pool counters, for a fresh run.
+
+        Per-execution counters need no reset: every execution starts from
+        a fresh :class:`~repro.storage.accounting.IOContext`.
+        """
         self.buffer_pool.reset()
         self.buffer_pool.reset_stats()
-        self.clock.reset()
 
     def inventory(self) -> list[dict[str, Any]]:
         """Per-table geometry summary (Table I's columns)."""

@@ -25,13 +25,14 @@ algorithm of Fig. 4, used directly in tests and examples.
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.common.errors import MonitorError
 from repro.common.rng import make_random
 from repro.common.types import PageId
 from repro.sql.evaluator import BoundConjunction
 from repro.sql.predicates import Conjunction
+from repro.storage.accounting import IOContext
 
 
 class BernoulliPageSampler:
@@ -71,6 +72,7 @@ def dpsample(
     fraction: float,
     seed: int = 0,
     on_full_evaluation: Callable[[int], None] | None = None,
+    io: Optional[IOContext] = None,
 ) -> float:
     """The DPSample algorithm of Fig. 4, standalone.
 
@@ -80,17 +82,26 @@ def dpsample(
     designed to bound).  ``on_full_evaluation`` receives the number of term
     evaluations per sampled row, letting callers account overhead.
 
+    ``io``, when given, is charged the sampling run's own CPU work (the
+    per-page coin and the full-evaluation predicate terms), so DPSample's
+    overhead is measured on a context the caller owns rather than any
+    shared state.
+
     Returns the unbiased estimate ``PageCount / f`` of ``DPC(T, p)``.
     """
     sampler = BernoulliPageSampler(fraction, seed)
     bound = BoundConjunction(predicate, columns)
     page_count = 0
     for page_id, rows in pages:
+        if io is not None:
+            io.charge_monitor_checks(1)
         if not sampler.sample_page(page_id):
             continue
         satisfied = False
         for row in rows:
             outcome = bound.evaluate(row, short_circuit=False)
+            if io is not None:
+                io.charge_predicates(outcome.evaluations)
             if on_full_evaluation is not None:
                 on_full_evaluation(outcome.evaluations)
             if outcome.passed:

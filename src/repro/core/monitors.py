@@ -20,8 +20,10 @@ paper:
   each answerable request gets a :class:`~repro.core.probabilistic.LinearCounter`
   over the fetched page ids (Fig. 3).
 
-Bundles charge the simulated clock for every hash and bit-vector probe they
-perform; the *extra predicate evaluations* caused by short-circuit
+Bundles charge the executing query's
+:class:`~repro.storage.accounting.IOContext` for every hash and bit-vector
+probe they perform (the operator passes its context into the observe
+calls); the *extra predicate evaluations* caused by short-circuit
 suppression are charged by the scan operator itself (it performs them), so
 the measured monitoring overhead decomposes exactly as in Figs. 7 and 9.
 """
@@ -43,7 +45,7 @@ from repro.core.requests import (
 )
 from repro.sql.evaluator import TermOutcome
 from repro.sql.predicates import AtomicPredicate, Conjunction
-from repro.storage.disk import SimulatedClock
+from repro.storage.accounting import IOContext
 
 
 @dataclass
@@ -89,10 +91,10 @@ class _BitVectorEntry:
     page_satisfied: bool = False
     satisfied_pages: int = 0
 
-    def observe_row(self, row: Sequence[Any], clock: SimulatedClock) -> None:
+    def observe_row(self, row: Sequence[Any], io: IOContext) -> None:
         if self.page_satisfied:
             return
-        clock.charge_bitvector_probes(1)
+        io.charge_bitvector_probes(1)
         value = row[self.column_position]
         if value is not None and self.filter.may_contain(value):
             self.page_satisfied = True
@@ -118,12 +120,10 @@ class ScanMonitorBundle:
         self,
         table_name: str,
         query_term_count: int,
-        clock: SimulatedClock,
         sampler: Optional[BernoulliPageSampler] = None,
     ) -> None:
         self.table_name = table_name
         self.query_term_count = query_term_count
-        self.clock = clock
         self.sampler = sampler
         self._expression_entries: list[_ScanExpressionEntry] = []
         self._sampled_expression_entries: list[_ScanExpressionEntry] = []
@@ -201,19 +201,22 @@ class ScanMonitorBundle:
         """
         return self._current_page_sampled and self._any_nonprefix
 
-    def observe_row(self, outcome: TermOutcome, row: Sequence[Any]) -> None:
+    def observe_row(
+        self, outcome: TermOutcome, row: Sequence[Any], io: IOContext
+    ) -> None:
         """Feed one row's evaluation result to all entries.
 
         ``outcome.truth`` is indexed by the monitor conjunction's term
         order.  Exact entries consume every row; sampled entries only rows
         of sampled pages (where full truth is available); bit-vector
-        entries probe on sampled pages only.
+        entries probe on sampled pages only.  Monitoring CPU is charged to
+        ``io``, the executing query's own context.
         """
         if not self._in_page:
             raise MonitorError("observe_row called outside a page")
         # The per-row bookkeeping of §III-B ("a single comparison for each
         # row"), charged so scan-monitoring overhead is visible (Fig. 7).
-        self.clock.charge_monitor_checks(1)
+        io.charge_monitor_checks(1)
         truth = outcome.truth
         for entry in self._exact_expression_entries:
             entry.observe(truth)
@@ -221,7 +224,7 @@ class ScanMonitorBundle:
             for entry in self._sampled_expression_entries:
                 entry.observe(truth)
             for bv_entry in self._bitvector_entries:
-                bv_entry.observe_row(row, self.clock)
+                bv_entry.observe_row(row, io)
 
     def end_page(self) -> None:
         if not self._in_page:
@@ -296,11 +299,11 @@ class _FetchEntry:
     term_indexes: tuple[int, ...]
     counter: LinearCounter = field(default_factory=lambda: LinearCounter(64))
 
-    def observe(self, page_id: PageId, truth: tuple, clock: SimulatedClock) -> None:
+    def observe(self, page_id: PageId, truth: tuple, io: IOContext) -> None:
         for index in self.term_indexes:
             if truth[index] is not True:
                 return
-        clock.charge_hashes(1)
+        io.charge_hashes(1)
         self.counter.observe(int(page_id))
 
 
@@ -311,9 +314,8 @@ class FetchMonitorBundle:
     passing the page id and the residual-term outcome it computed anyway.
     """
 
-    def __init__(self, table_name: str, clock: SimulatedClock) -> None:
+    def __init__(self, table_name: str) -> None:
         self.table_name = table_name
-        self.clock = clock
         self._entries: list[_FetchEntry] = []
 
     def add_request(
@@ -335,10 +337,12 @@ class FetchMonitorBundle:
     def has_requests(self) -> bool:
         return bool(self._entries)
 
-    def observe_fetch(self, page_id: PageId, outcome: Optional[TermOutcome]) -> None:
+    def observe_fetch(
+        self, page_id: PageId, outcome: Optional[TermOutcome], io: IOContext
+    ) -> None:
         truth: tuple = outcome.truth if outcome is not None else ()
         for entry in self._entries:
-            entry.observe(page_id, truth, self.clock)
+            entry.observe(page_id, truth, io)
 
     def finish(self) -> list[PageCountObservation]:
         observations = []

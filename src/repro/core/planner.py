@@ -288,7 +288,6 @@ def _plan_scan_monitoring(
     bundle = ScanMonitorBundle(
         table_name=table_name,
         query_term_count=len(query_conjunction),
-        clock=state.database.clock,
         sampler=sampler,
     )
     for rid, request, term_indexes, exact in accepted:
@@ -311,7 +310,6 @@ def _ensure_scan_bundle(
         bundle = ScanMonitorBundle(
             table_name=table_name,
             query_term_count=query_term_count,
-            clock=state.database.clock,
             sampler=BernoulliPageSampler(state.config.dpsample_fraction, seed=seed),
         )
         scan_operator.bundle = bundle
@@ -374,7 +372,7 @@ def _plan_fetch_monitoring(
     if not accepted:
         return None, False
 
-    bundle = FetchMonitorBundle(table_name, state.database.clock)
+    bundle = FetchMonitorBundle(table_name)
     needs_full = False
     bits = state.linear_bits(table_name)
     for rid, request, term_indexes, is_prefix in accepted:
@@ -521,7 +519,7 @@ def _build_covering(plan: CoveringScanPlan, state: _Instrumentation) -> Operator
     bundle = None
     needs_full = False
     if accepted:
-        bundle = FetchMonitorBundle(plan.table, state.database.clock)
+        bundle = FetchMonitorBundle(plan.table)
         bits = state.linear_bits(plan.table)
         for rid, request, term_indexes, is_prefix in accepted:
             bundle.add_request(
@@ -546,7 +544,7 @@ def _build_inl(plan: INLJoinPlan, state: _Instrumentation) -> Operator:
     matches = state.join_requests_for(plan.inner_table, plan.join_predicate)
     bundle = None
     if matches:
-        bundle = FetchMonitorBundle(plan.inner_table, state.database.clock)
+        bundle = FetchMonitorBundle(plan.inner_table)
         bits = state.linear_bits(plan.inner_table)
         for rid, request in matches:
             # Every fetched inner row satisfies the join predicate by

@@ -1,0 +1,5 @@
+"""Thread-safe multi-session front end over the simulated engine."""
+
+from repro.engine.engine import Engine, EquivalenceReport, WorkloadItem
+
+__all__ = ["Engine", "EquivalenceReport", "WorkloadItem"]

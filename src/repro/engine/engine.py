@@ -1,0 +1,241 @@
+"""A thread-safe front end: one :class:`Engine`, many concurrent sessions.
+
+The paper's feedback loop (monitor -> remember -> re-optimize) is a
+multi-query, multi-session workflow: execution feedback is collected
+continuously across a live workload, not one cold-cache run at a time.
+The per-execution accounting refactor makes that possible — every run
+charges its own :class:`~repro.storage.accounting.IOContext` — and this
+module packages it:
+
+* :class:`Engine` owns the shared, immutable-after-load
+  :class:`~repro.catalog.Database` and one shared
+  :class:`~repro.core.FeedbackStore`, and hands out
+  :class:`~repro.session.Session` objects whose feedback writes are
+  serialized under the engine's lock.
+
+* :meth:`Engine.run_concurrent` is the concurrent-workload harness: it
+  executes a workload on N threads, each query under an *isolated*
+  context (private cold buffer frames), so per-query ``RunStats`` are
+  bit-identical to serial cold-cache runs no matter how executions
+  interleave.  :meth:`Engine.equivalence_report` runs a workload both
+  ways and diffs the per-query rows, physical-read counts and page-count
+  observations — the proof obligation of the refactor.
+
+Executions never write to tables (the stored data is immutable after
+load), so the only cross-session mutable state is the shared buffer
+pool's frame set — guarded by its own lock and bypassed entirely by
+isolated contexts — and the feedback store, serialized here.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.catalog.catalog import Database
+from repro.core.feedback import FeedbackStore
+from repro.core.planner import MonitorConfig
+from repro.core.requests import PageCountRequest
+from repro.optimizer.hints import PlanHint
+from repro.optimizer.injection import InjectionSet
+from repro.optimizer.optimizer import Query
+from repro.optimizer.pagecount_model import AnalyticalPageCountModel
+from repro.session import ExecutedQuery, Session
+
+
+@dataclass(frozen=True)
+class WorkloadItem:
+    """One query of a (possibly concurrent) workload."""
+
+    query: Query
+    requests: tuple[PageCountRequest, ...] = ()
+    use_feedback: bool = False
+    hint: Optional[PlanHint] = None
+    #: Harvest the run's observations into the engine's shared feedback
+    #: store (serialized).  Off by default: remembering changes what later
+    #: optimizations see, which a pure measurement workload rarely wants.
+    remember: bool = False
+
+
+@dataclass(frozen=True)
+class QueryComparison:
+    """Serial-vs-concurrent diff for one workload item."""
+
+    index: int
+    rows_match: bool
+    physical_reads_match: bool
+    observations_match: bool
+    serial_physical_reads: int
+    concurrent_physical_reads: int
+
+    @property
+    def matches(self) -> bool:
+        return (
+            self.rows_match
+            and self.physical_reads_match
+            and self.observations_match
+        )
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of running one workload serially and concurrently."""
+
+    comparisons: list[QueryComparison] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        return all(c.matches for c in self.comparisons)
+
+    def mismatches(self) -> list[QueryComparison]:
+        return [c for c in self.comparisons if not c.matches]
+
+
+def _observation_signature(executed: ExecutedQuery) -> list[tuple]:
+    return [
+        (obs.key, obs.mechanism, obs.answered, obs.estimate, obs.exact)
+        for obs in executed.observations
+    ]
+
+
+class Engine:
+    """Owns one database and hands out concurrent sessions."""
+
+    def __init__(
+        self,
+        database: Database,
+        monitor_config: Optional[MonitorConfig] = None,
+        page_count_model: Optional[AnalyticalPageCountModel] = None,
+    ) -> None:
+        self.database = database
+        self.feedback = FeedbackStore()
+        self.monitor_config = (
+            monitor_config if monitor_config is not None else MonitorConfig()
+        )
+        self.page_count_model = page_count_model
+        self._feedback_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def session(self, injections: Optional[InjectionSet] = None) -> Session:
+        """A new session sharing this engine's database and feedback store.
+
+        Sessions are cheap; give each thread its own (a ``Session`` itself
+        is not thread-safe — only the engine-level sharing is).
+        """
+        return Session(
+            database=self.database,
+            feedback=self.feedback,
+            injections=(
+                injections.copy() if injections is not None else InjectionSet()
+            ),
+            monitor_config=self.monitor_config,
+            page_count_model=self.page_count_model,
+            feedback_lock=self._feedback_lock,
+        )
+
+    def execute(
+        self, item: WorkloadItem, session: Optional[Session] = None
+    ) -> ExecutedQuery:
+        """Run one workload item under an isolated accounting context.
+
+        The isolated context starts with cold private buffer frames, so
+        the result is independent of any other execution in flight — the
+        engine's unit of concurrency-safe work.
+        """
+        session = session if session is not None else self.session()
+        executed = session.run(
+            item.query,
+            requests=item.requests,
+            use_feedback=item.use_feedback,
+            hint=item.hint,
+            io=self.database.new_io_context(isolated=True),
+        )
+        if item.remember:
+            session.remember(executed)
+        return executed
+
+    # ------------------------------------------------------------------
+    def run_serial(self, items: Sequence[WorkloadItem]) -> list[ExecutedQuery]:
+        """Execute the workload one item at a time, in order."""
+        session = self.session()
+        return [self.execute(item, session=session) for item in items]
+
+    def run_concurrent(
+        self, items: Sequence[WorkloadItem], num_threads: int = 4
+    ) -> list[ExecutedQuery]:
+        """Execute the workload on ``num_threads`` threads.
+
+        Items are pulled from a shared queue; each worker thread gets its
+        own session and every item an isolated context, so results arrive
+        in the input order with accounting identical to serial execution.
+        Worker exceptions propagate to the caller after all threads stop.
+        """
+        if num_threads <= 0:
+            raise ValueError(f"num_threads must be positive, got {num_threads}")
+        pending: "queue.SimpleQueue[tuple[int, WorkloadItem]]" = queue.SimpleQueue()
+        for index, item in enumerate(items):
+            pending.put((index, item))
+        results: list[Optional[ExecutedQuery]] = [None] * len(items)
+        failures: list[BaseException] = []
+        # All workers launch together so executions genuinely interleave
+        # (the harness exists to prove interleaving is harmless).
+        gate = threading.Barrier(num_threads)
+
+        def worker() -> None:
+            session = self.session()
+            gate.wait()
+            while not failures:
+                try:
+                    index, item = pending.get_nowait()
+                except queue.Empty:
+                    return
+                try:
+                    results[index] = self.execute(item, session=session)
+                except BaseException as exc:  # surfaced to the caller below
+                    failures.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=worker, name=f"engine-worker-{n}")
+            for n in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+        return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------
+    def equivalence_report(
+        self, items: Sequence[WorkloadItem], num_threads: int = 4
+    ) -> EquivalenceReport:
+        """Run ``items`` serially, then concurrently, and diff per query.
+
+        Compares rows, physical-read counts and page-count observations —
+        exact equality, no tolerances: identical plans driven over
+        identical cold private frames must charge identical counters.
+        """
+        serial = self.run_serial(items)
+        concurrent = self.run_concurrent(items, num_threads=num_threads)
+        report = EquivalenceReport()
+        for index, (ser, conc) in enumerate(zip(serial, concurrent)):
+            serial_reads = ser.result.runstats.physical_reads
+            concurrent_reads = conc.result.runstats.physical_reads
+            report.comparisons.append(
+                QueryComparison(
+                    index=index,
+                    rows_match=ser.result.rows == conc.result.rows,
+                    physical_reads_match=serial_reads == concurrent_reads,
+                    observations_match=(
+                        _observation_signature(ser)
+                        == _observation_signature(conc)
+                    ),
+                    serial_physical_reads=serial_reads,
+                    concurrent_physical_reads=concurrent_reads,
+                )
+            )
+        return report

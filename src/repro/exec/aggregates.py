@@ -42,7 +42,7 @@ class CountAggregate(Operator):
         )
         count = 0
         for row in self.child.rows(ctx):
-            ctx.clock.charge_rows(1)
+            ctx.io.charge_rows(1)
             if position is None or row[position] is not None:
                 count += 1
         self.stats.actual_rows = 1
@@ -74,8 +74,8 @@ class GroupByCountAggregate(Operator):
         position = _position_of(self.child.output_columns, self.group_column)
         groups: dict = {}
         for row in self.child.rows(ctx):
-            ctx.clock.charge_rows(1)
-            ctx.clock.charge_hashes(1)
+            ctx.io.charge_rows(1)
+            ctx.io.charge_hashes(1)
             key = row[position]
             groups[key] = groups.get(key, 0) + 1
         for key in sorted(groups, key=repr):

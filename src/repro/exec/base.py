@@ -18,19 +18,21 @@ from typing import Iterator, Optional
 from repro.catalog.catalog import Database
 from repro.core.requests import PageCountObservation
 from repro.exec.runstats import OperatorStats
-from repro.storage.disk import SimulatedClock
+from repro.storage.accounting import IOContext
 
 
 @dataclass
 class ExecutionContext:
-    """Shared state for one query execution."""
+    """Shared state for one query execution.
+
+    ``io`` is this execution's private accounting context: every operator,
+    storage call and monitor charges it, so the run's timings and read
+    counts are exact attributions (no global clock, no snapshot deltas).
+    """
 
     database: Database
+    io: IOContext
     observations: list[PageCountObservation] = field(default_factory=list)
-
-    @property
-    def clock(self) -> SimulatedClock:
-        return self.database.clock
 
 
 class Operator(ABC):

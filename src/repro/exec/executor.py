@@ -5,15 +5,22 @@
 end-of-stream step every counting mechanism needs) and assembles the
 :class:`~repro.exec.runstats.RunStats` feedback — rows, simulated timings,
 I/O counters and page-count observations.
+
+Accounting is per-execution: the run charges an
+:class:`~repro.storage.accounting.IOContext` of its own and ``RunStats``
+are read directly off it, so concurrent executions (each with its own
+context) cannot corrupt each other's numbers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.catalog.catalog import Database
 from repro.exec.base import ExecutionContext, Operator
 from repro.exec.runstats import RunStats
+from repro.storage.accounting import IOContext
 
 
 @dataclass
@@ -31,35 +38,46 @@ class QueryResult:
     def scalar(self):
         """The single value of a one-row/one-column result (COUNT queries)."""
         if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            num_columns = len(self.rows[0]) if self.rows else 0
             raise ValueError(
-                f"scalar() needs a 1x1 result, got {len(self.rows)} rows"
+                f"scalar() needs a 1x1 result, got {len(self.rows)} row(s) "
+                f"x {num_columns} column(s)"
             )
         return self.rows[0][0]
 
 
 def execute(
-    root: Operator, database: Database, cold_cache: bool = True
+    root: Operator,
+    database: Database,
+    cold_cache: bool = True,
+    io: Optional[IOContext] = None,
 ) -> QueryResult:
     """Run ``root`` to completion against ``database``.
 
-    ``cold_cache=True`` empties the buffer pool first, matching the
-    paper's measurement methodology; the clock keeps running across calls,
-    so timings are taken as before/after deltas.
+    ``io`` is the execution's accounting context; by default a fresh
+    shared-pool context is created, so every call starts from zeroed
+    counters.  With a shared-pool context, ``cold_cache=True`` empties the
+    shared buffer pool first (the paper's measurement methodology) and the
+    run leaves the pool warm for a subsequent ``cold_cache=False`` call.
+    An *isolated* context brings its own cold private frames, so the
+    shared pool is left untouched — that is the concurrent-execution path.
     """
-    if cold_cache:
+    if io is None:
+        io = database.new_io_context()
+    if cold_cache and not io.isolated:
         database.cold_cache()
-    ctx = ExecutionContext(database=database)
-    before = database.clock.snapshot()
+    ctx = ExecutionContext(database=database, io=io)
     rows = list(root.rows(ctx))
     root.finalize(ctx)
-    delta = before.delta(database.clock.snapshot())
     runstats = RunStats(
         root=root.collect_stats(),
-        elapsed_ms=delta.total_ms,
-        io_ms=delta.io_ms,
-        cpu_ms=delta.cpu_ms,
-        random_reads=delta.random_reads,
-        sequential_reads=delta.sequential_reads,
+        elapsed_ms=io.elapsed_ms,
+        io_ms=io.io_ms,
+        cpu_ms=io.cpu_ms,
+        random_reads=io.random_reads,
+        sequential_reads=io.sequential_reads,
+        logical_reads=io.logical_reads,
+        pool_hits=io.pool_hits,
         observations=list(ctx.observations),
     )
     return QueryResult(rows=rows, runstats=runstats, columns=root.output_columns)

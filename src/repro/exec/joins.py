@@ -98,7 +98,7 @@ class INLJoin(Operator):
         return [self.outer]
 
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
-        clock = ctx.clock
+        io = ctx.io
         outer_pos = _position_of(self.outer.output_columns, self.outer_join_column)
         bound = BoundConjunction(
             self.inner_residual, self.inner_table.schema.column_names
@@ -113,19 +113,19 @@ class INLJoin(Operator):
             if value is None:
                 continue
             if use_clustered:
-                fetches = clustered.fetch_by_key((value,))
+                fetches = clustered.fetch_by_key(io, (value,))
             else:
                 fetches = (
-                    self.inner_table.fetch(rid)
-                    for _key, rid, _payload in index.seek_equal(value)
+                    self.inner_table.fetch(io, rid)
+                    for _key, rid, _payload in index.seek_equal(io, value)
                 )
             for page_id, inner_row in fetches:
-                clock.charge_rows(1)
+                io.charge_rows(1)
                 outcome = bound.evaluate(inner_row, short_circuit=True)
-                clock.charge_predicates(outcome.evaluations)
+                io.charge_predicates(outcome.evaluations)
                 self.stats.predicate_evaluations += outcome.evaluations
                 if self.bundle is not None:
-                    self.bundle.observe_fetch(page_id, outcome)
+                    self.bundle.observe_fetch(page_id, outcome, io)
                 if outcome.passed:
                     self.stats.actual_rows += 1
                     yield outer_row + inner_row
@@ -177,7 +177,7 @@ class HashJoin(Operator):
         return [self.build, self.probe]
 
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
-        clock = ctx.clock
+        io = ctx.io
         build_pos = _position_of(self.build.output_columns, self.build_join_column)
         probe_pos = _position_of(self.probe.output_columns, self.probe_join_column)
 
@@ -188,10 +188,10 @@ class HashJoin(Operator):
             value = build_row[build_pos]
             if value is None:
                 continue
-            clock.charge_hashes(1)
+            io.charge_hashes(1)
             hash_table.setdefault(value, []).append(build_row)
             if self.bitvector is not None:
-                clock.charge_hashes(1)
+                io.charge_hashes(1)
                 self.bitvector.insert(value)
 
         # Probe phase: streams; the probe child's scan bundle (if any)
@@ -200,7 +200,7 @@ class HashJoin(Operator):
             value = probe_row[probe_pos]
             if value is None:
                 continue
-            clock.charge_hashes(1)
+            io.charge_hashes(1)
             matches = hash_table.get(value)
             if not matches:
                 continue
@@ -271,7 +271,7 @@ class MergeJoin(Operator):
         return [self.outer, self.inner]
 
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
-        clock = ctx.clock
+        io = ctx.io
         outer_pos = _position_of(self.outer.output_columns, self.outer_join_column)
         inner_pos = _position_of(self.inner.output_columns, self.inner_join_column)
 
@@ -282,7 +282,7 @@ class MergeJoin(Operator):
             for row in outer_rows:
                 value = row[outer_pos]
                 if value is not None:
-                    clock.charge_hashes(1)
+                    io.charge_hashes(1)
                     self.bitvector.insert(value)
             outer_iter: Iterator[tuple] = iter(outer_rows)
         else:
@@ -291,18 +291,18 @@ class MergeJoin(Operator):
 
         def next_outer() -> Optional[tuple]:
             for row in outer_iter:
-                clock.charge_rows(1)
+                io.charge_rows(1)
                 if self.bitvector_mode == "partial":
                     value = row[outer_pos]
                     if value is not None:
-                        clock.charge_hashes(1)
+                        io.charge_hashes(1)
                         self.bitvector.insert(value)
                 return row
             return None
 
         def next_inner() -> Optional[tuple]:
             for row in inner_iter:
-                clock.charge_rows(1)
+                io.charge_rows(1)
                 return row
             return None
 

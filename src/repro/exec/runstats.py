@@ -72,7 +72,24 @@ class RunStats:
     cpu_ms: float = 0.0
     random_reads: int = 0
     sequential_reads: int = 0
+    #: Buffer-pool accesses this execution made (hits + physical reads),
+    #: attributed to the run's own IOContext — not a global-pool delta.
+    logical_reads: int = 0
+    pool_hits: int = 0
     observations: list[PageCountObservation] = field(default_factory=list)
+
+    @property
+    def physical_reads(self) -> int:
+        return self.random_reads + self.sequential_reads
+
+    @property
+    def warm_ratio(self) -> float:
+        """Fraction of this run's logical reads served from the buffer
+        pool; 0.0 when the run made no logical reads (see
+        :attr:`~repro.storage.buffer.BufferPoolStats.hit_ratio`)."""
+        if self.logical_reads == 0:
+            return 0.0
+        return self.pool_hits / self.logical_reads
 
     def observation_for(self, key: str) -> Optional[PageCountObservation]:
         """Look up an observation by its request key."""
@@ -89,6 +106,9 @@ class RunStats:
             "cpu_ms": self.cpu_ms,
             "random_reads": self.random_reads,
             "sequential_reads": self.sequential_reads,
+            "logical_reads": self.logical_reads,
+            "pool_hits": self.pool_hits,
+            "warm_ratio": self.warm_ratio,
             "page_counts": [
                 {
                     "expression": obs.key,
@@ -105,7 +125,8 @@ class RunStats:
     def render(self) -> str:
         lines = [
             f"elapsed={self.elapsed_ms:.3f}ms (io={self.io_ms:.3f}, cpu={self.cpu_ms:.3f}) "
-            f"reads: random={self.random_reads} sequential={self.sequential_reads}",
+            f"reads: random={self.random_reads} sequential={self.sequential_reads} "
+            f"logical={self.logical_reads} warm={self.warm_ratio:.1%}",
             self.root.render(),
         ]
         if self.observations:

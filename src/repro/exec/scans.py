@@ -13,8 +13,8 @@ counting and DPSample.  The scan evaluates:
   terms the plan would otherwise skip (Fig. 4, step 4).
 
 All predicate-term evaluations — normal and monitoring-induced — are
-charged to the simulated clock, which is how the overhead measurements of
-Figs. 7 and 9 arise.
+charged to the execution's own IOContext, which is how the overhead
+measurements of Figs. 7 and 9 arise.
 """
 
 from __future__ import annotations
@@ -47,7 +47,7 @@ class _MonitoredScanMixin:
         """Drive the page/row loop over ``(page_id, rows_iterable)`` pairs."""
         bound = self._bind()
         num_query_terms = len(self.query_conjunction)
-        clock = ctx.clock
+        io = ctx.io
         bundle = self.bundle
         for page_id, rows in page_iter:
             self.stats.pages_touched += 1
@@ -57,7 +57,7 @@ class _MonitoredScanMixin:
             else:
                 full_eval = False
             for row in rows:
-                clock.charge_rows(1)
+                io.charge_rows(1)
                 if full_eval:
                     outcome = bound.evaluate(row, short_circuit=False)
                     passed = all(outcome.truth[:num_query_terms])
@@ -66,10 +66,10 @@ class _MonitoredScanMixin:
                         row, num_query_terms, short_circuit=True
                     )
                     passed = outcome.passed
-                clock.charge_predicates(outcome.evaluations)
+                io.charge_predicates(outcome.evaluations)
                 self.stats.predicate_evaluations += outcome.evaluations
                 if bundle is not None:
-                    bundle.observe_row(outcome, row)
+                    bundle.observe_row(outcome, row, io)
                 if passed:
                     self.stats.actual_rows += 1
                     yield row
@@ -108,7 +108,7 @@ class SeqScan(_MonitoredScanMixin, Operator):
 
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
         def pages():
-            for page_id, page in self.table.data_file.scan_pages():
+            for page_id, page in self.table.data_file.scan_pages(ctx.io):
                 yield page_id, page.rows()
 
         yield from self._scan_pages(ctx, pages())
@@ -163,7 +163,7 @@ class ClusteredRangeScan(_MonitoredScanMixin, Operator):
             current_page = None
             current_rows: list[tuple] = []
             for page_id, _slot, row in clustered.seek_range(
-                self.low, self.high, self.low_inclusive, self.high_inclusive
+                ctx.io, self.low, self.high, self.low_inclusive, self.high_inclusive
             ):
                 if page_id != current_page:
                     if current_page is not None:
@@ -222,11 +222,13 @@ class CoveringIndexScan(Operator):
         columns = self.output_columns
         bound = BoundConjunction(self.monitor_conjunction, columns)
         num_query_terms = len(self.query_conjunction)
-        clock = ctx.clock
-        leaf_pages_before = self.index.buffer_pool.stats.logical_reads
-        for key, rid, payload in self.index.scan_all():
+        io = ctx.io
+        # Per-context counters make this an exact attribution even with
+        # other executions in flight (the old code diffed global pool stats).
+        leaf_pages_before = io.logical_reads
+        for key, rid, payload in self.index.scan_all(io):
             entry_row = key + payload
-            clock.charge_rows(1)
+            io.charge_rows(1)
             if self.monitor_full_eval and self.bundle is not None:
                 outcome = bound.evaluate(entry_row, short_circuit=False)
                 passed = all(outcome.truth[:num_query_terms])
@@ -235,16 +237,14 @@ class CoveringIndexScan(Operator):
                     entry_row, num_query_terms, short_circuit=True
                 )
                 passed = outcome.passed
-            clock.charge_predicates(outcome.evaluations)
+            io.charge_predicates(outcome.evaluations)
             self.stats.predicate_evaluations += outcome.evaluations
             if self.bundle is not None:
-                self.bundle.observe_fetch(rid.page_id, outcome)
+                self.bundle.observe_fetch(rid.page_id, outcome, io)
             if passed:
                 self.stats.actual_rows += 1
                 yield entry_row
-        self.stats.pages_touched = (
-            self.index.buffer_pool.stats.logical_reads - leaf_pages_before
-        )
+        self.stats.pages_touched = io.logical_reads - leaf_pages_before
 
     def finalize(self, ctx: ExecutionContext) -> None:
         if self.bundle is not None:

@@ -63,21 +63,21 @@ class IndexSeekFetch(Operator):
 
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
         bound = BoundConjunction(self.residual, self.table.schema.column_names)
-        clock = ctx.clock
+        io = ctx.io
         pages_seen: set[int] = set()
         for _key, rid, _payload in self.index.seek_range(
-            self.low, self.high, self.low_inclusive, self.high_inclusive
+            io, self.low, self.high, self.low_inclusive, self.high_inclusive
         ):
-            page_id, row = self.table.fetch(rid)
+            page_id, row = self.table.fetch(io, rid)
             pages_seen.add(int(page_id))
-            clock.charge_rows(1)
+            io.charge_rows(1)
             outcome = bound.evaluate(
                 row, short_circuit=not self.monitor_full_eval
             )
-            clock.charge_predicates(outcome.evaluations)
+            io.charge_predicates(outcome.evaluations)
             self.stats.predicate_evaluations += outcome.evaluations
             if self.bundle is not None:
-                self.bundle.observe_fetch(page_id, outcome)
+                self.bundle.observe_fetch(page_id, outcome, io)
             if outcome.passed:
                 self.stats.actual_rows += 1
                 yield row
@@ -126,20 +126,20 @@ class IndexInListSeekFetch(Operator):
 
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
         bound = BoundConjunction(self.residual, self.table.schema.column_names)
-        clock = ctx.clock
+        io = ctx.io
         pages_seen: set[int] = set()
         for value in self.values:
-            for _key, rid, _payload in self.index.seek_equal(value):
-                page_id, row = self.table.fetch(rid)
+            for _key, rid, _payload in self.index.seek_equal(io, value):
+                page_id, row = self.table.fetch(io, rid)
                 pages_seen.add(int(page_id))
-                clock.charge_rows(1)
+                io.charge_rows(1)
                 outcome = bound.evaluate(
                     row, short_circuit=not self.monitor_full_eval
                 )
-                clock.charge_predicates(outcome.evaluations)
+                io.charge_predicates(outcome.evaluations)
                 self.stats.predicate_evaluations += outcome.evaluations
                 if self.bundle is not None:
-                    self.bundle.observe_fetch(page_id, outcome)
+                    self.bundle.observe_fetch(page_id, outcome, io)
                 if outcome.passed:
                     self.stats.actual_rows += 1
                     yield row
@@ -210,32 +210,32 @@ class IndexIntersectionFetch(Operator):
         return self.table.schema.column_names
 
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
-        clock = ctx.clock
+        io = ctx.io
         rid_sets = []
         for spec in self.seeks:
             index = self.table.index(spec.index_name)
             rids = {
                 rid
                 for _key, rid, _payload in index.seek_range(
-                    spec.low, spec.high, spec.low_inclusive, spec.high_inclusive
+                    io, spec.low, spec.high, spec.low_inclusive, spec.high_inclusive
                 )
             }
             rid_sets.append(rids)
         intersection = set.intersection(*rid_sets)
         # Hashing RIDs during the intersection is CPU work.
-        clock.charge_hashes(sum(len(s) for s in rid_sets))
+        io.charge_hashes(sum(len(s) for s in rid_sets))
 
         bound = BoundConjunction(self.residual, self.table.schema.column_names)
         pages_seen: set[int] = set()
         for rid in sorted(intersection, key=lambda r: (r.page_id, r.slot)):
-            page_id, row = self.table.fetch(rid)
+            page_id, row = self.table.fetch(io, rid)
             pages_seen.add(int(page_id))
-            clock.charge_rows(1)
+            io.charge_rows(1)
             outcome = bound.evaluate(row, short_circuit=not self.monitor_full_eval)
-            clock.charge_predicates(outcome.evaluations)
+            io.charge_predicates(outcome.evaluations)
             self.stats.predicate_evaluations += outcome.evaluations
             if self.bundle is not None:
-                self.bundle.observe_fetch(page_id, outcome)
+                self.bundle.observe_fetch(page_id, outcome, io)
             if outcome.passed:
                 self.stats.actual_rows += 1
                 yield row

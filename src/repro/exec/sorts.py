@@ -41,7 +41,7 @@ class Sort(Operator):
         materialized = list(self.child.rows(ctx))
         n = len(materialized)
         if n > 1:
-            ctx.clock.charge_predicates(int(n * math.log2(n)))
+            ctx.io.charge_predicates(int(n * math.log2(n)))
         materialized.sort(key=lambda row: row[position], reverse=self.descending)
         for row in materialized:
             self.stats.actual_rows += 1
@@ -73,7 +73,7 @@ class Filter(Operator):
         bound = BoundConjunction(self.conjunction, self.child.output_columns)
         for row in self.child.rows(ctx):
             outcome = bound.evaluate(row, short_circuit=True)
-            ctx.clock.charge_predicates(outcome.evaluations)
+            ctx.io.charge_predicates(outcome.evaluations)
             self.stats.predicate_evaluations += outcome.evaluations
             if outcome.passed:
                 self.stats.actual_rows += 1

@@ -1,8 +1,8 @@
 """Wall-clock timing for the harness — the only sanctioned host-clock reader.
 
-Everything inside the simulated engine measures time on
-:class:`~repro.storage.disk.SimulatedClock`; reading the host clock there
-would leak nondeterminism into results.  The harness still legitimately
+Everything inside the simulated engine measures time on per-execution
+:class:`~repro.storage.accounting.IOContext` objects; reading the host
+clock there would leak nondeterminism into results.  The harness still legitimately
 wants wall-clock durations ("figure regenerated in 12.3s"), so this module
 owns that capability and the codebase linter (rule ``R005`` in
 :mod:`repro.analysis.codelint`) bans ``time.time`` / ``datetime.now`` and

@@ -87,7 +87,7 @@ class AccessPathEnumerator:
         self.cost_model = (
             cost_model
             if cost_model is not None
-            else CostModel(database.clock.params)
+            else CostModel(database.disk_params)
         )
 
     # ------------------------------------------------------------------

@@ -1,6 +1,6 @@
 """The optimizer's cost model.
 
-Charges mirror the execution engine's simulated clock (``DiskParameters``):
+Charges mirror the execution engine's simulated time model (``DiskParameters``):
 sequential and random page reads, per-row CPU, per-predicate-term CPU,
 hashing, B-tree descents.  The model is deliberately *honest* about
 everything except one parameter: the **distinct page count** of a fetch,

@@ -51,7 +51,7 @@ class JoinEnumerator:
         self.cost_model = (
             cost_model
             if cost_model is not None
-            else CostModel(database.clock.params)
+            else CostModel(database.disk_params)
         )
 
     # ------------------------------------------------------------------

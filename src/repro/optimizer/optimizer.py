@@ -101,7 +101,7 @@ class Optimizer:
         alternative where applicable; injections still win."""
         self.database = database
         self.injections = injections if injections is not None else InjectionSet()
-        self.cost_model = CostModel(database.clock.params)
+        self.cost_model = CostModel(database.disk_params)
         self.cardinality = CardinalityEstimator(database, self.injections)
         self.page_counts = PageCountEstimator(
             database, page_count_model, self.injections, dpc_histograms

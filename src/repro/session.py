@@ -29,6 +29,7 @@ from repro.optimizer.injection import InjectionSet
 from repro.optimizer.optimizer import Optimizer, Query
 from repro.optimizer.pagecount_model import AnalyticalPageCountModel
 from repro.optimizer.plans import PlanNode
+from repro.storage.accounting import IOContext
 
 
 @dataclass
@@ -71,6 +72,11 @@ class Session:
     lint_plans: bool = True
     strict_lint: bool = False
     lint_findings: list[Finding] = field(default_factory=list)
+    #: Acquired around feedback-store writes when the session shares its
+    #: :class:`~repro.core.feedback.FeedbackStore` with concurrent sessions
+    #: (an :class:`~repro.engine.Engine` sets this; standalone sessions
+    #: leave it None and write directly).  Any context-manager lock works.
+    feedback_lock: Optional[object] = None
 
     # ------------------------------------------------------------------
     def optimizer(
@@ -121,12 +127,18 @@ class Session:
         plan: PlanNode,
         requests: Sequence[PageCountRequest] = (),
         cold_cache: bool = True,
+        io: Optional[IOContext] = None,
     ) -> ExecutedQuery:
-        """Execute a specific plan, with monitors for ``requests``."""
+        """Execute a specific plan, with monitors for ``requests``.
+
+        ``io`` is the execution's accounting context (default: a fresh
+        shared-pool context); pass an *isolated* context to run
+        interference-free next to concurrent executions.
+        """
         build = build_executable(
             plan, self.database, list(requests), self.monitor_config
         )
-        result = execute(build.root, self.database, cold_cache=cold_cache)
+        result = execute(build.root, self.database, cold_cache=cold_cache, io=io)
         result.runstats.observations.extend(build.unanswerable)
         return ExecutedQuery(query=query, plan=plan, result=result)
 
@@ -137,13 +149,20 @@ class Session:
         use_feedback: bool = False,
         hint: Optional[PlanHint] = None,
         cold_cache: bool = True,
+        io: Optional[IOContext] = None,
     ) -> ExecutedQuery:
         """Optimize then execute, with monitoring."""
         plan = self.optimize(query, use_feedback=use_feedback, hint=hint)
-        return self.run_plan(query, plan, requests=requests, cold_cache=cold_cache)
+        return self.run_plan(
+            query, plan, requests=requests, cold_cache=cold_cache, io=io
+        )
 
     # ------------------------------------------------------------------
     def remember(self, executed: ExecutedQuery) -> int:
         """Harvest an executed query's page-count feedback; returns the
-        number of observations stored."""
-        return self.feedback.record_run(executed.result.runstats)
+        number of observations stored.  Serialized under
+        :attr:`feedback_lock` when the store is shared."""
+        if self.feedback_lock is None:
+            return self.feedback.record_run(executed.result.runstats)
+        with self.feedback_lock:  # type: ignore[attr-defined]
+            return self.feedback.record_run(executed.result.runstats)

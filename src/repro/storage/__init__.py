@@ -1,9 +1,10 @@
 """Storage engine: pages, files, indexes, buffer pool and the disk model."""
 
+from repro.storage.accounting import IOContext
 from repro.storage.btree import BTreeIndex
 from repro.storage.buffer import BufferPool, BufferPoolStats
 from repro.storage.clustered import ClusteredFile
-from repro.storage.disk import ClockSnapshot, DiskParameters, SimulatedClock
+from repro.storage.disk import DiskParameters
 from repro.storage.heap import DataFile, HeapFile
 from repro.storage.page import (
     PAGE_SIZE_BYTES,
@@ -17,14 +18,13 @@ __all__ = [
     "BTreeIndex",
     "BufferPool",
     "BufferPoolStats",
-    "ClockSnapshot",
     "ClusteredFile",
     "DataFile",
     "DiskParameters",
     "HeapFile",
+    "IOContext",
     "PAGE_SIZE_BYTES",
     "Page",
-    "SimulatedClock",
     "Table",
     "USABLE_PAGE_BYTES",
     "rows_per_page",

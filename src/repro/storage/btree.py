@@ -25,6 +25,7 @@ from typing import Any, Iterator, Optional, Sequence
 from repro.common.errors import IndexError_
 from repro.common.types import RID, FileId, PageId
 from repro.catalog.schema import IndexDef, TableSchema
+from repro.storage.accounting import IOContext
 from repro.storage.buffer import BufferPool
 from repro.storage.page import USABLE_PAGE_BYTES
 
@@ -150,13 +151,14 @@ class BTreeIndex:
 
     def seek_range(
         self,
+        io: IOContext,
         low: Optional[Any] = None,
         high: Optional[Any] = None,
         low_inclusive: bool = True,
         high_inclusive: bool = True,
     ) -> Iterator[tuple[tuple, RID, tuple]]:
         """Yield ``(key, rid, payload)`` for keys within the range, in key
-        order, charging index-page I/O and per-entry CPU as it goes.
+        order, charging ``io`` index-page I/O and per-entry CPU as it goes.
 
         A partial (prefix) key bound on a composite index is supported by
         passing a shorter tuple; comparison semantics follow Python tuple
@@ -166,7 +168,7 @@ class BTreeIndex:
         self._require_built()
         # Root-to-leaf descent: non-leaf levels are assumed cached, so the
         # traversal costs CPU, charged once per seek.
-        self.buffer_pool.clock.charge_index_descent(1)
+        io.charge_index_descent(1)
         if low is None:
             start = 0
         else:
@@ -190,22 +192,22 @@ class BTreeIndex:
             leaf = self._leaf_page_of(index)
             if leaf != previous_leaf:
                 self.buffer_pool.access(
-                    self.file_id, leaf, sequential=previous_leaf is not None
+                    self.file_id, leaf, io, sequential=previous_leaf is not None
                 )
                 previous_leaf = leaf
-            self.buffer_pool.clock.charge_index_entries(1)
+            io.charge_index_entries(1)
             yield key, rid, payload
 
-    def seek_equal(self, key: Any) -> Iterator[tuple[tuple, RID, tuple]]:
+    def seek_equal(self, io: IOContext, key: Any) -> Iterator[tuple[tuple, RID, tuple]]:
         """All entries with exactly this (possibly prefix) key."""
         normalized = self._normalize(key)
         return self.seek_range(
-            low=normalized, high=normalized, low_inclusive=True, high_inclusive=True
+            io, low=normalized, high=normalized, low_inclusive=True, high_inclusive=True
         )
 
-    def scan_all(self) -> Iterator[tuple[tuple, RID, tuple]]:
+    def scan_all(self, io: IOContext) -> Iterator[tuple[tuple, RID, tuple]]:
         """Full leaf-order scan (the access path of a covering-index scan)."""
-        return self.seek_range()
+        return self.seek_range(io)
 
     def __repr__(self) -> str:
         return (

@@ -1,29 +1,46 @@
-"""LRU buffer pool with logical/physical I/O accounting.
+"""LRU buffer pool: shared page-residency state, per-execution accounting.
 
 Every page access in the engine goes through :meth:`BufferPool.access`.
-A *logical* read that misses the pool becomes a *physical* read and charges
-the simulated clock — a full random read for point accesses (Fetch, B-tree
-traversal) or an amortised sequential read for scan readahead.  The paper's
-experiments run with a **cold cache** ("All execution times were measured
-with a cold cache which ensures that effects due to buffering are
-eliminated"), which :meth:`reset` provides; within one query the pool still
-absorbs repeated fetches of the same hot page, exactly the effect that
-makes *distinct* page count (not fetch count) the right cost parameter.
+A *logical* read that misses the pool becomes a *physical* read and
+charges the caller's :class:`~repro.storage.accounting.IOContext` — a
+full random read for point accesses (Fetch, B-tree traversal) or an
+amortised sequential read for scan readahead.  The paper's experiments
+run with a **cold cache** ("All execution times were measured with a
+cold cache which ensures that effects due to buffering are eliminated"),
+which :meth:`reset` provides; within one query the pool still absorbs
+repeated fetches of the same hot page, exactly the effect that makes
+*distinct* page count (not fetch count) the right cost parameter.
+
+The pool splits *state* from *accounting*: which pages are resident is
+genuinely shared (and guarded by a lock, so concurrent executions can
+share warmth safely), but every counter and time charge lands on the
+context the caller passed in, never on a global.  An ``isolated``
+context bypasses the shared frames entirely and uses its own private
+frame set with the same capacity — a dedicated cold cache, which is what
+lets concurrent cold-cache runs reproduce serial numbers exactly.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.common.errors import BufferPoolError
 from repro.common.types import FileId, PageId
-from repro.storage.disk import SimulatedClock
+from repro.storage.accounting import IOContext
 
 
 @dataclass
 class BufferPoolStats:
-    """Cumulative counters since the last :meth:`BufferPool.reset_stats`."""
+    """Cumulative shared-pool counters since the last
+    :meth:`BufferPool.reset_stats`.
+
+    These describe traffic through the *shared* frame set only; isolated
+    contexts keep their own counters (see
+    :class:`~repro.storage.accounting.IOContext`), which is what
+    per-query ``RunStats`` report.
+    """
 
     logical_reads: int = 0
     physical_reads: int = 0
@@ -33,6 +50,12 @@ class BufferPoolStats:
 
     @property
     def hit_ratio(self) -> float:
+        """Fraction of logical reads served without a physical read.
+
+        Defined as 0.0 when ``logical_reads`` is zero: a pool that has
+        served no reads has demonstrated no warmth, so the "everything
+        was cold" value is reported rather than raising or returning NaN.
+        """
         if self.logical_reads == 0:
             return 0.0
         return 1.0 - self.physical_reads / self.logical_reads
@@ -43,18 +66,19 @@ class BufferPool:
 
     The pool stores only identities, not page payloads — the pages live in
     their files; what matters for the simulation is *whether a read is
-    physical* and what it costs.
+    physical* and what it costs, and the cost always lands on the caller's
+    :class:`~repro.storage.accounting.IOContext`.
     """
 
-    def __init__(self, clock: SimulatedClock, capacity_pages: int = 8192) -> None:
+    def __init__(self, capacity_pages: int = 8192) -> None:
         if capacity_pages <= 0:
             raise BufferPoolError(
                 f"buffer pool capacity must be positive, got {capacity_pages}"
             )
-        self.clock = clock
         self.capacity_pages = capacity_pages
         self._frames: OrderedDict[tuple[FileId, PageId], None] = OrderedDict()
         self.stats = BufferPoolStats()
+        self._lock = threading.Lock()
 
     def __contains__(self, key: tuple[FileId, PageId]) -> bool:
         return key in self._frames
@@ -63,34 +87,62 @@ class BufferPool:
     def resident_pages(self) -> int:
         return len(self._frames)
 
-    def access(self, file_id: FileId, page_id: PageId, sequential: bool = False) -> bool:
-        """Record one logical page read; returns True if it hit the pool.
+    def access(
+        self,
+        file_id: FileId,
+        page_id: PageId,
+        io: IOContext,
+        sequential: bool = False,
+    ) -> bool:
+        """Record one logical page read; returns True if it hit a frame.
 
-        On a miss the page is faulted in: the clock is charged one physical
+        On a miss the page is faulted in: ``io`` is charged one physical
         read (sequential or random) and an LRU victim is evicted if the
-        pool is full.
+        frame set is full.  Shared-frame bookkeeping happens under the
+        pool lock; an ``isolated`` context uses its private frame set
+        (same capacity, initially cold) and touches no shared state.
         """
         key = (file_id, page_id)
-        self.stats.logical_reads += 1
-        if key in self._frames:
-            self._frames.move_to_end(key)
+        if io.isolated:
+            return self._touch(io.private_frames(), key, io, sequential)
+        with self._lock:
+            hit = self._touch(self._frames, key, io, sequential)
+            self.stats.logical_reads += 1
+            if not hit:
+                self.stats.physical_reads += 1
+                if sequential:
+                    self.stats.physical_sequential += 1
+                else:
+                    self.stats.physical_random += 1
+            return hit
+
+    def _touch(
+        self,
+        frames: "OrderedDict[tuple[FileId, PageId], None]",
+        key: tuple[FileId, PageId],
+        io: IOContext,
+        sequential: bool,
+    ) -> bool:
+        if key in frames:
+            frames.move_to_end(key)
+            io.record_pool_hit()
             return True
-        self.stats.physical_reads += 1
         if sequential:
-            self.stats.physical_sequential += 1
-            self.clock.charge_sequential_read()
+            io.charge_sequential_read()
         else:
-            self.stats.physical_random += 1
-            self.clock.charge_random_read()
-        if len(self._frames) >= self.capacity_pages:
-            self._frames.popitem(last=False)
-            self.stats.evictions += 1
-        self._frames[key] = None
+            io.charge_random_read()
+        if len(frames) >= self.capacity_pages:
+            frames.popitem(last=False)
+            io.record_eviction()
+            if frames is self._frames:
+                self.stats.evictions += 1
+        frames[key] = None
         return False
 
     def reset(self) -> None:
-        """Cold-cache reset: drop all frames (keeps cumulative stats)."""
-        self._frames.clear()
+        """Cold-cache reset: drop all shared frames (keeps cumulative stats)."""
+        with self._lock:
+            self._frames.clear()
 
     def reset_stats(self) -> None:
         self.stats = BufferPoolStats()

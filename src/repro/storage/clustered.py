@@ -22,6 +22,7 @@ from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.common.errors import StorageError
 from repro.common.types import RID, FileId, PageId
+from repro.storage.accounting import IOContext
 from repro.storage.buffer import BufferPool
 from repro.storage.heap import DataFile
 
@@ -98,6 +99,7 @@ class ClusteredFile(DataFile):
 
     def seek_range(
         self,
+        io: IOContext,
         low: Optional[tuple],
         high: Optional[tuple],
         low_inclusive: bool = True,
@@ -117,7 +119,7 @@ class ClusteredFile(DataFile):
                 if low_inclusive
                 else self.first_page_with_key_gt(low)
             )
-        for page_id, page in self.scan_pages(start_page=start):
+        for page_id, page in self.scan_pages(io, start_page=start):
             for slot, row in enumerate(page.rows()):
                 key = self.key_of(row)
                 if low is not None:
@@ -132,7 +134,7 @@ class ClusteredFile(DataFile):
                         return
                 yield page_id, slot, row
 
-    def fetch_by_key(self, key: tuple) -> Iterator[tuple[PageId, tuple]]:
+    def fetch_by_key(self, io: IOContext, key: tuple) -> Iterator[tuple[PageId, tuple]]:
         """Random-access fetch of all rows with the exact clustering key.
 
         Charges a random read for the first page of the run and sequential
@@ -140,7 +142,7 @@ class ClusteredFile(DataFile):
         order).  Used by INL joins whose inner index *is* the clustered key.
         """
         self._require_loaded()
-        self.buffer_pool.clock.charge_index_descent(1)
+        io.charge_index_descent(1)
         start = self.first_page_with_key_ge(key)
         first_read = True
         for page_index in range(start, len(self._pages)):
@@ -149,7 +151,7 @@ class ClusteredFile(DataFile):
             page = self._pages[page_index]
             # The page's key range straddles ``key``: it must be read.
             self.buffer_pool.access(
-                self.file_id, page.page_id, sequential=not first_read
+                self.file_id, page.page_id, io, sequential=not first_read
             )
             first_read = False
             for row in page.rows():

@@ -1,10 +1,10 @@
-"""Simulated disk and CPU cost model.
+"""Simulated disk and CPU cost model parameters.
 
 The paper measures wall-clock execution times on SQL Server with a cold
-cache.  Our substitute is a deterministic simulated clock: every physical
-page read advances the clock by a seek-dominated *random* read time or an
+cache.  Our substitute is a deterministic simulated time model: every
+physical page read costs a seek-dominated *random* read time or an
 amortised *sequential* read time, and CPU work (row processing, predicate
-term evaluation, hashing for monitors and joins) advances it by small
+term evaluation, hashing for monitors and joins) costs small
 per-operation charges.  SpeedUp and monitoring overhead in the paper are
 time *ratios*, which this model reproduces; the default parameters follow
 mid-2000s commodity disks (~5 ms random read, ~100 MB/s sequential, i.e.
@@ -15,11 +15,16 @@ The monitoring-specific charges (``cpu_hash_ms``, ``cpu_bitvector_probe_ms``)
 are what make Figs. 7 and 9 measurable: monitoring adds hashes and extra
 predicate evaluations, never extra I/O, so its cost shows up purely as CPU
 time against the query's I/O+CPU total.
+
+This module defines only the immutable *rates*.  The mutable *counters*
+live in per-execution :class:`~repro.storage.accounting.IOContext`
+objects — there is deliberately no global clock and no snapshot/delta
+protocol; see ``accounting.py`` for the ownership story.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -56,87 +61,3 @@ class DiskParameters:
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
-
-
-@dataclass
-class SimulatedClock:
-    """Accumulates simulated elapsed time, split into I/O and CPU parts."""
-
-    params: DiskParameters = field(default_factory=DiskParameters)
-    io_ms: float = 0.0
-    cpu_ms: float = 0.0
-    random_reads: int = 0
-    sequential_reads: int = 0
-
-    @property
-    def now_ms(self) -> float:
-        """Total simulated elapsed time."""
-        return self.io_ms + self.cpu_ms
-
-    # -- I/O charges ----------------------------------------------------
-    def charge_random_read(self, pages: int = 1) -> None:
-        self.io_ms += self.params.random_read_ms * pages
-        self.random_reads += pages
-
-    def charge_sequential_read(self, pages: int = 1) -> None:
-        self.io_ms += self.params.sequential_read_ms * pages
-        self.sequential_reads += pages
-
-    # -- CPU charges ------------------------------------------------------
-    def charge_rows(self, rows: int = 1) -> None:
-        self.cpu_ms += self.params.cpu_row_ms * rows
-
-    def charge_predicates(self, evaluations: int = 1) -> None:
-        self.cpu_ms += self.params.cpu_predicate_ms * evaluations
-
-    def charge_hashes(self, hashes: int = 1) -> None:
-        self.cpu_ms += self.params.cpu_hash_ms * hashes
-
-    def charge_bitvector_probes(self, probes: int = 1) -> None:
-        self.cpu_ms += self.params.cpu_bitvector_probe_ms * probes
-
-    def charge_index_entries(self, entries: int = 1) -> None:
-        self.cpu_ms += self.params.cpu_index_entry_ms * entries
-
-    def charge_index_descent(self, descents: int = 1) -> None:
-        self.cpu_ms += self.params.cpu_index_descent_ms * descents
-
-    def charge_monitor_checks(self, checks: int = 1) -> None:
-        self.cpu_ms += self.params.cpu_monitor_check_ms * checks
-
-    def snapshot(self) -> "ClockSnapshot":
-        return ClockSnapshot(
-            io_ms=self.io_ms,
-            cpu_ms=self.cpu_ms,
-            random_reads=self.random_reads,
-            sequential_reads=self.sequential_reads,
-        )
-
-    def reset(self) -> None:
-        self.io_ms = 0.0
-        self.cpu_ms = 0.0
-        self.random_reads = 0
-        self.sequential_reads = 0
-
-
-@dataclass(frozen=True)
-class ClockSnapshot:
-    """Immutable copy of the clock counters, for before/after deltas."""
-
-    io_ms: float
-    cpu_ms: float
-    random_reads: int
-    sequential_reads: int
-
-    @property
-    def total_ms(self) -> float:
-        return self.io_ms + self.cpu_ms
-
-    def delta(self, later: "ClockSnapshot") -> "ClockSnapshot":
-        """Counters accumulated between this snapshot and ``later``."""
-        return ClockSnapshot(
-            io_ms=later.io_ms - self.io_ms,
-            cpu_ms=later.cpu_ms - self.cpu_ms,
-            random_reads=later.random_reads - self.random_reads,
-            sequential_reads=later.sequential_reads - self.sequential_reads,
-        )

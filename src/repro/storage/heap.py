@@ -2,10 +2,11 @@
 
 :class:`DataFile` is the shared base for the two physical table layouts
 (heap and clustered); it owns the page array, bulk append and RID fetch.
-All *reads* are routed through the buffer pool so the simulated clock sees
-them.  Scans read pages in allocation order with sequential I/O charges
-(readahead); RID fetches are random reads — this asymmetry is the entire
-economics of the paper's Index Seek vs. Table Scan decision.
+All *reads* are routed through the buffer pool, which charges the
+caller's :class:`~repro.storage.accounting.IOContext`.  Scans read pages
+in allocation order with sequential I/O charges (readahead); RID fetches
+are random reads — this asymmetry is the entire economics of the paper's
+Index Seek vs. Table Scan decision.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ from typing import Any, Iterator, Optional, Sequence
 
 from repro.common.errors import StorageError
 from repro.common.types import RID, FileId, PageId
+from repro.storage.accounting import IOContext
 from repro.storage.buffer import BufferPool
 from repro.storage.page import Page, rows_per_page
 
@@ -52,7 +54,7 @@ class DataFile:
         return [self.append_row(row) for row in rows]
 
     # ------------------------------------------------------------------
-    # Read path (charges the buffer pool / clock)
+    # Read path (charges the caller's IOContext via the buffer pool)
     # ------------------------------------------------------------------
     @property
     def num_pages(self) -> int:
@@ -71,21 +73,21 @@ class DataFile:
             )
         return self._pages[page_id]
 
-    def fetch(self, rid: RID) -> tuple[PageId, tuple]:
+    def fetch(self, io: IOContext, rid: RID) -> tuple[PageId, tuple]:
         """Random-access read of one row by RID.
 
         Returns ``(page_id, row)`` — the page id is what the paper's
-        Fetch-side monitors consume.  Charges a random physical read if the
-        page is not buffered.
+        Fetch-side monitors consume.  Charges ``io`` a random physical
+        read if the page is not buffered.
         """
         page = self.page(rid.page_id)
-        self.buffer_pool.access(self.file_id, rid.page_id, sequential=False)
+        self.buffer_pool.access(self.file_id, rid.page_id, io, sequential=False)
         return rid.page_id, page.get(rid.slot)
 
     def scan_pages(
-        self, start_page: int = 0, end_page: Optional[int] = None
+        self, io: IOContext, start_page: int = 0, end_page: Optional[int] = None
     ) -> Iterator[tuple[PageId, Page]]:
-        """Iterate pages in allocation order, charging sequential reads.
+        """Iterate pages in allocation order, charging ``io`` sequential reads.
 
         ``start_page``/``end_page`` bound the scan (used by clustered range
         seeks); ``end_page`` is exclusive and defaults to the file end.
@@ -93,16 +95,16 @@ class DataFile:
         stop = len(self._pages) if end_page is None else min(end_page, len(self._pages))
         for page_id in range(start_page, stop):
             page = self._pages[page_id]
-            self.buffer_pool.access(self.file_id, page.page_id, sequential=True)
+            self.buffer_pool.access(self.file_id, page.page_id, io, sequential=True)
             yield page.page_id, page
 
-    def scan_rows(self) -> Iterator[tuple[PageId, int, tuple]]:
+    def scan_rows(self, io: IOContext) -> Iterator[tuple[PageId, int, tuple]]:
         """Full scan yielding ``(page_id, slot, row)`` in grouped page order.
 
         This ordering is the *grouped page access* property of Section III:
         once the iterator moves past a page, that page never reappears.
         """
-        for page_id, page in self.scan_pages():
+        for page_id, page in self.scan_pages(io):
             for slot, row in enumerate(page.rows()):
                 yield page_id, slot, row
 

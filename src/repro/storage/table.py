@@ -15,6 +15,7 @@ from repro.common.errors import CatalogError, StorageError
 from repro.common.types import RID, FileId, PageId
 from repro.catalog.schema import IndexDef, TableSchema
 from repro.catalog.statistics import TableStatistics, build_statistics
+from repro.storage.accounting import IOContext
 from repro.storage.btree import BTreeIndex
 from repro.storage.buffer import BufferPool
 from repro.storage.clustered import ClusteredFile
@@ -179,13 +180,13 @@ class Table:
             if idx.definition.leading_column == column
         ]
 
-    def fetch(self, rid: RID) -> tuple[PageId, tuple]:
+    def fetch(self, io: IOContext, rid: RID) -> tuple[PageId, tuple]:
         """Random-access row fetch (the Fetch operator's storage call)."""
-        return self.data_file.fetch(rid)
+        return self.data_file.fetch(io, rid)
 
-    def scan_rows(self) -> Iterator[tuple[PageId, int, tuple]]:
-        """Full sequential scan in grouped page order (charges I/O)."""
-        return self.data_file.scan_rows()
+    def scan_rows(self, io: IOContext) -> Iterator[tuple[PageId, int, tuple]]:
+        """Full sequential scan in grouped page order (charges ``io``)."""
+        return self.data_file.scan_rows(io)
 
     def clustered_file(self) -> ClusteredFile:
         if not isinstance(self.data_file, ClusteredFile):
@@ -209,7 +210,7 @@ class Table:
 
 
 def _silent_scan(data_file: DataFile) -> Iterator[tuple[PageId, int, tuple]]:
-    """Scan without buffer-pool/clock accounting (load-time operations)."""
+    """Scan without buffer-pool/IOContext accounting (load-time operations)."""
     for page_index in range(data_file.num_pages):
         page = data_file.page(PageId(page_index))
         for slot, row in enumerate(page.rows()):

@@ -129,6 +129,59 @@ class TestR005:
 
 
 # ----------------------------------------------------------------------
+# R006 — no global clock: accounting flows through IOContext
+# ----------------------------------------------------------------------
+class TestR006:
+    def test_fires_on_database_clock_attribute(self):
+        assert "R006" in rules_fired("elapsed = database.clock.now_ms\n")
+        assert "R006" in rules_fired("params = self.database.clock.params\n")
+
+    def test_fires_on_db_and_buffer_pool_owners(self):
+        assert "R006" in rules_fired("t = db.clock\n")
+        assert "R006" in rules_fired("c = pool.buffer_pool.clock\n")
+
+    def test_fires_on_snapshot_protocol(self):
+        assert "R006" in rules_fired("before = some_clock.snapshot()\n")
+
+    def test_fires_once_on_owner_clock_snapshot(self):
+        source = "before = database.clock.snapshot()\n"
+        findings = lint_source(source, "src/repro/some/module.py")
+        assert len([f for f in findings if f.rule == "R006"]) == 1
+
+    def test_fires_on_simulated_clock_construction(self):
+        assert "R006" in rules_fired("clock = SimulatedClock()\n")
+
+    def test_fires_on_legacy_imports(self):
+        assert "R006" in rules_fired(
+            "from repro.storage.disk import SimulatedClock\n"
+        )
+        assert "R006" in rules_fired(
+            "from repro.storage.disk import ClockSnapshot\n"
+        )
+
+    def test_silent_on_io_context_use(self):
+        clean = (
+            "io = database.new_io_context()\n"
+            "io.charge_rows(5)\n"
+            "elapsed = io.elapsed_ms\n"
+        )
+        assert "R006" not in rules_fired(clean)
+
+    def test_silent_on_unrelated_clock_names(self):
+        assert "R006" not in rules_fired("period = config.clock_skew_ms\n")
+        assert "R006" not in rules_fired("wall = stopwatch.snapshot\n")
+
+    def test_allowed_inside_sanctioned_modules(self):
+        violating = "c = database.clock\n"
+        for path in (
+            "src/repro/storage/disk.py",
+            "src/repro/harness/timing.py",
+            "src/repro/storage/accounting.py",
+        ):
+            assert "R006" not in rules_fired(violating, path)
+
+
+# ----------------------------------------------------------------------
 # Shared machinery
 # ----------------------------------------------------------------------
 class TestMachinery:
@@ -164,5 +217,12 @@ class TestMachinery:
         assert all("bad.py" in f.file for f in findings)
 
     def test_every_rule_has_a_description(self):
-        assert set(CODE_RULES) == {"R001", "R002", "R003", "R004", "R005"}
+        assert set(CODE_RULES) == {
+            "R001",
+            "R002",
+            "R003",
+            "R004",
+            "R005",
+            "R006",
+        }
         assert all(CODE_RULES[rule] for rule in CODE_RULES)

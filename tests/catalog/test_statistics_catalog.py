@@ -7,6 +7,7 @@ from repro.catalog.statistics import build_statistics
 from repro.common.errors import CatalogError, EstimationError, StorageError
 from repro.sql.predicates import Comparison, Conjunction, conjunction_of
 from repro.sql.types import SqlType
+from repro.storage.accounting import IOContext
 
 from tests.conftest import make_tiny_table
 
@@ -113,18 +114,33 @@ class TestDatabase:
 
     def test_cold_cache_empties_pool(self):
         database, table, _rows = make_tiny_table(num_rows=300)
-        table.fetch(next(iter([r for r in [table._rids[0]]])))
+        table.fetch(database.new_io_context(), table._rids[0])
         assert database.buffer_pool.resident_pages > 0
         database.cold_cache()
         assert database.buffer_pool.resident_pages == 0
 
-    def test_reset_measurements_zeroes_clock(self):
+    def test_new_io_context_uses_catalog_params(self):
         database, table, _rows = make_tiny_table(num_rows=300)
-        table.fetch(table._rids[5])
-        assert database.clock.now_ms > 0
+        io = database.new_io_context()
+        assert io.params is database.disk_params
+        assert not io.isolated
+        assert database.new_io_context(isolated=True).isolated
+
+    def test_contexts_start_cold_and_independent(self):
+        database, table, _rows = make_tiny_table(num_rows=300)
+        first = database.new_io_context()
+        table.fetch(first, table._rids[5])
+        assert first.elapsed_ms > 0
+        second = database.new_io_context()
+        assert second.elapsed_ms == 0  # fresh context, no global carry-over
+
+    def test_reset_measurements_clears_pool_state(self):
+        database, table, _rows = make_tiny_table(num_rows=300)
+        table.fetch(database.new_io_context(), table._rids[5])
+        assert database.buffer_pool.stats.logical_reads > 0
         database.reset_measurements()
-        assert database.clock.now_ms == 0
         assert database.buffer_pool.stats.logical_reads == 0
+        assert database.buffer_pool.resident_pages == 0
 
     def test_file_ids_unique(self):
         database = Database("d")

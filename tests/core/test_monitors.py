@@ -10,7 +10,7 @@ from repro.core.monitors import FetchMonitorBundle, ScanMonitorBundle
 from repro.core.requests import AccessPathRequest, Mechanism
 from repro.sql import Comparison, conjunction_of
 from repro.sql.evaluator import TermOutcome
-from repro.storage.disk import SimulatedClock
+from repro.storage.accounting import IOContext
 
 
 def outcome(*truth) -> TermOutcome:
@@ -25,7 +25,7 @@ def request(expr="a < 1"):
 
 class TestScanBundleProtocol:
     def make(self, sampler=None):
-        return ScanMonitorBundle("t", query_term_count=1, clock=SimulatedClock(), sampler=sampler)
+        return ScanMonitorBundle("t", query_term_count=1, sampler=sampler)
 
     def test_double_start_page_rejected(self):
         bundle = self.make()
@@ -37,7 +37,7 @@ class TestScanBundleProtocol:
     def test_observe_outside_page_rejected(self):
         bundle = self.make()
         with pytest.raises(MonitorError):
-            bundle.observe_row(outcome(True), (1,))
+            bundle.observe_row(outcome(True), (1,), IOContext())
 
     def test_end_outside_page_rejected(self):
         bundle = self.make()
@@ -53,17 +53,18 @@ class TestScanBundleProtocol:
 
 class TestExactCounting:
     def test_counts_pages_with_any_satisfying_row(self):
-        bundle = ScanMonitorBundle("t", 1, SimulatedClock())
+        io = IOContext()
+        bundle = ScanMonitorBundle("t", 1)
         bundle.add_expression_request(request(), (0,), exact=True)
         # Page 0: one satisfying row among several.
         bundle.start_page(PageId(0))
-        bundle.observe_row(outcome(False), (9,))
-        bundle.observe_row(outcome(True), (0,))
-        bundle.observe_row(outcome(False), (9,))
+        bundle.observe_row(outcome(False), (9,), io)
+        bundle.observe_row(outcome(True), (0,), io)
+        bundle.observe_row(outcome(False), (9,), io)
         bundle.end_page()
         # Page 1: no satisfying rows.
         bundle.start_page(PageId(1))
-        bundle.observe_row(outcome(False), (9,))
+        bundle.observe_row(outcome(False), (9,), io)
         bundle.end_page()
         (observation,) = bundle.finish()
         assert observation.mechanism is Mechanism.EXACT_SCAN_COUNT
@@ -71,38 +72,39 @@ class TestExactCounting:
         assert observation.estimate == 1.0
 
     def test_multiple_requests_independent(self):
-        clock = SimulatedClock()
-        bundle = ScanMonitorBundle("t", 2, clock)
+        io = IOContext()
+        bundle = ScanMonitorBundle("t", 2)
         first = AccessPathRequest("t", conjunction_of(Comparison("a", "<", 1)))
         second = AccessPathRequest("t", conjunction_of(Comparison("b", "<", 1)))
         bundle.add_expression_request(first, (0,), exact=True)
         bundle.add_expression_request(second, (1,), exact=True)
         bundle.start_page(PageId(0))
-        bundle.observe_row(outcome(True, False), ())
+        bundle.observe_row(outcome(True, False), (), io)
         bundle.end_page()
         observations = {o.key: o.estimate for o in bundle.finish()}
         assert observations[first.key()] == 1.0
         assert observations[second.key()] == 0.0
 
     def test_monitor_check_charged_per_row(self):
-        clock = SimulatedClock()
-        bundle = ScanMonitorBundle("t", 1, clock)
+        io = IOContext()
+        bundle = ScanMonitorBundle("t", 1)
         bundle.add_expression_request(request(), (0,), exact=True)
         bundle.start_page(PageId(0))
         for _ in range(10):
-            bundle.observe_row(outcome(True), ())
+            bundle.observe_row(outcome(True), (), io)
         bundle.end_page()
-        assert clock.cpu_ms == pytest.approx(10 * clock.params.cpu_monitor_check_ms)
+        assert io.cpu_ms == pytest.approx(10 * io.params.cpu_monitor_check_ms)
 
 
 class TestSampledCounting:
     def test_estimate_scales_by_fraction(self):
         sampler = BernoulliPageSampler(1.0)  # sample everything: exact path
-        bundle = ScanMonitorBundle("t", 0, SimulatedClock(), sampler=sampler)
+        bundle = ScanMonitorBundle("t", 0, sampler=sampler)
         bundle.add_expression_request(request(), (0,), exact=False)
+        io = IOContext()
         for page in range(4):
             bundle.start_page(PageId(page))
-            bundle.observe_row(outcome(page % 2 == 0), ())
+            bundle.observe_row(outcome(page % 2 == 0), (), io)
             bundle.end_page()
         (observation,) = bundle.finish()
         assert observation.mechanism is Mechanism.DPSAMPLE
@@ -111,7 +113,7 @@ class TestSampledCounting:
 
     def test_needs_full_evaluation_only_on_sampled_pages(self):
         sampler = BernoulliPageSampler(0.5, seed=3)
-        bundle = ScanMonitorBundle("t", 0, SimulatedClock(), sampler=sampler)
+        bundle = ScanMonitorBundle("t", 0, sampler=sampler)
         bundle.add_expression_request(request(), (0,), exact=False)
         flags = []
         for page in range(100):
@@ -123,20 +125,20 @@ class TestSampledCounting:
 
 class TestBitVectorEntries:
     def test_semijoin_page_counting(self):
-        clock = SimulatedClock()
+        io = IOContext()
         sampler = BernoulliPageSampler(1.0)
-        bundle = ScanMonitorBundle("t", 0, clock, sampler=sampler)
+        bundle = ScanMonitorBundle("t", 0, sampler=sampler)
         bitvector = BitVectorFilter(100)
         bitvector.insert(5)
         req = request()
         bundle.add_bitvector_request(req, column_position=0, filter=bitvector)
         # Page 0 contains a row with join value 5 -> counted.
         bundle.start_page(PageId(0))
-        bundle.observe_row(outcome(), (5,))
+        bundle.observe_row(outcome(), (5,), io)
         bundle.end_page()
         # Page 1 contains no matching join value.
         bundle.start_page(PageId(1))
-        bundle.observe_row(outcome(), (6,))
+        bundle.observe_row(outcome(), (6,), io)
         bundle.end_page()
         (observation,) = bundle.finish()
         assert observation.mechanism is Mechanism.BITVECTOR_DPSAMPLE
@@ -144,61 +146,63 @@ class TestBitVectorEntries:
 
     def test_null_join_values_skipped(self):
         sampler = BernoulliPageSampler(1.0)
-        bundle = ScanMonitorBundle("t", 0, SimulatedClock(), sampler=sampler)
+        bundle = ScanMonitorBundle("t", 0, sampler=sampler)
         bitvector = BitVectorFilter(100)
         bitvector.insert(0)
         bundle.add_bitvector_request(request(), 0, bitvector)
         bundle.start_page(PageId(0))
-        bundle.observe_row(outcome(), (None,))
+        bundle.observe_row(outcome(), (None,), IOContext())
         bundle.end_page()
         (observation,) = bundle.finish()
         assert observation.estimate == 0.0
 
     def test_probe_stops_after_page_satisfied(self):
+        io = IOContext()
         sampler = BernoulliPageSampler(1.0)
-        bundle = ScanMonitorBundle("t", 0, SimulatedClock(), sampler=sampler)
+        bundle = ScanMonitorBundle("t", 0, sampler=sampler)
         bitvector = BitVectorFilter(100)
         bitvector.insert(1)
         bundle.add_bitvector_request(request(), 0, bitvector)
         bundle.start_page(PageId(0))
         for _ in range(10):
-            bundle.observe_row(outcome(), (1,))
+            bundle.observe_row(outcome(), (1,), io)
         bundle.end_page()
         assert bitvector.probes == 1  # first row satisfied the page
 
 
 class TestFetchBundle:
     def test_counts_distinct_fetch_pages(self):
-        clock = SimulatedClock()
-        bundle = FetchMonitorBundle("t", clock)
+        io = IOContext()
+        bundle = FetchMonitorBundle("t")
         req = request()
         bundle.add_request(req, (), num_bits=512)
         for page in [0, 1, 0, 2, 1, 0]:
-            bundle.observe_fetch(PageId(page), None)
+            bundle.observe_fetch(PageId(page), None, io)
         (observation,) = bundle.finish()
         assert observation.mechanism is Mechanism.LINEAR_COUNTING
         assert observation.estimate == pytest.approx(3.0, abs=1.0)
         assert observation.details["observations"] == 6
 
     def test_residual_terms_gate_observation(self):
-        bundle = FetchMonitorBundle("t", SimulatedClock())
+        io = IOContext()
+        bundle = FetchMonitorBundle("t")
         bundle.add_request(request(), (0,), num_bits=512)
-        bundle.observe_fetch(PageId(0), outcome(True))
-        bundle.observe_fetch(PageId(1), outcome(False))
-        bundle.observe_fetch(PageId(2), outcome(None))  # skipped term: no count
+        bundle.observe_fetch(PageId(0), outcome(True), io)
+        bundle.observe_fetch(PageId(1), outcome(False), io)
+        bundle.observe_fetch(PageId(2), outcome(None), io)  # skipped term: no count
         (observation,) = bundle.finish()
         assert observation.estimate == pytest.approx(1.0, abs=0.6)
 
     def test_hash_charged_per_counted_fetch(self):
-        clock = SimulatedClock()
-        bundle = FetchMonitorBundle("t", clock)
+        io = IOContext()
+        bundle = FetchMonitorBundle("t")
         bundle.add_request(request(), (), num_bits=512)
         for page in range(5):
-            bundle.observe_fetch(PageId(page), None)
-        assert clock.cpu_ms == pytest.approx(5 * clock.params.cpu_hash_ms)
+            bundle.observe_fetch(PageId(page), None, io)
+        assert io.cpu_ms == pytest.approx(5 * io.params.cpu_hash_ms)
 
     def test_has_requests(self):
-        bundle = FetchMonitorBundle("t", SimulatedClock())
+        bundle = FetchMonitorBundle("t")
         assert not bundle.has_requests
         bundle.add_request(request(), (), num_bits=64)
         assert bundle.has_requests

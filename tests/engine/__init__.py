@@ -1,0 +1,1 @@
+"""Engine (concurrent session) tests."""

@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.catalog import ColumnDef, Database, IndexDef, TableSchema
 from repro.common.errors import IndexError_, StorageError
 from repro.sql.types import SqlType
+from repro.storage.accounting import IOContext
 
 from tests.conftest import make_tiny_table
 
@@ -35,22 +36,23 @@ class TestAppendRows:
         database, table, rows = make_heap_table()
         table.append_rows([(1000, 5, "y"), (1001, 6, "y")])
         assert table.num_rows == 202
-        scanned = [r for _p, _s, r in table.scan_rows()]
+        scanned = [r for _p, _s, r in table.scan_rows(IOContext())]
         assert (1000, 5, "y") in scanned
 
     def test_index_maintained(self):
         database, table, _rows = make_heap_table()
         table.append_rows([(1000, 77, "y")])
         index = table.index("ix_v")
-        matches = [rid for _k, rid, _p in index.seek_equal(77)]
-        fetched = [table.fetch(rid)[1] for rid in matches]
+        io = IOContext()
+        matches = [rid for _k, rid, _p in index.seek_equal(io, 77)]
+        fetched = [table.fetch(io, rid)[1] for rid in matches]
         assert (1000, 77, "y") in fetched
 
     def test_index_order_preserved(self):
         database, table, _rows = make_heap_table()
         table.append_rows([(1000, 3, "y"), (1001, 150, "y"), (1002, 0, "y")])
         index = table.index("ix_v")
-        keys = [key for key, _r, _p in index.scan_all()]
+        keys = [key for key, _r, _p in index.scan_all(IOContext())]
         assert keys == sorted(keys)
 
     def test_seek_correct_after_many_appends(self):
@@ -59,9 +61,12 @@ class TestAppendRows:
         table.append_rows(extra)
         index = table.index("ix_v")
         all_rows = rows + extra
+        io = IOContext()
         for probe in (0, 7, 150, 299):
             expected = sorted(r for r in all_rows if r[1] == probe)
-            got = sorted(table.fetch(rid)[1] for _k, rid, _p in index.seek_equal(probe))
+            got = sorted(
+                table.fetch(io, rid)[1] for _k, rid, _p in index.seek_equal(io, probe)
+            )
             assert got == expected
 
     def test_statistics_staleness_flag(self):
@@ -119,5 +124,6 @@ def test_append_property_index_matches_bruteforce(base, extra):
     extra_rows = [(1000 + i, v) for i, v in enumerate(extra)]
     table.append_rows(extra_rows)
     index = table.index("ix_v")
-    got = sorted(table.fetch(rid)[1] for _k, rid, _p in index.scan_all())
+    io = IOContext()
+    got = sorted(table.fetch(io, rid)[1] for _k, rid, _p in index.scan_all(io))
     assert got == sorted(rows + extra_rows)

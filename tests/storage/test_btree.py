@@ -7,9 +7,9 @@ from repro.catalog.schema import ColumnDef, IndexDef, TableSchema
 from repro.common.errors import IndexError_
 from repro.common.types import FileId, RID, PageId
 from repro.sql.types import SqlType
+from repro.storage.accounting import IOContext
 from repro.storage.btree import BTreeIndex
 from repro.storage.buffer import BufferPool
-from repro.storage.disk import SimulatedClock
 
 
 def make_index(
@@ -29,8 +29,7 @@ def make_index(
     definition = IndexDef(
         "ix", "t", tuple(key_columns), included_columns=tuple(included), unique=unique
     )
-    clock = SimulatedClock()
-    pool = BufferPool(clock, capacity_pages=1000)
+    pool = BufferPool(capacity_pages=1000)
     index = BTreeIndex(definition, schema, FileId(9), pool)
     index.build(
         (RID(PageId(i // 10), i % 10), row) for i, row in enumerate(rows)
@@ -41,7 +40,7 @@ def make_index(
 class TestBuild:
     def test_entries_sorted_by_key(self):
         index = make_index([(i, (i * 7) % 100, 0) for i in range(100)])
-        keys = [key for key, _rid, _payload in index.scan_all()]
+        keys = [key for key, _rid, _payload in index.scan_all(IOContext())]
         assert keys == sorted(keys)
 
     def test_double_build_rejected(self):
@@ -68,10 +67,10 @@ class TestBuild:
             IndexDef("ix", "t", ("v",)),
             schema,
             FileId(0),
-            BufferPool(SimulatedClock()),
+            BufferPool(),
         )
         with pytest.raises(IndexError_):
-            list(index.seek_range())
+            list(index.seek_range(IOContext()))
 
 
 class TestSeek:
@@ -80,72 +79,80 @@ class TestSeek:
         return make_index([(i, (i * 37) % 500, i) for i in range(500)])
 
     def test_seek_equal(self, index):
-        hits = list(index.seek_equal(37))
+        hits = list(index.seek_equal(IOContext(), 37))
         assert len(hits) == 1
         assert hits[0][0] == (37,)
 
     def test_seek_equal_scalar_and_tuple_agree(self, index):
-        assert list(index.seek_equal(37)) == list(index.seek_equal((37,)))
+        assert list(index.seek_equal(IOContext(), 37)) == list(
+            index.seek_equal(IOContext(), (37,))
+        )
 
     def test_range_bounds(self, index):
-        hits = [key[0] for key, _r, _p in index.seek_range(low=(10,), high=(20,))]
+        hits = [
+            key[0]
+            for key, _r, _p in index.seek_range(IOContext(), low=(10,), high=(20,))
+        ]
         assert hits == list(range(10, 21))
 
     def test_exclusive_bounds(self, index):
         hits = [
             key[0]
             for key, _r, _p in index.seek_range(
-                low=(10,), high=(20,), low_inclusive=False, high_inclusive=False
+                IOContext(),
+                low=(10,),
+                high=(20,),
+                low_inclusive=False,
+                high_inclusive=False,
             )
         ]
         assert hits == list(range(11, 20))
 
     def test_open_ranges(self, index):
-        assert len(list(index.seek_range())) == 500
-        assert len(list(index.seek_range(low=(495,)))) == 5
+        assert len(list(index.seek_range(IOContext()))) == 500
+        assert len(list(index.seek_range(IOContext(), low=(495,)))) == 5
 
     def test_missing_key(self, index):
-        assert list(index.seek_equal(99999)) == []
+        assert list(index.seek_equal(IOContext(), 99999)) == []
 
     def test_charges_descent_and_entries(self):
         index = make_index([(i, i, 0) for i in range(100)])
-        clock = index.buffer_pool.clock
-        before = clock.cpu_ms
-        list(index.seek_range(low=(0,), high=(9,)))
-        assert clock.cpu_ms >= before + index.buffer_pool.clock.params.cpu_index_descent_ms
+        io = IOContext()
+        list(index.seek_range(io, low=(0,), high=(9,)))
+        assert io.cpu_ms >= io.params.cpu_index_descent_ms
 
     def test_leaf_io_first_random_then_sequential(self):
         index = make_index([(i, i, 0) for i in range(2000)])
-        clock = index.buffer_pool.clock
-        list(index.scan_all())
-        assert clock.random_reads == 1
-        assert clock.sequential_reads == index.num_leaf_pages - 1
+        io = IOContext()
+        list(index.scan_all(io))
+        assert io.random_reads == 1
+        assert io.sequential_reads == index.num_leaf_pages - 1
 
 
 class TestPayloadsAndCompositeKeys:
     def test_included_columns_carried(self):
         index = make_index([(i, i, i * 2) for i in range(10)], included=("w",))
-        for key, _rid, payload in index.scan_all():
+        for key, _rid, payload in index.scan_all(IOContext()):
             assert payload == (key[0] * 2,)
 
     def test_composite_key_ordering(self):
         index = make_index(
             [(i, i % 3, i) for i in range(30)], key_columns=("v", "w")
         )
-        keys = [key for key, _r, _p in index.scan_all()]
+        keys = [key for key, _r, _p in index.scan_all(IOContext())]
         assert keys == sorted(keys)
 
     def test_composite_prefix_seek(self):
         index = make_index(
             [(i, i % 3, i) for i in range(30)], key_columns=("v", "w")
         )
-        hits = list(index.seek_equal((1,)))  # prefix of composite key
+        hits = list(index.seek_equal(IOContext(), (1,)))  # prefix of composite key
         assert len(hits) == 10
         assert all(key[0] == 1 for key, _r, _p in hits)
 
     def test_duplicate_keys_in_rid_order(self):
         index = make_index([(i, 7, 0) for i in range(25)])
-        rids = [rid for _k, rid, _p in index.seek_equal(7)]
+        rids = [rid for _k, rid, _p in index.seek_equal(IOContext(), 7)]
         assert rids == sorted(rids, key=lambda r: (r.page_id, r.slot))
 
 
@@ -159,6 +166,9 @@ def test_seek_range_matches_bruteforce(values, low, span):
     rows = [(i, v, 0) for i, v in enumerate(values)]
     index = make_index(rows)
     high = low + span
-    got = sorted(key[0] for key, _r, _p in index.seek_range(low=(low,), high=(high,)))
+    got = sorted(
+        key[0]
+        for key, _r, _p in index.seek_range(IOContext(), low=(low,), high=(high,))
+    )
     expected = sorted(v for v in values if low <= v <= high)
     assert got == expected

@@ -5,21 +5,19 @@ from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import StorageError
 from repro.common.types import FileId, RID, PageId
+from repro.storage.accounting import IOContext
 from repro.storage.buffer import BufferPool
 from repro.storage.clustered import ClusteredFile
-from repro.storage.disk import SimulatedClock
 from repro.storage.heap import HeapFile
 
 
 def make_heap(row_width=400) -> HeapFile:
-    clock = SimulatedClock()
-    pool = BufferPool(clock, capacity_pages=1000)
+    pool = BufferPool(capacity_pages=1000)
     return HeapFile(FileId(0), row_width, pool)
 
 
 def make_clustered(rows, key_positions=(0,), row_width=400) -> ClusteredFile:
-    clock = SimulatedClock()
-    pool = BufferPool(clock, capacity_pages=1000)
+    pool = BufferPool(capacity_pages=1000)
     cf = ClusteredFile(FileId(0), row_width, pool, key_positions=key_positions)
     cf.bulk_load(rows)
     return cf
@@ -36,29 +34,31 @@ class TestHeapFile:
     def test_fetch_roundtrip(self):
         heap = make_heap()
         rids = heap.bulk_append(iter([(i, i * 2) for i in range(100)]))
-        page_id, row = heap.fetch(rids[42])
+        page_id, row = heap.fetch(IOContext(), rids[42])
         assert row == (42, 84)
         assert page_id == rids[42].page_id
 
     def test_fetch_charges_random_read(self):
         heap = make_heap()
         rids = heap.bulk_append(iter([(i,) for i in range(10)]))
-        heap.fetch(rids[0])
-        assert heap.buffer_pool.clock.random_reads == 1
+        io = IOContext()
+        heap.fetch(io, rids[0])
+        assert io.random_reads == 1
 
     def test_scan_charges_sequential(self):
         heap = make_heap()
         heap.bulk_append(iter([(i,) for i in range(100)]))
-        list(heap.scan_rows())
-        assert heap.buffer_pool.clock.sequential_reads == heap.num_pages
-        assert heap.buffer_pool.clock.random_reads == 0
+        io = IOContext()
+        list(heap.scan_rows(io))
+        assert io.sequential_reads == heap.num_pages
+        assert io.random_reads == 0
 
     def test_grouped_page_access_property(self):
         """Once a scan leaves a page, it never returns to it (§III-B)."""
         heap = make_heap()
         heap.bulk_append(iter([(i,) for i in range(200)]))
         seen: list[int] = []
-        for page_id, _slot, _row in heap.scan_rows():
+        for page_id, _slot, _row in heap.scan_rows(IOContext()):
             if not seen or seen[-1] != page_id:
                 seen.append(int(page_id))
         assert seen == sorted(set(seen))
@@ -67,11 +67,10 @@ class TestHeapFile:
         heap = make_heap()
         heap.append_row((1,))
         with pytest.raises(StorageError):
-            heap.fetch(RID(PageId(99), 0))
+            heap.fetch(IOContext(), RID(PageId(99), 0))
 
     def test_fill_factor_reduces_capacity(self):
-        clock = SimulatedClock()
-        pool = BufferPool(clock)
+        pool = BufferPool()
         full = HeapFile(FileId(0), 400, pool, fill_factor=1.0)
         half = HeapFile(FileId(1), 400, pool, fill_factor=0.5)
         assert half.page_capacity == max(1, int(full.page_capacity * 0.5))
@@ -83,13 +82,13 @@ class TestClusteredFile:
     def test_rows_sorted_by_key(self):
         rows = [(i,) for i in reversed(range(100))]
         cf = make_clustered(rows)
-        scanned = [row[0] for _pid, _slot, row in cf.scan_rows()]
+        scanned = [row[0] for _pid, _slot, row in cf.scan_rows(IOContext())]
         assert scanned == sorted(scanned)
 
     def test_stable_for_duplicate_keys(self):
         rows = [(1, "a"), (0, "x"), (1, "b"), (1, "c")]
         cf = make_clustered(rows)
-        values = [row for _pid, _slot, row in cf.scan_rows()]
+        values = [row for _pid, _slot, row in cf.scan_rows(IOContext())]
         assert values == [(0, "x"), (1, "a"), (1, "b"), (1, "c")]
 
     def test_double_load_rejected(self):
@@ -98,43 +97,41 @@ class TestClusteredFile:
             cf.bulk_load([(2,)])
 
     def test_seek_before_load_rejected(self):
-        clock = SimulatedClock()
-        pool = BufferPool(clock)
+        pool = BufferPool()
         cf = ClusteredFile(FileId(0), 100, pool, key_positions=(0,))
         with pytest.raises(StorageError):
-            list(cf.seek_range((1,), (2,)))
+            list(cf.seek_range(IOContext(), (1,), (2,)))
 
     def test_range_seek_reads_only_needed_pages(self):
         rows = [(i,) for i in range(1000)]
         cf = make_clustered(rows, row_width=400)
-        baseline = cf.buffer_pool.clock.sequential_reads
-        hits = list(cf.seek_range((0,), (20,), True, False))
+        io = IOContext()
+        hits = list(cf.seek_range(io, (0,), (20,), True, False))
         assert len(hits) == 20
-        pages_read = cf.buffer_pool.clock.sequential_reads - baseline
-        assert pages_read <= 2  # 20 rows at ~19 rows/page
+        assert io.sequential_reads <= 2  # 20 rows at ~19 rows/page
 
     def test_fetch_by_key_single(self):
         rows = [(i, i * 10) for i in range(500)]
         cf = make_clustered(rows)
-        matches = list(cf.fetch_by_key((123,)))
+        matches = list(cf.fetch_by_key(IOContext(), (123,)))
         assert [row for _pid, row in matches] == [(123, 1230)]
 
     def test_fetch_by_key_duplicates_spanning_pages(self):
         rows = [(0, j) for j in range(40)] + [(1, j) for j in range(40)]
         cf = make_clustered(rows, row_width=400)  # ~19 rows/page
-        matches = [row for _pid, row in cf.fetch_by_key((1,))]
+        matches = [row for _pid, row in cf.fetch_by_key(IOContext(), (1,))]
         assert len(matches) == 40
         assert all(row[0] == 1 for row in matches)
 
     def test_fetch_by_key_missing(self):
         cf = make_clustered([(i,) for i in range(100)])
-        assert list(cf.fetch_by_key((999,))) == []
+        assert list(cf.fetch_by_key(IOContext(), (999,))) == []
 
     def test_fetch_by_key_charges_descent(self):
         cf = make_clustered([(i,) for i in range(100)])
-        before = cf.buffer_pool.clock.cpu_ms
-        list(cf.fetch_by_key((5,)))
-        assert cf.buffer_pool.clock.cpu_ms > before
+        io = IOContext()
+        list(cf.fetch_by_key(io, (5,)))
+        assert io.cpu_ms > 0
 
     @settings(max_examples=25, deadline=None)
     @given(
@@ -146,7 +143,9 @@ class TestClusteredFile:
         rows = [(k, i) for i, k in enumerate(keys)]
         cf = make_clustered(rows, row_width=1000)
         high = low + span
-        got = sorted(row for _pid, _slot, row in cf.seek_range((low,), (high,)))
+        got = sorted(
+            row for _pid, _slot, row in cf.seek_range(IOContext(), (low,), (high,))
+        )
         expected = sorted((k, i) for i, k in enumerate(keys) if low <= k <= high)
         assert got == expected
 
@@ -156,6 +155,6 @@ class TestClusteredFile:
         rows = [(k, i) for i, k in enumerate(keys)]
         cf = make_clustered(rows, row_width=1000)
         probe = keys[len(keys) // 2]
-        got = sorted(row for _pid, row in cf.fetch_by_key((probe,)))
+        got = sorted(row for _pid, row in cf.fetch_by_key(IOContext(), (probe,)))
         expected = sorted((k, i) for i, k in enumerate(keys) if k == probe)
         assert got == expected

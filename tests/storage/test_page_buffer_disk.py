@@ -1,12 +1,13 @@
-"""Tests for pages, the buffer pool and the simulated clock."""
+"""Tests for pages, the buffer pool and per-execution accounting contexts."""
 
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.common.errors import BufferPoolError, PageError
 from repro.common.types import FileId, PageId
+from repro.storage.accounting import IOContext
 from repro.storage.buffer import BufferPool
-from repro.storage.disk import DiskParameters, SimulatedClock
+from repro.storage.disk import DiskParameters
 from repro.storage.page import (
     ROW_OVERHEAD_BYTES,
     USABLE_PAGE_BYTES,
@@ -54,45 +55,48 @@ class TestPage:
 
 class TestBufferPool:
     def make(self, capacity=4):
-        clock = SimulatedClock()
-        return BufferPool(clock, capacity_pages=capacity), clock
+        return BufferPool(capacity_pages=capacity), IOContext()
 
     def test_miss_then_hit(self):
-        pool, clock = self.make()
-        assert pool.access(FileId(0), PageId(1)) is False
-        assert pool.access(FileId(0), PageId(1)) is True
+        pool, io = self.make()
+        assert pool.access(FileId(0), PageId(1), io) is False
+        assert pool.access(FileId(0), PageId(1), io) is True
         assert pool.stats.logical_reads == 2
         assert pool.stats.physical_reads == 1
+        assert io.logical_reads == 2
+        assert io.physical_reads == 1
+        assert io.pool_hits == 1
 
     def test_random_vs_sequential_charges(self):
-        pool, clock = self.make()
-        pool.access(FileId(0), PageId(1), sequential=False)
-        pool.access(FileId(0), PageId(2), sequential=True)
-        params = clock.params
-        assert clock.io_ms == pytest.approx(
+        pool, io = self.make()
+        pool.access(FileId(0), PageId(1), io, sequential=False)
+        pool.access(FileId(0), PageId(2), io, sequential=True)
+        params = io.params
+        assert io.io_ms == pytest.approx(
             params.random_read_ms + params.sequential_read_ms
         )
         assert pool.stats.physical_random == 1
         assert pool.stats.physical_sequential == 1
 
     def test_lru_eviction_order(self):
-        pool, _clock = self.make(capacity=2)
-        pool.access(FileId(0), PageId(1))
-        pool.access(FileId(0), PageId(2))
-        pool.access(FileId(0), PageId(1))  # touch 1: now 2 is LRU
-        pool.access(FileId(0), PageId(3))  # evicts 2
+        pool, io = self.make(capacity=2)
+        pool.access(FileId(0), PageId(1), io)
+        pool.access(FileId(0), PageId(2), io)
+        pool.access(FileId(0), PageId(1), io)  # touch 1: now 2 is LRU
+        pool.access(FileId(0), PageId(3), io)  # evicts 2
         assert (FileId(0), PageId(1)) in pool
         assert (FileId(0), PageId(2)) not in pool
         assert pool.stats.evictions == 1
+        assert io.evictions == 1
 
     def test_files_are_distinct(self):
-        pool, _clock = self.make()
-        pool.access(FileId(0), PageId(1))
-        assert pool.access(FileId(1), PageId(1)) is False  # different file
+        pool, io = self.make()
+        pool.access(FileId(0), PageId(1), io)
+        assert pool.access(FileId(1), PageId(1), io) is False  # different file
 
     def test_reset_keeps_stats(self):
-        pool, _clock = self.make()
-        pool.access(FileId(0), PageId(1))
+        pool, io = self.make()
+        pool.access(FileId(0), PageId(1), io)
         pool.reset()
         assert pool.resident_pages == 0
         assert pool.stats.physical_reads == 1
@@ -101,61 +105,115 @@ class TestBufferPool:
 
     def test_capacity_validation(self):
         with pytest.raises(BufferPoolError):
-            BufferPool(SimulatedClock(), capacity_pages=0)
+            BufferPool(capacity_pages=0)
 
     def test_hit_ratio(self):
-        pool, _clock = self.make()
-        assert pool.stats.hit_ratio == 0.0
-        pool.access(FileId(0), PageId(1))
-        pool.access(FileId(0), PageId(1))
+        pool, io = self.make()
+        assert pool.stats.hit_ratio == 0.0  # zero logical reads -> all-cold
+        pool.access(FileId(0), PageId(1), io)
+        pool.access(FileId(0), PageId(1), io)
         assert pool.stats.hit_ratio == 0.5
+
+    def test_charges_split_across_contexts(self):
+        """Two executions sharing the pool each pay only their own reads."""
+        pool, first = self.make()
+        second = IOContext()
+        pool.access(FileId(0), PageId(1), first)  # miss, charged to first
+        pool.access(FileId(0), PageId(1), second)  # hit, charged to second
+        assert first.physical_reads == 1 and first.pool_hits == 0
+        assert second.physical_reads == 0 and second.pool_hits == 1
+        assert pool.stats.logical_reads == 2
+
+    def test_isolated_context_ignores_shared_warmth(self):
+        pool, shared = self.make()
+        pool.access(FileId(0), PageId(1), shared)  # warms the shared frames
+        isolated = IOContext(isolated=True)
+        assert pool.access(FileId(0), PageId(1), isolated) is False  # cold
+        assert pool.access(FileId(0), PageId(1), isolated) is True
+        assert isolated.physical_reads == 1 and isolated.pool_hits == 1
+        # ...and leaves no trace in the shared pool or its stats.
+        assert pool.stats.logical_reads == 1
+        assert pool.resident_pages == 1
+
+    def test_isolated_frames_respect_capacity(self):
+        pool, _ = self.make(capacity=2)
+        io = IOContext(isolated=True)
+        for page in (1, 2, 3):
+            pool.access(FileId(0), PageId(page), io)
+        assert io.evictions == 1
+        assert len(io.private_frames()) == 2
 
     @given(st.lists(st.integers(0, 20), min_size=1, max_size=200))
     def test_resident_never_exceeds_capacity(self, accesses):
-        pool, _clock = self.make(capacity=5)
+        pool, io = self.make(capacity=5)
         for page in accesses:
-            pool.access(FileId(0), PageId(page))
+            pool.access(FileId(0), PageId(page), io)
         assert pool.resident_pages <= 5
 
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=200))
+    def test_isolated_matches_fresh_shared_pool(self, accesses):
+        """An isolated context is indistinguishable from a private cold pool."""
+        shared_pool, _ = self.make(capacity=5)
+        isolated = IOContext(isolated=True)
+        private_pool, private = self.make(capacity=5)
+        for page in accesses:
+            shared_pool.access(FileId(0), PageId(page), isolated)
+            private_pool.access(FileId(0), PageId(page), private)
+        assert isolated.physical_reads == private.physical_reads
+        assert isolated.pool_hits == private.pool_hits
+        assert isolated.evictions == private.evictions
 
-class TestSimulatedClock:
+
+class TestIOContext:
     def test_charges_accumulate(self):
-        clock = SimulatedClock()
-        clock.charge_random_read(2)
-        clock.charge_rows(100)
-        assert clock.random_reads == 2
-        assert clock.now_ms == pytest.approx(
-            2 * clock.params.random_read_ms + 100 * clock.params.cpu_row_ms
+        io = IOContext()
+        io.charge_random_read(2)
+        io.charge_rows(100)
+        assert io.random_reads == 2
+        assert io.elapsed_ms == pytest.approx(
+            2 * io.params.random_read_ms + 100 * io.params.cpu_row_ms
         )
 
-    def test_snapshot_delta(self):
-        clock = SimulatedClock()
-        clock.charge_sequential_read(3)
-        before = clock.snapshot()
-        clock.charge_random_read(1)
-        clock.charge_hashes(10)
-        delta = before.delta(clock.snapshot())
-        assert delta.random_reads == 1
-        assert delta.sequential_reads == 0
-        assert delta.total_ms == pytest.approx(
-            clock.params.random_read_ms + 10 * clock.params.cpu_hash_ms
+    def test_contexts_are_independent(self):
+        """The refactor's core guarantee: no shared mutable counters."""
+        first = IOContext()
+        second = IOContext()
+        first.charge_sequential_read(3)
+        second.charge_random_read(1)
+        second.charge_hashes(10)
+        assert first.random_reads == 0 and first.sequential_reads == 3
+        assert second.random_reads == 1 and second.sequential_reads == 0
+        assert second.elapsed_ms == pytest.approx(
+            second.params.random_read_ms + 10 * second.params.cpu_hash_ms
         )
 
-    def test_reset(self):
-        clock = SimulatedClock()
-        clock.charge_random_read()
-        clock.reset()
-        assert clock.now_ms == 0 and clock.random_reads == 0
+    def test_derived_read_counters(self):
+        io = IOContext()
+        io.charge_random_read(2)
+        io.charge_sequential_read(3)
+        io.record_pool_hit()
+        assert io.physical_reads == 5
+        assert io.logical_reads == 6
+        assert io.warm_ratio == pytest.approx(1 / 6)
+
+    def test_warm_ratio_zero_logical_reads(self):
+        assert IOContext().warm_ratio == 0.0
 
     def test_negative_params_rejected(self):
         with pytest.raises(ValueError):
             DiskParameters(random_read_ms=-1)
 
+    def test_custom_params_drive_charges(self):
+        params = DiskParameters(random_read_ms=7.0)
+        io = IOContext(params=params)
+        io.charge_random_read()
+        assert io.io_ms == pytest.approx(7.0)
+
     def test_all_charge_kinds(self):
-        clock = SimulatedClock()
-        clock.charge_predicates(5)
-        clock.charge_bitvector_probes(5)
-        clock.charge_index_entries(5)
-        clock.charge_index_descent(2)
-        clock.charge_monitor_checks(100)
-        assert clock.cpu_ms > 0 and clock.io_ms == 0
+        io = IOContext()
+        io.charge_predicates(5)
+        io.charge_bitvector_probes(5)
+        io.charge_index_entries(5)
+        io.charge_index_descent(2)
+        io.charge_monitor_checks(100)
+        assert io.cpu_ms > 0 and io.io_ms == 0
