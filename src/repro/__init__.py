@@ -30,6 +30,7 @@ from repro.core import (
     measure_clustering,
     recommend_hint,
 )
+from repro.lifecycle import LifecycleTrace, PlanCache, QueryLifecycle
 from repro.optimizer import (
     InjectionSet,
     JoinQuery,
@@ -66,9 +67,12 @@ __all__ = [
     "JoinEquality",
     "JoinMethodRequest",
     "JoinQuery",
+    "LifecycleTrace",
     "MonitorConfig",
     "Optimizer",
+    "PlanCache",
     "PlanHint",
+    "QueryLifecycle",
     "Session",
     "SingleTableQuery",
     "SqlType",

@@ -103,12 +103,12 @@ def _build_synthetic(args):
 
 
 def _cmd_explain(args) -> int:
-    from repro.optimizer import Optimizer
+    from repro.lifecycle.plan import build_optimizer
     from repro.sql import parse_query
 
     database = _build_synthetic(args)
     query = parse_query(args.sql)
-    print(Optimizer(database).explain(query))
+    print(build_optimizer(database).explain(query))
     return 0
 
 

@@ -49,12 +49,12 @@ def _split_rules(spec: Optional[str]) -> tuple[Optional[list[str]], Optional[lis
 
 def _lint_sample_plans(plan_rules: Optional[list[str]]) -> list[Finding]:
     """Optimize a tiny synthetic workload and lint every candidate plan."""
-    from repro.optimizer.optimizer import Optimizer
+    from repro.lifecycle.plan import build_optimizer
     from repro.workloads import build_synthetic_database
     from repro.workloads.queries import single_table_workload
 
     database = build_synthetic_database(num_rows=2_000, seed=7)
-    optimizer = Optimizer(database)
+    optimizer = build_optimizer(database)
     findings: list[Finding] = []
     for generated in single_table_workload(
         database, "t", ["c2", "c3"], queries_per_column=2, seed=7

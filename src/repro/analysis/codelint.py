@@ -26,6 +26,12 @@ This module enforces them statically:
           construction/import are forbidden outside ``storage/disk.py``,
           ``harness/timing.py`` and ``storage/accounting.py`` — per-query
           accounting flows through an explicit per-execution ``IOContext``
+``R007``  no bare ``Optimizer(...)`` construction outside the lifecycle's
+          sanctioned site (``lifecycle/plan.py``) — optimization must go
+          through the staged query lifecycle (or its
+          :func:`~repro.lifecycle.plan.build_optimizer` helper) so plan
+          caching, linting and feedback-epoch bookkeeping cannot be
+          bypassed
 ========  =====================================================================
 
 Suppress a finding inline with a trailing ``# lint: disable=R003`` (or a
@@ -50,6 +56,7 @@ CODE_RULES: dict[str, str] = {
     "R004": "no mutable default arguments",
     "R005": "no wall-clock reads outside harness/timing.py",
     "R006": "no global clock: accounting flows through per-execution IOContext",
+    "R007": "Optimizer construction only through the lifecycle (build_optimizer)",
 }
 
 #: Per-rule path suffixes where the rule intentionally does not apply.
@@ -58,6 +65,9 @@ ALLOWED_PATHS: dict[str, tuple[str, ...]] = {
     "R002": ("storage/buffer.py", "storage/disk.py", "storage/accounting.py"),
     "R005": ("harness/timing.py",),
     "R006": ("storage/disk.py", "harness/timing.py", "storage/accounting.py"),
+    # diagnostics builds throwaway what-if optimizers over injected stores;
+    # routing it through the lifecycle would cycle core -> lifecycle -> core.
+    "R007": ("lifecycle/plan.py", "core/diagnostics.py"),
 }
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9, ]+)")
@@ -201,6 +211,14 @@ class _FileChecker(ast.NodeVisitor):
                 "construction of the retired global SimulatedClock",
                 hint="create a per-execution IOContext "
                 "(repro.storage.accounting) instead",
+            )
+        elif leaf == "Optimizer":
+            self.report(
+                "R007",
+                node,
+                f"bare optimizer construction {'.'.join(chain)}()",
+                hint="go through Session.optimize/run (the staged lifecycle) "
+                "or repro.lifecycle.plan.build_optimizer",
             )
         elif leaf == "snapshot" and len(chain) >= 2 and "clock" in chain[-2]:
             # `database.clock.snapshot()` is already reported by the

@@ -127,6 +127,20 @@ class Database:
                 f"available: {sorted(self.tables)}"
             ) from None
 
+    def statistics_versions(
+        self, tables: Sequence[str]
+    ) -> tuple[tuple[str, int], ...]:
+        """Sorted ``(table, statistics_version)`` vector for ``tables``.
+
+        Part of the plan cache's freshness key: a statistics rebuild on
+        any touched table must invalidate cached plans costed against the
+        old statistics.
+        """
+        return tuple(
+            (name, self.table(name).statistics_version)
+            for name in sorted(set(tables))
+        )
+
     # ------------------------------------------------------------------
     # Experiment controls
     # ------------------------------------------------------------------

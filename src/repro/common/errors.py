@@ -45,6 +45,12 @@ class ExecutionError(ReproError):
     """A runtime operator failed while executing a plan."""
 
 
+class EngineError(ReproError):
+    """The multi-session engine violated (or detected a violation of) a
+    workload-level contract, e.g. a concurrent run that did not produce
+    exactly one result per workload item."""
+
+
 class ExpressionError(ReproError):
     """A predicate or scalar expression is malformed or mistyped."""
 

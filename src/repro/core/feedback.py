@@ -1,4 +1,4 @@
-"""LEO-style feedback store for page counts (§II-C).
+"""LEO-style feedback store for page counts (§II-C), epoch-versioned.
 
 The paper proposes augmenting a feedback infrastructure like LEO [17] to
 capture ``(expression, cardinality, distinct page count)`` triples from
@@ -13,17 +13,58 @@ expressions benefit.  :class:`FeedbackStore` implements that store:
 * repeated observations of the same expression are reconciled by recency
   (newest wins), with exact observations preferred over estimates taken in
   the same run.
+
+The store is **epoch-versioned**: every successful write bumps a global
+:attr:`epoch` and tags the tables the written expressions refer to with
+that epoch (:meth:`table_epoch`).  Consumers that cache anything derived
+from the store — most importantly the
+:class:`~repro.lifecycle.PlanCache` — key their entries on the epochs of
+the tables a plan touches, so a remembered page count can never silently
+serve a plan built from superseded feedback.  The lowering itself is
+memoized per epoch: repeated :meth:`to_injections` calls between writes
+reuse one frozen injection set instead of rebuilding it record by record.
+
+The store is internally thread-safe (all record/epoch/memo state is
+guarded by one reentrant lock); the
+:class:`~repro.engine.Engine` additionally serializes *writes* across
+sessions so harvest order is deterministic under its own lock.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+import json
+import re
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Union
 
 from repro.common.errors import FeedbackError
-from repro.core.requests import PageCountObservation
+from repro.core.requests import PageCountObservation, PageCountRequest
 from repro.exec.runstats import RunStats
 from repro.optimizer.injection import InjectionSet
+
+#: Feedback keys are ``MECH(table, expression)`` — ``DPC(t, a < 9)``,
+#: ``CARD(t, a < 9)`` — so the owning table is the first argument.
+_KEY_TABLE_RE = re.compile(r"^[A-Za-z_]+\(\s*([^,()]+?)\s*[,)]")
+
+
+def table_of_key(key: str) -> Optional[str]:
+    """The table a feedback key refers to, or ``None`` if unparseable.
+
+    Both key families the engine produces — ``DPC(table, expression)``
+    and ``CARD(table, expression)`` — name the table first.
+    """
+    match = _KEY_TABLE_RE.match(key)
+    return match.group(1) if match else None
+
+
+def _request_table(request: PageCountRequest) -> str:
+    """The table whose pages a request counts (access path or join inner)."""
+    table = getattr(request, "table", None)
+    if table is not None:
+        return str(table)
+    return str(request.inner_table)  # type: ignore[union-attr]
 
 
 @dataclass
@@ -63,15 +104,58 @@ class FeedbackStore:
     def __init__(self) -> None:
         self._records: dict[str, FeedbackRecord] = {}
         self._sequence = 0
+        #: Global version: bumped once per successful write batch.
+        self._epoch = 0
+        #: table -> epoch of the last write touching that table.
+        self._table_epochs: dict[str, int] = {}
+        self._lock = threading.RLock()
+        #: Memoized lowering (rebuilt lazily when the epoch moves).
+        self._lowered: Optional[InjectionSet] = None
+        self._lowered_epoch = -1
+        #: Observability counters for the memoization (tests/reports).
+        self.lowering_builds = 0
+        self.lowering_reuses = 0
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._records
+        with self._lock:
+            return key in self._records
 
     def record(self, key: str) -> Optional[FeedbackRecord]:
-        return self._records.get(key)
+        with self._lock:
+            return self._records.get(key)
+
+    # ------------------------------------------------------------------
+    # Epochs (freshness tags consumed by the plan cache)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Global store version; changes iff the store's contents change."""
+        with self._lock:
+            return self._epoch
+
+    def table_epoch(self, table: str) -> int:
+        """Epoch of the last write that touched ``table`` (0 = never)."""
+        with self._lock:
+            return self._table_epochs.get(table, 0)
+
+    def table_epochs(self, tables: Iterable[str]) -> tuple[tuple[str, int], ...]:
+        """Sorted ``(table, epoch)`` freshness vector for a table set."""
+        with self._lock:
+            return tuple(
+                (table, self._table_epochs.get(table, 0))
+                for table in sorted(set(tables))
+            )
+
+    def _bump(self, tables: Iterable[str]) -> None:
+        """Advance the global epoch and re-tag ``tables`` (lock held)."""
+        self._epoch += 1
+        for table in tables:
+            if table is not None:
+                self._table_epochs[table] = self._epoch
 
     # ------------------------------------------------------------------
     # Ingest
@@ -79,18 +163,28 @@ class FeedbackStore:
     def record_observations(
         self, observations: Iterable[PageCountObservation]
     ) -> int:
-        """Store answered observations; returns how many were stored."""
-        self._sequence += 1
-        stored = 0
-        for observation in observations:
-            if not observation.answered or observation.estimate is None:
-                continue
-            record = self._records.setdefault(
-                observation.key, FeedbackRecord(key=observation.key)
-            )
-            record.merge_observation(observation, self._sequence)
-            stored += 1
-        return stored
+        """Store answered observations; returns how many were stored.
+
+        A call that carries zero answerable observations is a no-op: it
+        bumps neither the sequence counter nor the epoch, so derived
+        caches stay valid.
+        """
+        storable = [
+            observation
+            for observation in observations
+            if observation.answered and observation.estimate is not None
+        ]
+        if not storable:
+            return 0
+        with self._lock:
+            self._sequence += 1
+            for observation in storable:
+                record = self._records.setdefault(
+                    observation.key, FeedbackRecord(key=observation.key)
+                )
+                record.merge_observation(observation, self._sequence)
+            self._bump(_request_table(obs.request) for obs in storable)
+        return len(storable)
 
     def record_run(self, runstats: RunStats) -> int:
         """Harvest one executed query's feedback."""
@@ -100,70 +194,119 @@ class FeedbackStore:
         """Store an observed actual cardinality for an expression key."""
         if rows < 0:
             raise FeedbackError(f"cardinality must be >= 0, got {rows}")
-        self._sequence += 1
-        record = self._records.setdefault(key, FeedbackRecord(key=key))
-        record.cardinality = rows
-        record.sequence = self._sequence
+        with self._lock:
+            self._sequence += 1
+            record = self._records.setdefault(key, FeedbackRecord(key=key))
+            record.cardinality = rows
+            record.sequence = self._sequence
+            self._bump([table_of_key(key)] if table_of_key(key) else [])
 
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
+    def _lowered_set(self) -> InjectionSet:
+        """The memoized page-count lowering for the current epoch."""
+        with self._lock:
+            if self._lowered is None or self._lowered_epoch != self._epoch:
+                lowered = InjectionSet()
+                for record in self._records.values():
+                    if record.page_count is not None:
+                        lowered.inject_page_count_by_key(
+                            record.key, record.page_count
+                        )
+                self._lowered = lowered
+                self._lowered_epoch = self._epoch
+                self.lowering_builds += 1
+            else:
+                self.lowering_reuses += 1
+            return self._lowered
+
     def to_injections(self, base: Optional[InjectionSet] = None) -> InjectionSet:
         """Lower the store into optimizer injections.
 
         Page-count records become page-count injections under their
         original keys (the key format is shared with the optimizer's
-        lookup, so round-tripping is lossless).
+        lookup, so round-tripping is lossless).  With a ``base`` set, the
+        store's entries are merged *into* ``base`` (mutating and
+        returning it); on key conflicts the feedback record wins.
+
+        The lowering is memoized per epoch: between writes, repeated
+        calls reuse one frozen set instead of re-walking every record.
         """
-        injections = base if base is not None else InjectionSet()
-        for record in self._records.values():
-            if record.page_count is not None:
-                injections.inject_page_count_by_key(record.key, record.page_count)
-        return injections
+        lowered = self._lowered_set()
+        if base is None:
+            return lowered.copy()
+        base.merge_from(lowered)
+        return base
+
+    def snapshot_injections(
+        self,
+        base: Optional[InjectionSet] = None,
+        tables: Iterable[str] = (),
+    ) -> tuple[InjectionSet, tuple[tuple[str, int], ...]]:
+        """Atomically lower the store *and* read the freshness vector.
+
+        The plan cache needs the injections a plan was built from and the
+        epochs it is keyed under to describe the same store state; taking
+        them in two separate calls would race with concurrent writes.
+        """
+        with self._lock:
+            return self.to_injections(base), self.table_epochs(tables)
 
     def keys(self) -> list[str]:
-        return sorted(self._records)
+        with self._lock:
+            return sorted(self._records)
 
     # ------------------------------------------------------------------
     # Persistence (the DBA-tool use case: feedback outlives the session)
     # ------------------------------------------------------------------
     def to_json(self) -> str:
         """Serialise the store to a JSON string."""
-        import json
-
-        payload = {
-            "version": 1,
-            "sequence": self._sequence,
-            "records": [
-                {
-                    "key": record.key,
-                    "page_count": record.page_count,
-                    "page_count_exact": record.page_count_exact,
-                    "cardinality": record.cardinality,
-                    "mechanism": record.mechanism,
-                    "sequence": record.sequence,
-                }
-                for record in self._records.values()
-            ],
-        }
+        with self._lock:
+            payload = {
+                "version": 1,
+                "sequence": self._sequence,
+                "records": [
+                    {
+                        "key": record.key,
+                        "page_count": record.page_count,
+                        "page_count_exact": record.page_count_exact,
+                        "cardinality": record.cardinality,
+                        "mechanism": record.mechanism,
+                        "sequence": record.sequence,
+                    }
+                    for record in self._records.values()
+                ],
+            }
         return json.dumps(payload, indent=2, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "FeedbackStore":
         """Reconstruct a store serialised by :meth:`to_json`."""
-        import json
-
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
             raise FeedbackError(f"invalid feedback JSON: {exc}") from exc
         if not isinstance(payload, dict) or payload.get("version") != 1:
+            version = (
+                payload.get("version") if isinstance(payload, dict) else None
+            )
             raise FeedbackError(
-                f"unsupported feedback payload version: {payload.get('version')!r}"
+                f"unsupported feedback payload version: {version!r}"
+            )
+        records = payload.get("records", [])
+        if not isinstance(records, list):
+            raise FeedbackError(
+                f"feedback payload 'records' must be a list, "
+                f"got {type(records).__name__}"
             )
         store = cls()
         store._sequence = int(payload.get("sequence", 0))
-        for entry in payload.get("records", []):
+        for entry in records:
+            if not isinstance(entry, dict) or "key" not in entry:
+                raise FeedbackError(
+                    f"malformed feedback record (missing 'key'): {entry!r}"
+                )
             record = FeedbackRecord(
                 key=entry["key"],
                 page_count=entry.get("page_count"),
@@ -173,20 +316,30 @@ class FeedbackStore:
                 sequence=int(entry.get("sequence", 0)),
             )
             store._records[record.key] = record
+        # Epochs are process-local freshness tokens, not persisted state:
+        # a loaded store starts at one epoch per historical write batch
+        # (= the sequence), with each table tagged by its newest record.
+        store._epoch = store._sequence
+        for record in store._records.values():
+            table = table_of_key(record.key)
+            if table is not None:
+                store._table_epochs[table] = max(
+                    store._table_epochs.get(table, 0), record.sequence
+                )
         return store
 
-    def save(self, path) -> None:
+    def save(self, path: Union[str, Path]) -> None:
         """Write the store to ``path`` (a str or Path)."""
-        from pathlib import Path
-
         Path(path).write_text(self.to_json(), encoding="utf-8")
 
     @classmethod
-    def load(cls, path) -> "FeedbackStore":
+    def load(cls, path: Union[str, Path]) -> "FeedbackStore":
         """Read a store previously written by :meth:`save`."""
-        from pathlib import Path
-
         return cls.from_json(Path(path).read_text(encoding="utf-8"))
 
     def __repr__(self) -> str:
-        return f"FeedbackStore({len(self._records)} expressions)"
+        with self._lock:
+            return (
+                f"FeedbackStore({len(self._records)} expressions, "
+                f"epoch {self._epoch})"
+            )

@@ -115,6 +115,17 @@ class BuildResult:
 
     root: Operator
     unanswerable: list[PageCountObservation] = field(default_factory=list)
+    #: How many page-count requests the build received (answerable or not).
+    num_requests: int = 0
+
+    def summary(self) -> str:
+        """One-line account of the monitor-planning outcome, used as the
+        lifecycle's ``monitor-plan`` stage detail."""
+        answerable = self.num_requests - len(self.unanswerable)
+        return (
+            f"{self.num_requests} request(s): {answerable} answerable, "
+            f"{len(self.unanswerable)} unanswerable"
+        )
 
 
 class _Instrumentation:
@@ -224,7 +235,11 @@ def build_executable(
     config = config if config is not None else MonitorConfig()
     state = _Instrumentation(database, list(requests), config)
     root = _build(plan, state)
-    return BuildResult(root=root, unanswerable=state.leftovers())
+    return BuildResult(
+        root=root,
+        unanswerable=state.leftovers(),
+        num_requests=len(requests),
+    )
 
 
 # ----------------------------------------------------------------------

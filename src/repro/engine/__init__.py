@@ -1,5 +1,10 @@
 """Thread-safe multi-session front end over the simulated engine."""
 
-from repro.engine.engine import Engine, EquivalenceReport, WorkloadItem
+from repro.engine.engine import (
+    Engine,
+    EquivalenceReport,
+    QueryComparison,
+    WorkloadItem,
+)
 
-__all__ = ["Engine", "EquivalenceReport", "WorkloadItem"]
+__all__ = ["Engine", "EquivalenceReport", "QueryComparison", "WorkloadItem"]

@@ -35,9 +35,11 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.catalog.catalog import Database
+from repro.common.errors import EngineError
 from repro.core.feedback import FeedbackStore
 from repro.core.planner import MonitorConfig
 from repro.core.requests import PageCountRequest
+from repro.lifecycle.plancache import PlanCache
 from repro.optimizer.hints import PlanHint
 from repro.optimizer.injection import InjectionSet
 from repro.optimizer.optimizer import Query
@@ -69,6 +71,11 @@ class QueryComparison:
     observations_match: bool
     serial_physical_reads: int
     concurrent_physical_reads: int
+    #: Cached-vs-uncached plan identity at the same feedback epoch: the
+    #: plan the shared cache resolves for this item must render
+    #: bit-identically to a fresh, cache-bypassing optimization.
+    plans_match: bool = True
+    cache_event: str = ""
 
     @property
     def matches(self) -> bool:
@@ -76,6 +83,7 @@ class QueryComparison:
             self.rows_match
             and self.physical_reads_match
             and self.observations_match
+            and self.plans_match
         )
 
 
@@ -108,6 +116,8 @@ class Engine:
         database: Database,
         monitor_config: Optional[MonitorConfig] = None,
         page_count_model: Optional[AnalyticalPageCountModel] = None,
+        plan_cache: Optional[PlanCache] = None,
+        use_plan_cache: bool = True,
     ) -> None:
         self.database = database
         self.feedback = FeedbackStore()
@@ -115,6 +125,15 @@ class Engine:
             monitor_config if monitor_config is not None else MonitorConfig()
         )
         self.page_count_model = page_count_model
+        #: Shared by every session this engine hands out: repeated
+        #: queries skip the optimize+lint stages while feedback epochs
+        #: and statistics versions keep entries provably fresh.  Pass
+        #: ``use_plan_cache=False`` (or an explicit cache) to override.
+        self.plan_cache: Optional[PlanCache] = (
+            plan_cache
+            if plan_cache is not None
+            else (PlanCache() if use_plan_cache else None)
+        )
         self._feedback_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -133,6 +152,7 @@ class Engine:
             monitor_config=self.monitor_config,
             page_count_model=self.page_count_model,
             feedback_lock=self._feedback_lock,
+            plan_cache=self.plan_cache,
         )
 
     def execute(
@@ -145,16 +165,14 @@ class Engine:
         engine's unit of concurrency-safe work.
         """
         session = session if session is not None else self.session()
-        executed = session.run(
+        return session.run(
             item.query,
             requests=item.requests,
             use_feedback=item.use_feedback,
             hint=item.hint,
             io=self.database.new_io_context(isolated=True),
+            remember=item.remember,
         )
-        if item.remember:
-            session.remember(executed)
-        return executed
 
     # ------------------------------------------------------------------
     def run_serial(self, items: Sequence[WorkloadItem]) -> list[ExecutedQuery]:
@@ -207,9 +225,41 @@ class Engine:
             thread.join()
         if failures:
             raise failures[0]
+        missing = [index for index, result in enumerate(results) if result is None]
+        if missing:
+            raise EngineError(
+                f"run_concurrent lost {len(missing)} of {len(items)} "
+                f"result(s) (indices {missing}) without raising — "
+                "workload accounting would silently truncate"
+            )
         return [result for result in results if result is not None]
 
     # ------------------------------------------------------------------
+    def _plan_identity_check(self, item: WorkloadItem) -> tuple[bool, str]:
+        """Resolve ``item``'s plan through the shared cache *and* via a
+        fresh cache-bypassing optimization, at the current feedback epoch.
+
+        Returns ``(plans_match, cache_event)``: the two plans must render
+        bit-identically, otherwise the cache is serving a plan the
+        optimizer would no longer choose.  With no cache configured the
+        check degenerates to fresh-vs-fresh (always equal, determinism).
+        """
+        cached_session = self.session()
+        cached_plan = cached_session.optimize(
+            item.query, use_feedback=item.use_feedback, hint=item.hint
+        )
+        event = (
+            cached_session.last_trace.cache_event
+            if cached_session.last_trace is not None
+            else ""
+        )
+        fresh_session = self.session()
+        fresh_session.plan_cache = None
+        fresh_plan = fresh_session.optimize(
+            item.query, use_feedback=item.use_feedback, hint=item.hint
+        )
+        return cached_plan.render() == fresh_plan.render(), event
+
     def equivalence_report(
         self, items: Sequence[WorkloadItem], num_threads: int = 4
     ) -> EquivalenceReport:
@@ -218,13 +268,23 @@ class Engine:
         Compares rows, physical-read counts and page-count observations —
         exact equality, no tolerances: identical plans driven over
         identical cold private frames must charge identical counters.
+        Each comparison also re-resolves the item's plan cached vs.
+        uncached (:meth:`_plan_identity_check`), proving the shared plan
+        cache never substitutes a stale plan.
         """
         serial = self.run_serial(items)
         concurrent = self.run_concurrent(items, num_threads=num_threads)
+        if len(serial) != len(concurrent):
+            raise EngineError(
+                f"equivalence_report got {len(serial)} serial but "
+                f"{len(concurrent)} concurrent result(s) for "
+                f"{len(items)} item(s); refusing to zip-truncate the diff"
+            )
         report = EquivalenceReport()
         for index, (ser, conc) in enumerate(zip(serial, concurrent)):
             serial_reads = ser.result.runstats.physical_reads
             concurrent_reads = conc.result.runstats.physical_reads
+            plans_match, cache_event = self._plan_identity_check(items[index])
             report.comparisons.append(
                 QueryComparison(
                     index=index,
@@ -236,6 +296,23 @@ class Engine:
                     ),
                     serial_physical_reads=serial_reads,
                     concurrent_physical_reads=concurrent_reads,
+                    plans_match=plans_match,
+                    cache_event=cache_event,
                 )
             )
         return report
+
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """Engine-level health report: plan-cache counters and the shared
+        feedback store's epoch — the numbers the repeated-query benchmark
+        and the CI plan-cache smoke read off."""
+        lines = [
+            f"feedback: {len(self.feedback)} record(s), "
+            f"epoch={self.feedback.epoch}"
+        ]
+        if self.plan_cache is None:
+            lines.append("plan-cache: disabled")
+        else:
+            lines.append(self.plan_cache.stats.render())
+        return "\n".join(lines)

@@ -77,6 +77,12 @@ class RunStats:
     logical_reads: int = 0
     pool_hits: int = 0
     observations: list[PageCountObservation] = field(default_factory=list)
+    #: Lifecycle observability, set by the staged query lifecycle: the
+    #: per-stage trace (``stages``), the plan-cache outcome for this run
+    #: (``cache_event``: hit/miss/coalesced/bypassed) and, when a shared
+    #: cache is configured, its cumulative counters (``plan_cache``).
+    #: Stored as plain data so the exec layer needs no lifecycle import.
+    lifecycle: Optional[dict[str, Any]] = None
 
     @property
     def physical_reads(self) -> int:
@@ -120,13 +126,35 @@ class RunStats:
                 }
                 for obs in self.observations
             ],
+            **({"lifecycle": self.lifecycle} if self.lifecycle else {}),
         }
+
+    def _lifecycle_lines(self) -> list[str]:
+        if not self.lifecycle:
+            return []
+        stages = self.lifecycle.get("stages", [])
+        lines = [
+            "lifecycle: "
+            + " → ".join(f"{s['stage']}:{s['status']}" for s in stages)
+        ]
+        counters = self.lifecycle.get("plan_cache")
+        if counters:
+            lines.append(
+                f"plan-cache[{self.lifecycle.get('cache_event', '?')}]: "
+                f"hits={counters['hits']} misses={counters['misses']} "
+                f"invalidations={counters['invalidations']} "
+                f"builds={counters['builds']} "
+                f"coalesced={counters['coalesced']} "
+                f"hit-rate={counters['hit_rate']:.1%}"
+            )
+        return lines
 
     def render(self) -> str:
         lines = [
             f"elapsed={self.elapsed_ms:.3f}ms (io={self.io_ms:.3f}, cpu={self.cpu_ms:.3f}) "
             f"reads: random={self.random_reads} sequential={self.sequential_reads} "
             f"logical={self.logical_reads} warm={self.warm_ratio:.1%}",
+            *self._lifecycle_lines(),
             self.root.render(),
         ]
         if self.observations:

@@ -24,7 +24,7 @@ from repro.core.requests import AccessPathRequest
 from repro.exec.executor import execute
 from repro.harness.methodology import EvaluationOutcome, evaluate_workload
 from repro.harness.reporting import format_table, percent, summarize
-from repro.optimizer.optimizer import Optimizer
+from repro.lifecycle.plan import build_optimizer
 from repro.workloads.queries import (
     clustering_probe_predicates,
     join_workload,
@@ -313,7 +313,7 @@ def run_fig9(
         generated = multi_predicate_query(
             database, "t", columns[:count], per_term_selectivity=0.5, seed=seed
         )
-        plan = Optimizer(
+        plan = build_optimizer(
             database, injections=generated.injections()
         ).optimize(generated.query)
 

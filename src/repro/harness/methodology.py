@@ -29,8 +29,9 @@ from repro.core.requests import (
     PageCountRequest,
 )
 from repro.exec.executor import execute
+from repro.lifecycle.plan import build_optimizer
 from repro.optimizer.injection import InjectionSet
-from repro.optimizer.optimizer import JoinQuery, Optimizer, Query, SingleTableQuery
+from repro.optimizer.optimizer import JoinQuery, Query, SingleTableQuery
 from repro.optimizer.plans import PlanNode
 from repro.sql.predicates import Conjunction
 from repro.workloads.queries import GeneratedQuery
@@ -145,7 +146,7 @@ def evaluate_query(
     )
 
     # 1. Plan P under accurate cardinalities.
-    original_plan = Optimizer(database, injections=injections).optimize(query)
+    original_plan = build_optimizer(database, injections=injections).optimize(query)
 
     # 2. T: plan P, no monitoring.
     plain = build_executable(original_plan, database)
@@ -163,7 +164,7 @@ def evaluate_query(
     # 4. Re-optimize with the feedback injected.
     corrected = injections.copy()
     corrected.absorb_observations(observations)
-    improved_plan = Optimizer(database, injections=corrected).optimize(query)
+    improved_plan = build_optimizer(database, injections=corrected).optimize(query)
 
     # 5./6. T' (identical plan -> identical deterministic time).
     if improved_plan.signature() == original_plan.signature():

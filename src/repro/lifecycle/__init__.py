@@ -1,0 +1,47 @@
+"""Staged query lifecycle: plan caching, freshness epochs, observability.
+
+See :mod:`repro.lifecycle.runner` for the stage pipeline,
+:mod:`repro.lifecycle.plancache` for the shared invalidating plan cache,
+and :mod:`repro.lifecycle.plan` for canonicalization and the sanctioned
+optimizer construction site (codelint rule R007).
+"""
+
+from repro.lifecycle.plan import (
+    CanonicalQuery,
+    build_optimizer,
+    cache_key,
+    canonicalize,
+    freshness_vector,
+    hint_fingerprint,
+)
+from repro.lifecycle.plancache import (
+    CacheStats,
+    FreshnessVector,
+    PlanCache,
+    PlanCacheKey,
+)
+from repro.lifecycle.runner import (
+    STAGES,
+    ExecutedQuery,
+    LifecycleTrace,
+    QueryLifecycle,
+    StageRecord,
+)
+
+__all__ = [
+    "STAGES",
+    "CacheStats",
+    "CanonicalQuery",
+    "ExecutedQuery",
+    "FreshnessVector",
+    "LifecycleTrace",
+    "PlanCache",
+    "PlanCacheKey",
+    "QueryLifecycle",
+    "StageRecord",
+    "build_optimizer",
+    "cache_key",
+    "canonicalize",
+    "freshness_vector",
+    "hint_fingerprint",
+]

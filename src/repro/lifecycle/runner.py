@@ -1,0 +1,313 @@
+"""The staged query lifecycle: canonicalize → … → execute → harvest.
+
+The paper's exploitation story (§II-C, §V) is a *standing loop*:
+monitored executions keep correcting DPC estimates for future queries.
+Run at engine scale, that loop has a fixed per-query shape, which this
+module makes explicit.  Every query moves through seven named stages:
+
+==============  ========================================================
+canonicalize    compute the query's stable cache identity and the set of
+                tables it touches
+plan-cache      consult the shared :class:`~repro.lifecycle.PlanCache`
+                (``hit`` / ``miss`` / ``coalesced`` / ``bypassed``)
+optimize        cost-based optimization (skipped on a cache hit)
+lint            plan-invariant linting, rules P001–P006 (skipped on a
+                hit: the cached plan was linted before publication)
+monitor-plan    attach page-count monitors to the chosen plan
+execute         run the operator tree under the execution's IOContext
+harvest         optionally fold the run's observations back into the
+                feedback store (bumping its epoch)
+==============  ========================================================
+
+Each stage leaves a :class:`StageRecord` in the run's
+:class:`LifecycleTrace`, which is surfaced through
+``RunStats.render()``/``to_dict()`` — the observability contract the
+repeated-query benchmarks and the CI plan-cache smoke assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from repro.core.planner import build_executable
+from repro.core.requests import PageCountRequest
+from repro.exec.executor import QueryResult, execute
+from repro.lifecycle.plan import (
+    build_optimizer,
+    cache_key,
+    canonicalize,
+    freshness_vector,
+)
+from repro.optimizer.hints import PlanHint
+from repro.optimizer.injection import InjectionSet
+from repro.optimizer.optimizer import Query
+from repro.optimizer.plans import PlanNode
+from repro.storage.accounting import IOContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (session -> runner)
+    from repro.session import Session
+
+#: Canonical stage order (every trace lists all seven, in this order).
+STAGES: tuple[str, ...] = (
+    "canonicalize",
+    "plan-cache",
+    "optimize",
+    "lint",
+    "monitor-plan",
+    "execute",
+    "harvest",
+)
+
+
+@dataclass
+class StageRecord:
+    """One lifecycle stage's outcome."""
+
+    stage: str
+    status: str  # "ok" | "hit" | "miss" | "coalesced" | "bypassed" | "skipped"
+    detail: str = ""
+
+    def render(self) -> str:
+        return f"{self.stage}:{self.status}" + (
+            f" ({self.detail})" if self.detail else ""
+        )
+
+
+@dataclass
+class LifecycleTrace:
+    """The observable record of one query's trip through the stages."""
+
+    records: list[StageRecord] = field(default_factory=list)
+    #: Plan-cache outcome: "hit", "miss", "coalesced", or "bypassed".
+    cache_event: str = "bypassed"
+
+    def record(self, stage: str, status: str, detail: str = "") -> None:
+        self.records.append(StageRecord(stage=stage, status=status, detail=detail))
+
+    def stage(self, name: str) -> Optional[StageRecord]:
+        for entry in self.records:
+            if entry.stage == name:
+                return entry
+        return None
+
+    @property
+    def optimized(self) -> bool:
+        """Whether this run actually ran the optimizer (cache miss path)."""
+        stage = self.stage("optimize")
+        return stage is not None and stage.status == "ok"
+
+    def render(self) -> str:
+        return " → ".join(f"{r.stage}:{r.status}" for r in self.records)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "cache_event": self.cache_event,
+            "stages": [
+                {"stage": r.stage, "status": r.status, "detail": r.detail}
+                for r in self.records
+            ],
+        }
+
+
+@dataclass
+class ExecutedQuery:
+    """A plan, the result of running it, and the lifecycle that chose it."""
+
+    query: Query
+    plan: PlanNode
+    result: QueryResult
+    trace: Optional[LifecycleTrace] = None
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.result.elapsed_ms
+
+    @property
+    def observations(self):
+        return self.result.runstats.observations
+
+    def summary(self) -> str:
+        return (
+            f"{self.query.describe()}\n"
+            f"plan: {self.plan.describe()}\n"
+            f"{self.result.runstats.render()}"
+        )
+
+
+class QueryLifecycle:
+    """Drives one session's queries through the staged lifecycle.
+
+    Stateless besides the session reference: the interesting state — the
+    shared plan cache, the epoch-versioned feedback store — lives on the
+    session/engine, so lifecycles are free to construct per call.
+    """
+
+    def __init__(self, session: "Session") -> None:
+        self.session = session
+
+    # ------------------------------------------------------------------
+    # Planning stages: canonicalize → plan-cache → optimize → lint
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        query: Query,
+        use_feedback: bool = False,
+        hint: Optional[PlanHint] = None,
+        trace: Optional[LifecycleTrace] = None,
+    ) -> tuple[PlanNode, LifecycleTrace]:
+        """Resolve a plan for ``query``, through the cache when possible."""
+        session = self.session
+        trace = trace if trace is not None else LifecycleTrace()
+
+        canonical = canonicalize(query)
+        trace.record(
+            "canonicalize",
+            "ok",
+            f"key={canonical.key!r} tables={list(canonical.tables)}",
+        )
+
+        # Injections and the freshness vector must describe the same
+        # feedback-store state, so they are snapshotted atomically.
+        if use_feedback:
+            injections, _ = session.feedback.snapshot_injections(
+                session.injections.copy(), canonical.tables
+            )
+        else:
+            injections = session.injections.copy()
+
+        cache = session.plan_cache
+        if cache is None:
+            trace.record("plan-cache", "bypassed", "no cache configured")
+            trace.cache_event = "bypassed"
+            plan_node = self._optimize_and_lint(
+                query, injections, hint, trace.records
+            )
+            return plan_node, trace
+
+        key = cache_key(
+            canonical,
+            injections,
+            hint,
+            use_feedback,
+            session.page_count_model,
+        )
+        freshness = freshness_vector(
+            session.database, session.feedback, canonical.tables, use_feedback
+        )
+        built: list[StageRecord] = []
+
+        def builder() -> PlanNode:
+            return self._optimize_and_lint(query, injections, hint, built)
+
+        plan_node, event = cache.get_or_build(key, freshness, builder)
+        trace.cache_event = event
+        trace.record(
+            "plan-cache",
+            event,
+            f"epochs={[(t, e, s) for t, e, s in freshness]}",
+        )
+        if built:
+            trace.records.extend(built)
+        else:
+            trace.record("optimize", "skipped", f"plan-cache {event}")
+            trace.record("lint", "skipped", "linted when first cached")
+        return plan_node, trace
+
+    def _optimize_and_lint(
+        self,
+        query: Query,
+        injections: InjectionSet,
+        hint: Optional[PlanHint],
+        records: list[StageRecord],
+    ) -> PlanNode:
+        session = self.session
+        optimizer = build_optimizer(
+            session.database,
+            injections=injections,
+            page_count_model=session.page_count_model,
+            hint=hint,
+        )
+        plan_node = optimizer.optimize(query)
+        records.append(
+            StageRecord("optimize", "ok", plan_node.describe())
+        )
+        if session.lint_plans:
+            before = len(session.lint_findings)
+            session.lint(plan_node, optimizer.injections)
+            found = len(session.lint_findings) - before
+            records.append(StageRecord("lint", "ok", f"{found} finding(s)"))
+        else:
+            records.append(StageRecord("lint", "skipped", "lint_plans=False"))
+        return plan_node
+
+    # ------------------------------------------------------------------
+    # Execution stages: monitor-plan → execute → harvest
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        query: Query,
+        requests: Sequence[PageCountRequest] = (),
+        use_feedback: bool = False,
+        hint: Optional[PlanHint] = None,
+        cold_cache: bool = True,
+        io: Optional[IOContext] = None,
+        remember: bool = False,
+    ) -> ExecutedQuery:
+        """The full lifecycle: plan (cached or fresh), execute, harvest."""
+        plan_node, trace = self.plan(query, use_feedback=use_feedback, hint=hint)
+        return self.run_plan(
+            query,
+            plan_node,
+            requests=requests,
+            cold_cache=cold_cache,
+            io=io,
+            remember=remember,
+            trace=trace,
+        )
+
+    def run_plan(
+        self,
+        query: Query,
+        plan_node: PlanNode,
+        requests: Sequence[PageCountRequest] = (),
+        cold_cache: bool = True,
+        io: Optional[IOContext] = None,
+        remember: bool = False,
+        trace: Optional[LifecycleTrace] = None,
+    ) -> ExecutedQuery:
+        """Execute a specific plan with monitors (stages 5–7 only).
+
+        ``io`` is the execution's accounting context (default: a fresh
+        shared-pool context); pass an *isolated* context to run
+        interference-free next to concurrent executions.
+        """
+        session = self.session
+        trace = trace if trace is not None else LifecycleTrace()
+        build = build_executable(
+            plan_node, session.database, list(requests), session.monitor_config
+        )
+        trace.record("monitor-plan", "ok", build.summary())
+        result = execute(
+            build.root, session.database, cold_cache=cold_cache, io=io
+        )
+        result.runstats.observations.extend(build.unanswerable)
+        trace.record(
+            "execute",
+            "ok",
+            f"rows={result.rows} physical_reads={result.runstats.physical_reads}",
+        )
+        executed = ExecutedQuery(
+            query=query, plan=plan_node, result=result, trace=trace
+        )
+        if remember:
+            stored = session.remember(executed)
+            trace.record("harvest", "ok", f"{stored} observation(s) remembered")
+        else:
+            trace.record("harvest", "skipped", "remember not requested")
+        result.runstats.lifecycle = trace.to_dict()
+        if session.plan_cache is not None:
+            result.runstats.lifecycle["plan_cache"] = (
+                session.plan_cache.stats.snapshot()
+            )
+        return executed

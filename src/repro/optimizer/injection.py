@@ -17,6 +17,7 @@ page-count injections — the feedback loop in one call.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Optional
 
 from repro.core.requests import (
@@ -98,6 +99,31 @@ class InjectionSet:
         duplicate._cardinalities = dict(self._cardinalities)
         duplicate._page_counts = dict(self._page_counts)
         return duplicate
+
+    def merge_from(self, other: "InjectionSet") -> None:
+        """Absorb another set's entries; ``other`` wins on key conflicts.
+
+        This is the feedback-store lowering path: session-level base
+        injections are overridden by fresher execution feedback.
+        """
+        self._cardinalities.update(other._cardinalities)
+        self._page_counts.update(other._page_counts)
+
+    def fingerprint(self) -> str:
+        """Deterministic content digest (a plan-cache key component).
+
+        Two sets with the same cardinality and page-count entries produce
+        the same fingerprint regardless of insertion order; any differing
+        entry changes it.
+        """
+        digest = hashlib.sha256()
+        for prefix, entries in (
+            ("C", self._cardinalities),
+            ("P", self._page_counts),
+        ):
+            for key in sorted(entries):
+                digest.update(f"{prefix}|{key}={entries[key]!r}\x1f".encode())
+        return digest.hexdigest()[:16]
 
     # ------------------------------------------------------------------
     # Lookup

@@ -46,6 +46,20 @@ class SingleTableQuery:
             f"WHERE {self.predicate.key()}"
         )
 
+    def tables(self) -> tuple[str, ...]:
+        """Tables this query reads (plan-cache freshness tracking)."""
+        return (self.table,)
+
+    def canonical_key(self) -> str:
+        """Stable identity for plan caching.
+
+        The predicate's *ordered* key is deliberately kept: conjunct
+        order flows into residual-predicate order in the chosen plan, so
+        two spellings of the same conjunction must not share a cache
+        entry (a hit must be bit-identical to a fresh optimization).
+        """
+        return self.describe()
+
 
 @dataclass(frozen=True)
 class JoinQuery:
@@ -80,6 +94,33 @@ class JoinQuery:
             raise OptimizerError(
                 f"selection predicates on non-participant tables: {sorted(unknown)}"
             )
+
+    def tables(self) -> tuple[str, ...]:
+        """Tables this query reads (plan-cache freshness tracking)."""
+        return (
+            self.join_predicate.left_table,
+            self.join_predicate.right_table,
+        )
+
+    def canonical_key(self) -> str:
+        """Stable identity for plan caching.
+
+        Selection clauses are keyed *per table* and emitted in sorted
+        table order, so the insertion order of the ``predicates`` dict —
+        which the join enumerator never sees — cannot split one logical
+        query across cache entries.
+        """
+        clauses = [
+            f"{table}: {conj.key()}"
+            for table, conj in sorted(self.predicates.items())
+            if len(conj)
+        ]
+        return (
+            f"SELECT count({self.count_column or '*'}) FROM "
+            f"{self.join_predicate.left_table} JOIN "
+            f"{self.join_predicate.right_table} "
+            f"ON {self.join_predicate.key()} WHERE [{'; '.join(clauses)}]"
+        )
 
 
 Query = SingleTableQuery | JoinQuery

@@ -53,6 +53,27 @@ class PlanNode:
         parts.extend(child.signature() for child in self.children())
         return " | ".join(parts)
 
+    def tables(self) -> tuple[str, ...]:
+        """Sorted, de-duplicated names of every table this plan touches.
+
+        Collected from the per-node table attributes over the whole tree;
+        the plan cache keys freshness (feedback epochs, statistics
+        versions) on exactly this set.
+        """
+        names: set[str] = set()
+        for _, node in self.walk():
+            for attribute in (
+                "table",
+                "outer_table",
+                "inner_table",
+                "build_table",
+                "probe_table",
+            ):
+                value = getattr(node, attribute, None)
+                if value is not None:
+                    names.add(value)
+        return tuple(sorted(names))
+
     def walk(self, path: str = "") -> Iterator[tuple[str, "PlanNode"]]:
         """Preorder traversal yielding ``(path, node)`` pairs.
 

@@ -9,21 +9,33 @@ exposing the paper's full loop in three calls:
 >>> run = session.run(query, requests=[...])        # monitor current plan
 >>> session.remember(run)                            # harvest feedback
 >>> improved = session.run(query, use_feedback=True) # re-optimized plan
+
+Every ``run``/``optimize`` goes through the staged **query lifecycle**
+(:mod:`repro.lifecycle`): canonicalize → plan-cache → optimize → lint →
+monitor-plan → execute → harvest.  A standalone session has no plan
+cache by default (every optimize is fresh, as before); sessions handed
+out by an :class:`~repro.engine.Engine` share the engine's
+:class:`~repro.lifecycle.PlanCache`, so repeated queries skip the
+optimize and lint stages entirely while feedback epochs guarantee a
+cached plan is never stale.  The last run's stage-by-stage record is in
+:attr:`Session.last_trace` (and in ``RunStats.render()``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, ContextManager, Optional, Sequence
 
 from repro.analysis.findings import Finding, errors, render_findings
 from repro.analysis.planlint import lint_plan
 from repro.catalog.catalog import Database
 from repro.common.errors import PlanLintError
 from repro.core.feedback import FeedbackStore
-from repro.core.planner import MonitorConfig, build_executable
+from repro.core.planner import MonitorConfig
 from repro.core.requests import PageCountRequest
-from repro.exec.executor import QueryResult, execute
+from repro.lifecycle.plan import build_optimizer
+from repro.lifecycle.plancache import PlanCache
+from repro.lifecycle.runner import ExecutedQuery, LifecycleTrace, QueryLifecycle
 from repro.optimizer.hints import PlanHint
 from repro.optimizer.injection import InjectionSet
 from repro.optimizer.optimizer import Optimizer, Query
@@ -31,29 +43,7 @@ from repro.optimizer.pagecount_model import AnalyticalPageCountModel
 from repro.optimizer.plans import PlanNode
 from repro.storage.accounting import IOContext
 
-
-@dataclass
-class ExecutedQuery:
-    """A plan and the result of running it."""
-
-    query: Query
-    plan: PlanNode
-    result: QueryResult
-
-    @property
-    def elapsed_ms(self) -> float:
-        return self.result.elapsed_ms
-
-    @property
-    def observations(self):
-        return self.result.runstats.observations
-
-    def summary(self) -> str:
-        return (
-            f"{self.query.describe()}\n"
-            f"plan: {self.plan.describe()}\n"
-            f"{self.result.runstats.render()}"
-        )
+__all__ = ["ExecutedQuery", "Session"]
 
 
 @dataclass
@@ -76,21 +66,35 @@ class Session:
     #: :class:`~repro.core.feedback.FeedbackStore` with concurrent sessions
     #: (an :class:`~repro.engine.Engine` sets this; standalone sessions
     #: leave it None and write directly).  Any context-manager lock works.
-    feedback_lock: Optional[object] = None
+    feedback_lock: Optional[ContextManager[Any]] = None
+    #: Shared plan cache (an Engine wires its own in).  ``None`` means
+    #: every optimize is fresh — the plan-cache stage reports "bypassed".
+    plan_cache: Optional[PlanCache] = None
+    #: Stage-by-stage record of the most recent optimize()/run() call.
+    last_trace: Optional[LifecycleTrace] = None
 
     # ------------------------------------------------------------------
+    def lifecycle(self) -> QueryLifecycle:
+        """The staged lifecycle bound to this session (cheap to build)."""
+        return QueryLifecycle(self)
+
     def optimizer(
         self,
         use_feedback: bool = False,
         hint: Optional[PlanHint] = None,
         extra_injections: Optional[InjectionSet] = None,
     ) -> Optimizer:
+        """A raw optimizer over this session's injections (no caching).
+
+        Prefer :meth:`optimize`/:meth:`run`, which go through the staged
+        lifecycle; this accessor exists for explain-style tooling.
+        """
         injections = (
             extra_injections if extra_injections is not None else self.injections
         ).copy()
         if use_feedback:
             injections = self.feedback.to_injections(injections)
-        return Optimizer(
+        return build_optimizer(
             self.database,
             injections=injections,
             page_count_model=self.page_count_model,
@@ -103,13 +107,16 @@ class Session:
         use_feedback: bool = False,
         hint: Optional[PlanHint] = None,
     ) -> PlanNode:
-        optimizer = self.optimizer(use_feedback=use_feedback, hint=hint)
-        plan = optimizer.optimize(query)
-        if self.lint_plans:
-            self._lint(plan, optimizer.injections)
+        """Resolve a plan through the lifecycle's planning stages
+        (canonicalize → plan-cache → optimize → lint)."""
+        plan, trace = self.lifecycle().plan(
+            query, use_feedback=use_feedback, hint=hint
+        )
+        self.last_trace = trace
         return plan
 
-    def _lint(self, plan: PlanNode, injections: InjectionSet) -> None:
+    def lint(self, plan: PlanNode, injections: InjectionSet) -> None:
+        """Lint a plan (lifecycle lint stage); raises in strict mode."""
         findings = lint_plan(plan, self.database, injections=injections)
         if not findings:
             return
@@ -119,6 +126,9 @@ class Session:
                 "optimized plan violates plan invariants:\n"
                 + render_findings(findings)
             )
+
+    # Backwards-compatible private alias.
+    _lint = lint
 
     # ------------------------------------------------------------------
     def run_plan(
@@ -135,12 +145,11 @@ class Session:
         shared-pool context); pass an *isolated* context to run
         interference-free next to concurrent executions.
         """
-        build = build_executable(
-            plan, self.database, list(requests), self.monitor_config
+        executed = self.lifecycle().run_plan(
+            query, plan, requests=requests, cold_cache=cold_cache, io=io
         )
-        result = execute(build.root, self.database, cold_cache=cold_cache, io=io)
-        result.runstats.observations.extend(build.unanswerable)
-        return ExecutedQuery(query=query, plan=plan, result=result)
+        self.last_trace = executed.trace
+        return executed
 
     def run(
         self,
@@ -150,12 +159,21 @@ class Session:
         hint: Optional[PlanHint] = None,
         cold_cache: bool = True,
         io: Optional[IOContext] = None,
+        remember: bool = False,
     ) -> ExecutedQuery:
-        """Optimize then execute, with monitoring."""
-        plan = self.optimize(query, use_feedback=use_feedback, hint=hint)
-        return self.run_plan(
-            query, plan, requests=requests, cold_cache=cold_cache, io=io
+        """The full lifecycle: plan (cached or fresh), execute, and — with
+        ``remember=True`` — harvest feedback in the same call."""
+        executed = self.lifecycle().run(
+            query,
+            requests=requests,
+            use_feedback=use_feedback,
+            hint=hint,
+            cold_cache=cold_cache,
+            io=io,
+            remember=remember,
         )
+        self.last_trace = executed.trace
+        return executed
 
     # ------------------------------------------------------------------
     def remember(self, executed: ExecutedQuery) -> int:
@@ -164,5 +182,5 @@ class Session:
         :attr:`feedback_lock` when the store is shared."""
         if self.feedback_lock is None:
             return self.feedback.record_run(executed.result.runstats)
-        with self.feedback_lock:  # type: ignore[attr-defined]
+        with self.feedback_lock:
             return self.feedback.record_run(executed.result.runstats)

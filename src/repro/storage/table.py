@@ -38,6 +38,7 @@ class Table:
         self.statistics: Optional[TableStatistics] = None
         self._rids: list[RID] = []
         self._loaded = False
+        self._stats_version = 0
 
     # ------------------------------------------------------------------
     # Properties
@@ -120,6 +121,16 @@ class Table:
         """Whether rows were appended since statistics were last built."""
         return getattr(self, "_stats_dirty", False)
 
+    @property
+    def statistics_version(self) -> int:
+        """Monotone counter bumped by every statistics (re)build.
+
+        Plan-cache entries record the versions of the tables they touch,
+        so a rebuild — typically after appends — invalidates every plan
+        costed against the old row/page counts and histograms.
+        """
+        return self._stats_version
+
     def create_index(self, definition: IndexDef, file_id: FileId) -> BTreeIndex:
         """Build a secondary index over the loaded rows."""
         if not self._loaded:
@@ -154,6 +165,7 @@ class Table:
             num_buckets=num_buckets,
         )
         self._stats_dirty = False
+        self._stats_version += 1
         return self.statistics
 
     def _iter_rows_with_rids(self) -> Iterator[tuple[RID, tuple]]:

@@ -182,6 +182,52 @@ class TestR006:
 
 
 # ----------------------------------------------------------------------
+# R007 — optimization goes through the staged lifecycle
+# ----------------------------------------------------------------------
+class TestR007:
+    def test_fires_on_bare_construction(self):
+        assert "R007" in rules_fired(
+            "from repro.optimizer.optimizer import Optimizer\n"
+            "opt = Optimizer(database)\n"
+        )
+
+    def test_fires_on_qualified_construction(self):
+        assert "R007" in rules_fired(
+            "import repro.optimizer.optimizer as o\n"
+            "plan = o.Optimizer(db, injections=inj).optimize(q)\n"
+        )
+
+    def test_silent_on_build_optimizer(self):
+        clean = (
+            "from repro.lifecycle.plan import build_optimizer\n"
+            "opt = build_optimizer(database, injections=inj)\n"
+        )
+        assert "R007" not in rules_fired(clean)
+
+    def test_silent_on_session_lifecycle(self):
+        clean = (
+            "from repro.session import Session\n"
+            "plan = Session(database).optimize(query)\n"
+        )
+        assert "R007" not in rules_fired(clean)
+
+    def test_silent_on_type_annotation_import(self):
+        """Importing the name for typing is fine; only construction fires."""
+        assert "R007" not in rules_fired(
+            "from repro.optimizer.optimizer import Optimizer\n"
+            "def f(opt: Optimizer) -> None: ...\n"
+        )
+
+    def test_allowed_inside_sanctioned_modules(self):
+        violating = "opt = Optimizer(database)\n"
+        for path in (
+            "src/repro/lifecycle/plan.py",
+            "src/repro/core/diagnostics.py",
+        ):
+            assert "R007" not in rules_fired(violating, path)
+
+
+# ----------------------------------------------------------------------
 # Shared machinery
 # ----------------------------------------------------------------------
 class TestMachinery:
@@ -224,5 +270,6 @@ class TestMachinery:
             "R004",
             "R005",
             "R006",
+            "R007",
         }
         assert all(CODE_RULES[rule] for rule in CODE_RULES)

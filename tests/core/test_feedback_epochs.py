@@ -1,0 +1,127 @@
+"""Epoch versioning and memoized lowering of the FeedbackStore."""
+
+from __future__ import annotations
+
+from repro.core.feedback import FeedbackStore, table_of_key
+from repro.core.requests import (
+    AccessPathRequest,
+    Mechanism,
+    PageCountObservation,
+)
+from repro.optimizer import InjectionSet
+from repro.sql import Comparison, conjunction_of
+
+
+def observation(table: str, column: str, estimate: float, answered: bool = True):
+    return PageCountObservation(
+        request=AccessPathRequest(
+            table, conjunction_of(Comparison(column, "<", 9))
+        ),
+        mechanism=Mechanism.EXACT_SCAN_COUNT,
+        estimate=estimate if answered else None,
+        exact=True,
+        answered=answered,
+        reason="" if answered else "not monitored",
+    )
+
+
+class TestTableOfKey:
+    def test_dpc_and_card_keys(self):
+        assert table_of_key("DPC(t, a < 9)") == "t"
+        assert table_of_key("CARD(orders, total > 5)") == "orders"
+
+    def test_unparseable_key(self):
+        assert table_of_key("garbage") is None
+
+
+class TestEpochs:
+    def test_fresh_store_is_epoch_zero(self):
+        store = FeedbackStore()
+        assert store.epoch == 0
+        assert store.table_epoch("t") == 0
+
+    def test_write_bumps_global_and_table_epoch(self):
+        store = FeedbackStore()
+        store.record_observations([observation("t", "a", 12.0)])
+        assert store.epoch == 1
+        assert store.table_epoch("t") == 1
+        assert store.table_epoch("unrelated") == 0
+
+    def test_each_batch_is_one_epoch(self):
+        store = FeedbackStore()
+        store.record_observations(
+            [observation("t", "a", 12.0), observation("t", "b", 7.0)]
+        )
+        assert store.epoch == 1
+        store.record_observations([observation("t", "a", 13.0)])
+        assert store.epoch == 2
+
+    def test_cardinality_write_bumps_epoch(self):
+        store = FeedbackStore()
+        store.record_cardinality("CARD(t, a < 9)", 500.0)
+        assert store.epoch == 1
+        assert store.table_epoch("t") == 1
+
+    def test_zero_answerable_observations_are_a_noop(self):
+        """A harvest that stores nothing must not bump the epoch (derived
+        caches stay valid) nor the recency sequence."""
+        store = FeedbackStore()
+        store.record_observations([observation("t", "a", 12.0)])
+        sequence_before = store._sequence
+        stored = store.record_observations(
+            [observation("t", "b", 0.0, answered=False)]
+        )
+        assert stored == 0
+        assert store.epoch == 1
+        assert store._sequence == sequence_before
+
+    def test_table_epochs_vector_is_sorted(self):
+        store = FeedbackStore()
+        store.record_observations([observation("u", "a", 3.0)])
+        store.record_observations([observation("t", "a", 5.0)])
+        assert store.table_epochs(["u", "t"]) == (("t", 2), ("u", 1))
+
+    def test_loaded_store_epochs_reflect_history(self):
+        store = FeedbackStore()
+        store.record_observations([observation("t", "a", 12.0)])
+        store.record_observations([observation("u", "a", 3.0)])
+        clone = FeedbackStore.from_json(store.to_json())
+        assert clone.epoch == 2
+        assert clone.table_epoch("t") == 1
+        assert clone.table_epoch("u") == 2
+
+
+class TestMemoizedLowering:
+    def test_repeat_lowering_reuses_one_set(self):
+        store = FeedbackStore()
+        store.record_observations([observation("t", "a", 12.0)])
+        store.to_injections()
+        store.to_injections()
+        store.to_injections()
+        assert store.lowering_builds == 1
+        assert store.lowering_reuses == 2
+
+    def test_write_forces_rebuild(self):
+        store = FeedbackStore()
+        store.record_observations([observation("t", "a", 12.0)])
+        store.to_injections()
+        store.record_observations([observation("t", "b", 5.0)])
+        lowered = store.to_injections()
+        assert store.lowering_builds == 2
+        assert len(lowered) == 2
+
+    def test_returned_copy_is_independent(self):
+        store = FeedbackStore()
+        store.record_observations([observation("t", "a", 12.0)])
+        lowered = store.to_injections()
+        lowered.inject_page_count_by_key("DPC(t, poison)", 1.0)
+        assert len(store.to_injections()) == 1
+
+    def test_snapshot_is_atomic_pairing(self):
+        store = FeedbackStore()
+        store.record_observations([observation("t", "a", 12.0)])
+        injections, epochs = store.snapshot_injections(
+            InjectionSet(), ["t"]
+        )
+        assert len(injections) == 1
+        assert epochs == (("t", 1),)

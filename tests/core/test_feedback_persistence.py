@@ -4,6 +4,7 @@ import pytest
 
 from repro.common.errors import FeedbackError
 from repro.core.feedback import FeedbackStore
+from repro.optimizer import InjectionSet
 from repro.core.requests import (
     AccessPathRequest,
     Mechanism,
@@ -70,6 +71,57 @@ class TestPersistence:
     def test_wrong_version_rejected(self):
         with pytest.raises(FeedbackError):
             FeedbackStore.from_json('{"version": 99}')
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(FeedbackError):
+            FeedbackStore.from_json('[1, 2, 3]')
+
+    def test_records_must_be_a_list(self):
+        with pytest.raises(FeedbackError, match="must be a list"):
+            FeedbackStore.from_json('{"version": 1, "records": {"key": "x"}}')
+
+    def test_record_missing_key_rejected(self):
+        with pytest.raises(FeedbackError, match="missing 'key'"):
+            FeedbackStore.from_json(
+                '{"version": 1, "records": [{"page_count": 4.0}]}'
+            )
+
+    def test_non_dict_record_rejected(self):
+        with pytest.raises(FeedbackError, match="missing 'key'"):
+            FeedbackStore.from_json('{"version": 1, "records": ["DPC(t, a)"]}')
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "feedback.json"
+        path.write_text('{"version": 1, "records": [{}]}', encoding="utf-8")
+        with pytest.raises(FeedbackError):
+            FeedbackStore.load(path)
+
+
+class TestLoweringOntoBase:
+    def test_to_injections_layers_onto_non_empty_base(self):
+        store = FeedbackStore()
+        store.record_observations([observation("a", 12.0)])
+        feedback_key = observation("a", 0).key
+
+        base = InjectionSet()
+        base.inject_page_count_by_key("DPC(t, base_only)", 3.0)
+        base.inject_page_count_by_key(feedback_key, 999.0)
+
+        merged = store.to_injections(base)
+        # Mutates and returns the base set...
+        assert merged is base
+        # ...keeping base-only entries and letting feedback win conflicts.
+        assert merged._page_counts["DPC(t, base_only)"] == 3.0
+        assert merged._page_counts[feedback_key] == 12.0
+
+    def test_base_mutation_does_not_poison_the_memo(self):
+        store = FeedbackStore()
+        store.record_observations([observation("a", 12.0)])
+        base = InjectionSet()
+        base.inject_page_count_by_key("DPC(t, base_only)", 3.0)
+        store.to_injections(base)
+        # A later bare lowering must not contain the base's entries.
+        assert "DPC(t, base_only)" not in store.to_injections()._page_counts
 
 
 class TestCli:

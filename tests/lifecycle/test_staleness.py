@@ -1,0 +1,181 @@
+"""No stale plan is ever served: feedback writes and statistics rebuilds
+invalidate cached plans (the bench_ablation_staleness scenario, in-suite).
+
+The growing-heap scenario: a heap table whose indexed column correlates
+with insertion order doubles via appends; statistics are rebuilt.  A plan
+cached before the growth describes a table that no longer exists — the
+cache must treat both the feedback epoch bump (``remember``) and the
+statistics-version bump (``build_table_statistics``) as invalidation.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import ColumnDef, Database, IndexDef, TableSchema
+from repro.core.requests import AccessPathRequest
+from repro.engine import Engine, WorkloadItem
+from repro.optimizer import SingleTableQuery
+from repro.sql import Comparison, conjunction_of
+from repro.sql.types import SqlType
+
+
+def build_growing_heap(num_rows: int = 8_000) -> Database:
+    database = Database("growing", buffer_pool_pages=50_000)
+    schema = TableSchema(
+        "events",
+        [
+            ColumnDef("seq", SqlType.INT),
+            ColumnDef("bucket", SqlType.INT),
+            ColumnDef("padding", SqlType.STR, width_bytes=80),
+        ],
+    )
+    rows = [(i, i // 10, "x") for i in range(num_rows)]  # bucket ~ load order
+    database.load_table(
+        schema,
+        rows,
+        clustered_on=None,
+        indexes=[IndexDef("ix_bucket", "events", ("bucket",))],
+    )
+    return database
+
+
+def grow(database: Database, num_rows: int = 8_000) -> None:
+    """Double the table on fresh pages (old bucket values, new pages)."""
+    table = database.table("events")
+    extra = [
+        (num_rows + i, (i * 37) % (num_rows // 10), "x")
+        for i in range(num_rows)
+    ]
+    table.append_rows(extra)
+    table.build_table_statistics()
+
+
+def the_query() -> SingleTableQuery:
+    return SingleTableQuery(
+        "events", conjunction_of(Comparison("bucket", "<", 120)), "padding"
+    )
+
+
+def monitored_item(remember: bool = False) -> WorkloadItem:
+    query = the_query()
+    return WorkloadItem(
+        query=query,
+        requests=(AccessPathRequest("events", query.predicate),),
+        use_feedback=True,
+        remember=remember,
+    )
+
+
+class TestFeedbackEpochInvalidation:
+    def test_new_feedback_changes_the_cache_key(self):
+        """Harvesting new feedback changes the injection fingerprint, so
+        the next feedback-driven optimization cannot reuse the plan that
+        was built before the store had the observation."""
+        engine = Engine(build_growing_heap())
+        session = engine.session()
+        query = the_query()
+
+        session.run(query, use_feedback=True)
+        assert session.last_trace.cache_event == "miss"
+        session.run(query, use_feedback=True)
+        assert session.last_trace.cache_event == "hit"
+
+        # Harvest feedback for the events table -> epoch bump.
+        engine.execute(monitored_item(remember=True), session=session)
+        assert engine.feedback.epoch > 0
+
+        session.run(query, use_feedback=True)
+        assert session.last_trace.cache_event == "miss"
+
+    def test_reharvest_invalidates_same_key_entry(self):
+        """Re-observing the same expression leaves the injection
+        fingerprint unchanged (same values) but bumps the epoch: the
+        cached entry is found under its key, detected stale, and evicted
+        — the invalidation counter proves the epoch check fired."""
+        engine = Engine(build_growing_heap())
+        session = engine.session()
+        query = the_query()
+
+        # Seed the store, then cache a feedback-driven plan at epoch 1.
+        engine.execute(monitored_item(remember=True), session=session)
+        session.run(query, use_feedback=True)
+        session.run(query, use_feedback=True)
+        assert session.last_trace.cache_event == "hit"
+
+        # Identical table, identical monitored run -> identical estimate:
+        # the lowered injections (and so the key) are unchanged, but the
+        # write bumps the table's epoch.
+        engine.execute(monitored_item(remember=True), session=session)
+
+        before = engine.plan_cache.stats.invalidations
+        session.run(query, use_feedback=True)
+        assert session.last_trace.cache_event == "miss"
+        assert engine.plan_cache.stats.invalidations == before + 1
+
+    def test_plain_mode_plans_survive_remember(self):
+        """Plans optimized without feedback carry a constant feedback tag,
+        so harvesting observations must not evict them."""
+        engine = Engine(build_growing_heap())
+        session = engine.session()
+        query = the_query()
+
+        session.run(query, use_feedback=False)
+        engine.execute(monitored_item(remember=True), session=session)
+        session.run(query, use_feedback=False)
+        assert session.last_trace.cache_event == "hit"
+
+    def test_fresh_feedback_plan_matches_uncached(self):
+        """After an epoch bump the rebuilt cached plan is bit-identical to
+        a fresh cache-bypassing optimization at the same epoch."""
+        engine = Engine(build_growing_heap())
+        session = engine.session()
+        query = the_query()
+        engine.execute(monitored_item(remember=True), session=session)
+
+        cached = session.optimize(query, use_feedback=True)
+        bypass = engine.session()
+        bypass.plan_cache = None
+        fresh = bypass.optimize(query, use_feedback=True)
+        assert cached.render() == fresh.render()
+
+
+class TestStatisticsVersionInvalidation:
+    def test_rebuild_invalidates_all_modes(self):
+        database = build_growing_heap()
+        engine = Engine(database)
+        session = engine.session()
+        query = the_query()
+
+        session.run(query, use_feedback=False)
+        session.run(query, use_feedback=False)
+        assert session.last_trace.cache_event == "hit"
+
+        grow(database)
+
+        before = engine.plan_cache.stats.invalidations
+        session.run(query, use_feedback=False)
+        assert session.last_trace.cache_event == "miss"
+        assert engine.plan_cache.stats.invalidations == before + 1
+
+    def test_post_growth_plan_matches_uncached(self):
+        """The plan resolved after growth reflects the rebuilt statistics,
+        not the pre-growth table."""
+        database = build_growing_heap()
+        engine = Engine(database)
+        session = engine.session()
+        query = the_query()
+        session.run(query)
+
+        grow(database)
+
+        cached = session.optimize(query)
+        bypass = engine.session()
+        bypass.plan_cache = None
+        fresh = bypass.optimize(query)
+        assert cached.render() == fresh.render()
+
+    def test_statistics_version_bumps_on_rebuild(self):
+        database = build_growing_heap()
+        table = database.table("events")
+        version = table.statistics_version
+        grow(database)
+        assert table.statistics_version == version + 1
