@@ -5,6 +5,11 @@ WHERE Ci < val`` at selectivities 1-10%, accurate cardinalities injected.
 The paper's shape: large speedups on the correlated columns (plan flips
 from Table Scan to Index Seek), decreasing with correlation, and none on
 C5 where the analytical estimate is already accurate.
+
+Runs under the batch (page-at-a-time) execution mode — the simulated
+times and observations are identical to row mode (see
+``repro.harness.equivalence``), the harness just finishes several times
+faster.
 """
 
 from benchmarks.conftest import run_once
@@ -14,7 +19,9 @@ from repro.harness import run_fig6_fig7
 def test_fig6_single_table_speedup(benchmark):
     result = run_once(
         benchmark,
-        lambda: run_fig6_fig7(num_rows=100_000, queries_per_column=25, seed=42),
+        lambda: run_fig6_fig7(
+            num_rows=100_000, queries_per_column=25, seed=42, exec_mode="batch"
+        ),
     )
     print()
     print(result.render())

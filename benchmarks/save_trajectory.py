@@ -1,0 +1,135 @@
+"""Record the execution-engine performance trajectory to ``BENCH_exec.json``.
+
+Runs the paper's harness under both execution modes and saves the
+numbers a future session (or CI artifact reader) needs to judge a perf
+regression at a glance:
+
+* **fig6** — the single-table §V-B methodology, identical workload in
+  row and batch mode: wall-clock seconds per mode and the batch/row
+  wall-clock speedup (simulated results are mode-invariant, so only the
+  harness cost differs);
+* **fig7** — the monitoring-overhead distribution ``(T_mon - T) / T``
+  from the same run (simulated; identical across modes up to float
+  accumulation order);
+* **scan throughput** — a full-table-scan query repeated per mode,
+  reported as rows/second of harness throughput;
+* **plancache** — the plan-cache smoke gate's violation list, so the
+  artifact also witnesses that caching still behaves.
+
+Wall-clock comes from :class:`repro.harness.timing.Stopwatch` (the only
+sanctioned host-clock reader).  The artifact is committed at the repo
+root and refreshed by CI as a non-gating build artifact::
+
+    PYTHONPATH=src python benchmarks/save_trajectory.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+try:  # repo-root import (pytest); falls back for direct script runs,
+    # where sys.path[0] is benchmarks/ itself.
+    from benchmarks import smoke_plancache
+except ModuleNotFoundError:
+    import smoke_plancache  # type: ignore[no-redef]
+
+from repro.harness.figures import run_fig6_fig7
+from repro.harness.timing import Stopwatch
+from repro.optimizer import SingleTableQuery
+from repro.session import Session
+from repro.sql import Comparison, conjunction_of
+from repro.workloads import build_synthetic_database
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_exec.json"
+
+#: Fig. 6/7 scale for the trajectory (paper-scale rows, reduced queries).
+FIG6_ROWS = 60_000
+FIG6_QUERIES_PER_COLUMN = 5
+FIG6_SEED = 42
+
+#: Full-table-scan throughput probe.
+SCAN_ROWS = 60_000
+SCAN_REPEATS = 5
+
+
+def _fig6_both_modes() -> dict:
+    per_mode: dict[str, dict] = {}
+    overheads: list[float] = []
+    for mode in ("row", "batch"):
+        watch = Stopwatch()
+        result = run_fig6_fig7(
+            num_rows=FIG6_ROWS,
+            queries_per_column=FIG6_QUERIES_PER_COLUMN,
+            seed=FIG6_SEED,
+            exec_mode=mode,
+        )
+        seconds = watch.elapsed_seconds
+        overheads = result.overheads()
+        per_mode[mode] = {
+            "wall_seconds": round(seconds, 3),
+            "queries": len(result.outcomes),
+            "mean_sim_speedup": round(
+                sum(result.speedups()) / len(result.speedups()), 4
+            ),
+        }
+    return {
+        "num_rows": FIG6_ROWS,
+        "queries_per_column": FIG6_QUERIES_PER_COLUMN,
+        "seed": FIG6_SEED,
+        "row": per_mode["row"],
+        "batch": per_mode["batch"],
+        "batch_wall_speedup": round(
+            per_mode["row"]["wall_seconds"] / per_mode["batch"]["wall_seconds"],
+            2,
+        ),
+        "fig7_monitor_overhead_pct": {
+            "max": round(100 * max(overheads), 3),
+            "mean": round(100 * sum(overheads) / len(overheads), 3),
+        },
+    }
+
+
+def _scan_throughput() -> dict:
+    database = build_synthetic_database(num_rows=SCAN_ROWS, seed=7)
+    query = SingleTableQuery(
+        "t", conjunction_of(Comparison("c5", ">=", 0)), "padding"
+    )
+    out: dict[str, dict] = {}
+    for mode in ("row", "batch"):
+        session = Session(database)
+        watch = Stopwatch()
+        for _ in range(SCAN_REPEATS):
+            session.run(query, exec_mode=mode)
+        seconds = watch.elapsed_seconds
+        out[mode] = {
+            "wall_seconds": round(seconds, 3),
+            "rows_per_sec": int(SCAN_ROWS * SCAN_REPEATS / seconds),
+        }
+    out["batch_wall_speedup"] = round(
+        out["row"]["wall_seconds"] / out["batch"]["wall_seconds"], 2
+    )
+    return {"num_rows": SCAN_ROWS, "repeats": SCAN_REPEATS, **out}
+
+
+def build_trajectory() -> dict:
+    return {
+        "benchmark": "execution-mode trajectory (row vs. page-at-a-time batch)",
+        "fig6": _fig6_both_modes(),
+        "scan_throughput": _scan_throughput(),
+        "plancache_smoke_violations": smoke_plancache.run_smoke(),
+    }
+
+
+def main(argv: list[str]) -> int:
+    output = Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
+    trajectory = build_trajectory()
+    output.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(trajectory, indent=2))
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

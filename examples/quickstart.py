@@ -9,8 +9,14 @@ whole loop on one query:
 3. compare the optimizer's estimated DPC with the monitored actual;
 4. inject the actual, re-optimize, and measure the speedup.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--exec-mode {row,batch}]
+
+``--exec-mode batch`` drives the same plans through the page-at-a-time
+batch engine (compiled predicate kernels); every printed number is
+identical, the walk just completes faster.
 """
+
+import argparse
 
 from repro import (
     AccessPathRequest,
@@ -25,6 +31,15 @@ from repro.workloads import build_synthetic_database
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--exec-mode",
+        choices=["row", "batch"],
+        default="row",
+        help="row-at-a-time iterator (default) or page-at-a-time batches",
+    )
+    args = parser.parse_args()
+
     print("Building synthetic database (50k rows, correlation spectrum C2..C5)...")
     database = build_synthetic_database(num_rows=50_000, seed=42)
     table = database.table("t")
@@ -42,7 +57,7 @@ def main() -> None:
 
     # --- 1+2: optimize with the analytical model, run with monitoring ----
     request = AccessPathRequest("t", predicate)
-    first = session.run(query, requests=[request])
+    first = session.run(query, requests=[request], exec_mode=args.exec_mode)
     print("--- first execution (analytical page counts) ---")
     print(first.plan.render())
     print(first.result.runstats.render())
@@ -61,7 +76,9 @@ def main() -> None:
 
     # --- 4: feed back and re-optimize --------------------------------------
     session.remember(first)
-    second = session.run(query, requests=[], use_feedback=True)
+    second = session.run(
+        query, requests=[], use_feedback=True, exec_mode=args.exec_mode
+    )
     print("--- second execution (page counts from execution feedback) ---")
     print(second.plan.render())
     speedup = (first.elapsed_ms - second.elapsed_ms) / first.elapsed_ms

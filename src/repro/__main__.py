@@ -33,6 +33,13 @@ def _add_figures(subparsers) -> None:
     parser.add_argument("--scale", type=float, default=0.25)
     parser.add_argument("--rows", type=int, default=30_000)
     parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--exec-mode",
+        choices=["row", "batch"],
+        default="row",
+        help="execution drive for fig6/fig8 (results identical, batch is "
+        "faster); the other figure drivers are mode-agnostic",
+    )
 
 
 def _add_query_command(subparsers, name: str, help_text: str) -> None:
@@ -45,6 +52,12 @@ def _add_query_command(subparsers, name: str, help_text: str) -> None:
             "--feedback",
             default=None,
             help="path to persist the gathered feedback store (JSON)",
+        )
+        parser.add_argument(
+            "--exec-mode",
+            choices=["row", "batch"],
+            default="row",
+            help="row-at-a-time iterator (default) or page-at-a-time batches",
         )
 
 
@@ -61,10 +74,16 @@ def _cmd_figures(args) -> int:
     drivers = {
         "table1": lambda: run_table1(scale=args.scale, seed=args.seed),
         "fig6": lambda: run_fig6_fig7(
-            num_rows=args.rows, queries_per_column=6, seed=args.seed
+            num_rows=args.rows,
+            queries_per_column=6,
+            seed=args.seed,
+            exec_mode=args.exec_mode,
         ),
         "fig8": lambda: run_fig8(
-            num_rows=args.rows, queries_per_column=4, seed=args.seed
+            num_rows=args.rows,
+            queries_per_column=4,
+            seed=args.seed,
+            exec_mode=args.exec_mode,
         ),
         "fig9": lambda: run_fig9(num_rows=args.rows, seed=args.seed),
         "fig10": lambda: run_fig10(
@@ -122,7 +141,7 @@ def _cmd_diagnose(args) -> int:
     query = parse_query(args.sql)
     session = Session(database)
     requests = default_requests(database, query)
-    executed = session.run(query, requests=requests)
+    executed = session.run(query, requests=requests, exec_mode=args.exec_mode)
     print(executed.result.runstats.render())
     print()
     report = diagnose(
@@ -139,7 +158,7 @@ def _cmd_diagnose(args) -> int:
         print("\nno plan change recommended")
     else:
         print(f"\nrecommended hint: {hint}")
-        hinted = session.run(query, hint=hint)
+        hinted = session.run(query, hint=hint, exec_mode=args.exec_mode)
         speedup = (executed.elapsed_ms - hinted.elapsed_ms) / executed.elapsed_ms
         print(
             f"hinted run: {hinted.elapsed_ms:.2f}ms vs {executed.elapsed_ms:.2f}ms "

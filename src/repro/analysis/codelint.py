@@ -32,6 +32,11 @@ This module enforces them statically:
           :func:`~repro.lifecycle.plan.build_optimizer` helper) so plan
           caching, linting and feedback-epoch bookkeeping cannot be
           bypassed
+``R008``  no per-row ``charge_rows()`` / ``charge_rows(1)`` inside
+          batch-mode operators (any function whose enclosing-function
+          stack contains ``batch`` — nested ``flush()`` closures
+          included): batch mode exists to amortize accounting, so charge
+          once per batch with ``charge_rows(len(rows))``
 ========  =====================================================================
 
 Suppress a finding inline with a trailing ``# lint: disable=R003`` (or a
@@ -57,6 +62,7 @@ CODE_RULES: dict[str, str] = {
     "R005": "no wall-clock reads outside harness/timing.py",
     "R006": "no global clock: accounting flows through per-execution IOContext",
     "R007": "Optimizer construction only through the lifecycle (build_optimizer)",
+    "R008": "no per-row charge_rows(1) inside batch-mode operators",
 }
 
 #: Per-rule path suffixes where the rule intentionally does not apply.
@@ -139,6 +145,9 @@ class _FileChecker(ast.NodeVisitor):
         self.file_label = file_label
         self.rules = set(rules)
         self.findings: list[Finding] = []
+        #: Enclosing function names, outermost first — lets R008 see that a
+        #: nested ``flush()`` closure still lives inside a ``batches()``.
+        self._function_stack: list[str] = []
 
     def report(self, rule: str, node: ast.AST, message: str, hint: str = "") -> None:
         if rule not in self.rules:
@@ -220,6 +229,10 @@ class _FileChecker(ast.NodeVisitor):
                 hint="go through Session.optimize/run (the staged lifecycle) "
                 "or repro.lifecycle.plan.build_optimizer",
             )
+        elif leaf == "charge_rows" and any(
+            "batch" in name for name in self._function_stack
+        ):
+            self._check_charge_rows(node, chain)
         elif leaf == "snapshot" and len(chain) >= 2 and "clock" in chain[-2]:
             # `database.clock.snapshot()` is already reported by the
             # attribute rule below; catch the aliased forms it cannot see
@@ -233,6 +246,27 @@ class _FileChecker(ast.NodeVisitor):
                     hint="read counters directly off the execution's "
                     "IOContext; the snapshot/delta protocol is retired",
                 )
+
+    # -- R008: per-row charging inside batch operators ------------------
+    def _check_charge_rows(self, node: ast.Call, chain: tuple[str, ...]) -> None:
+        arguments = [*node.args, *(kw.value for kw in node.keywords)]
+        per_row = not arguments or (
+            len(arguments) == 1
+            and isinstance(arguments[0], ast.Constant)
+            and not isinstance(arguments[0].value, bool)
+            and arguments[0].value == 1
+        )
+        if per_row:
+            self.report(
+                "R008",
+                node,
+                f"per-row charge {'.'.join(chain)}"
+                f"({ast.unparse(arguments[0]) if arguments else ''}) "
+                f"inside batch-mode function "
+                f"{'/'.join(self._function_stack)}",
+                hint="accumulate the batch and charge once with "
+                "charge_rows(len(rows))",
+            )
 
     # -- R001 / R005: forbidden imports --------------------------------
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -326,11 +360,15 @@ class _FileChecker(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node, node.args)
+        self._function_stack.append(node.name)
         self.generic_visit(node)
+        self._function_stack.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node, node.args)
+        self._function_stack.append(node.name)
         self.generic_visit(node)
+        self._function_stack.pop()
 
 
 def _suppressed_rules(source: str) -> dict[int, set[str]]:

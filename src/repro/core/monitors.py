@@ -43,7 +43,7 @@ from repro.core.requests import (
     PageCountObservation,
     PageCountRequest,
 )
-from repro.sql.evaluator import TermOutcome
+from repro.sql.evaluator import BatchOutcome, TermOutcome
 from repro.sql.predicates import AtomicPredicate, Conjunction
 from repro.storage.accounting import IOContext
 
@@ -72,6 +72,38 @@ class _ScanExpressionEntry:
                 return
         self.page_satisfied = True
 
+    def observe_batch(
+        self,
+        truth_columns: Sequence[Optional[Sequence[Optional[bool]]]],
+        num_rows: int,
+    ) -> None:
+        """Batch form of :meth:`observe`: fold a whole page's truth columns.
+
+        Equivalent to calling :meth:`observe` on every row of the page in
+        order — the flag ends up set iff some row witnesses every request
+        term.  A ``None`` column means the term was evaluated on no row of
+        the page, so it can witness nothing.
+        """
+        if self.page_satisfied or num_rows == 0:
+            return
+        if not self.term_indexes:
+            self.page_satisfied = True
+            return
+        columns = []
+        for index in self.term_indexes:
+            column = truth_columns[index]
+            if column is None:
+                return
+            columns.append(column)
+        if len(columns) == 1:
+            if any(value is True for value in columns[0]):
+                self.page_satisfied = True
+            return
+        for values in zip(*columns):
+            if all(value is True for value in values):
+                self.page_satisfied = True
+                return
+
     def fold_page(self, counted: bool) -> None:
         """End-of-page: fold the flag into the counter if the page counts
         toward this entry (always for exact mode, sampled pages otherwise).
@@ -98,6 +130,27 @@ class _BitVectorEntry:
         value = row[self.column_position]
         if value is not None and self.filter.may_contain(value):
             self.page_satisfied = True
+
+    def observe_batch(self, rows: Sequence[Sequence[Any]], io: IOContext) -> None:
+        """Batch form of :meth:`observe_row` over a page's rows.
+
+        Probe charging is order-dependent in row mode (rows after the
+        first satisfying one are free), so the batch counts probes up to
+        and including the first hit before charging once.
+        """
+        if self.page_satisfied:
+            return
+        position = self.column_position
+        may_contain = self.filter.may_contain
+        probes = 0
+        for row in rows:
+            probes += 1
+            value = row[position]
+            if value is not None and may_contain(value):
+                self.page_satisfied = True
+                break
+        if probes:
+            io.charge_bitvector_probes(probes)
 
     def fold_page(self, counted: bool) -> None:
         if counted and self.page_satisfied:
@@ -226,6 +279,32 @@ class ScanMonitorBundle:
             for bv_entry in self._bitvector_entries:
                 bv_entry.observe_row(row, io)
 
+    def observe_batch(
+        self, outcome: BatchOutcome, rows: Sequence[Sequence[Any]], io: IOContext
+    ) -> None:
+        """Feed one page's worth of evaluation results to all entries.
+
+        Equivalent to :meth:`observe_row` on each row in page order: the
+        per-row monitor check is charged once for the whole page
+        (``charge_monitor_checks(n)``), expression entries fold the truth
+        *columns*, and bit-vector entries preserve the row-ordered probe
+        charging (probes stop at the first satisfying row).
+        """
+        if not self._in_page:
+            raise MonitorError("observe_batch called outside a page")
+        num_rows = outcome.num_rows
+        if num_rows == 0:
+            return
+        io.charge_monitor_checks(num_rows)
+        truth = outcome.truth
+        for entry in self._exact_expression_entries:
+            entry.observe_batch(truth, num_rows)
+        if self._current_page_sampled:
+            for entry in self._sampled_expression_entries:
+                entry.observe_batch(truth, num_rows)
+            for bv_entry in self._bitvector_entries:
+                bv_entry.observe_batch(rows, io)
+
     def end_page(self) -> None:
         if not self._in_page:
             raise MonitorError("end_page called outside a page")
@@ -306,6 +385,44 @@ class _FetchEntry:
         io.charge_hashes(1)
         self.counter.observe(int(page_id))
 
+    def observe_batch(
+        self,
+        page_ids: Sequence[PageId],
+        truth_columns: Sequence[Optional[Sequence[Optional[bool]]]],
+        io: IOContext,
+    ) -> None:
+        """Batch form of :meth:`observe` over one chunk of fetched rows.
+
+        Hashes the same page ids the row loop would (rows whose witness
+        terms all came out TRUE), charging the hash count once.
+        """
+        observe = self.counter.observe
+        if not self.term_indexes:
+            io.charge_hashes(len(page_ids))
+            for page_id in page_ids:
+                observe(int(page_id))
+            return
+        columns = []
+        for index in self.term_indexes:
+            column = truth_columns[index]
+            if column is None:
+                return
+            columns.append(column)
+        hashes = 0
+        if len(columns) == 1:
+            witness = columns[0]
+            for r, page_id in enumerate(page_ids):
+                if witness[r] is True:
+                    hashes += 1
+                    observe(int(page_id))
+        else:
+            for r, page_id in enumerate(page_ids):
+                if all(column[r] is True for column in columns):
+                    hashes += 1
+                    observe(int(page_id))
+        if hashes:
+            io.charge_hashes(hashes)
+
 
 class FetchMonitorBundle:
     """Linear counters attached to a Fetch stream (Fig. 3).
@@ -343,6 +460,26 @@ class FetchMonitorBundle:
         truth: tuple = outcome.truth if outcome is not None else ()
         for entry in self._entries:
             entry.observe(page_id, truth, io)
+
+    def observe_fetch_batch(
+        self,
+        page_ids: Sequence[PageId],
+        outcome: Optional[BatchOutcome],
+        io: IOContext,
+    ) -> None:
+        """Batch form of :meth:`observe_fetch` for one chunk of fetches.
+
+        ``page_ids`` is parallel to the rows the batch outcome covers; the
+        counters end up bit-identical to per-row observation (the linear
+        counter is order-insensitive, and hash charges are exact totals).
+        """
+        if not self._entries or not page_ids:
+            return
+        truth_columns: Sequence[Optional[Sequence[Optional[bool]]]] = (
+            outcome.truth if outcome is not None else ()
+        )
+        for entry in self._entries:
+            entry.observe_batch(page_ids, truth_columns, io)
 
     def finish(self) -> list[PageCountObservation]:
         observations = []

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from repro.exec.base import ExecutionContext, Operator
+from repro.exec.batch import RowBatch
 from repro.exec.joins import _position_of
 
 
@@ -48,6 +49,26 @@ class CountAggregate(Operator):
         self.stats.actual_rows = 1
         yield (count,)
 
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        position = (
+            _position_of(self.child.output_columns, self.column)
+            if self.column is not None
+            else None
+        )
+        io = ctx.io
+        count = 0
+        if position is None:
+            for batch in self.child.batches(ctx):
+                io.charge_rows(len(batch.rows))
+                count += len(batch.rows)
+        else:
+            for batch in self.child.batches(ctx):
+                rows = batch.rows
+                io.charge_rows(len(rows))
+                count += sum(1 for row in rows if row[position] is not None)
+        self.stats.actual_rows = 1
+        yield RowBatch([(count,)])
+
     def finalize(self, ctx: ExecutionContext) -> None:
         self.child.finalize(ctx)
 
@@ -81,6 +102,23 @@ class GroupByCountAggregate(Operator):
         for key in sorted(groups, key=repr):
             self.stats.actual_rows += 1
             yield key, groups[key]
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        position = _position_of(self.child.output_columns, self.group_column)
+        io = ctx.io
+        groups: dict = {}
+        get = groups.get
+        for batch in self.child.batches(ctx):
+            rows = batch.rows
+            io.charge_rows(len(rows))
+            io.charge_hashes(len(rows))
+            for row in rows:
+                key = row[position]
+                groups[key] = get(key, 0) + 1
+        out = [(key, groups[key]) for key in sorted(groups, key=repr)]
+        self.stats.actual_rows += len(out)
+        if out:
+            yield RowBatch(out)
 
     def finalize(self, ctx: ExecutionContext) -> None:
         self.child.finalize(ctx)

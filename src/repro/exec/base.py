@@ -17,6 +17,7 @@ from typing import Iterator, Optional
 
 from repro.catalog.catalog import Database
 from repro.core.requests import PageCountObservation
+from repro.exec.batch import DEFAULT_BATCH_ROWS, RowBatch, chunk_rows
 from repro.exec.runstats import OperatorStats
 from repro.storage.accounting import IOContext
 
@@ -28,11 +29,14 @@ class ExecutionContext:
     ``io`` is this execution's private accounting context: every operator,
     storage call and monitor charges it, so the run's timings and read
     counts are exact attributions (no global clock, no snapshot deltas).
+    ``batch_rows`` is the chunk size relational-engine operators use in
+    batch mode (storage-engine scans batch per page regardless).
     """
 
     database: Database
     io: IOContext
     observations: list[PageCountObservation] = field(default_factory=list)
+    batch_rows: int = DEFAULT_BATCH_ROWS
 
 
 class Operator(ABC):
@@ -55,6 +59,16 @@ class Operator(ABC):
     def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
         """Yield output rows; must run to exhaustion for monitors to
         observe end-of-stream."""
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        """Yield output rows as :class:`~repro.exec.batch.RowBatch` chunks.
+
+        The default adapts :meth:`rows` into fixed-size chunks, so every
+        operator is batch-drivable; operators with a native batch path
+        override this (and must emit exactly the rows, in exactly the
+        order, the row iterator would — the equivalence harness checks).
+        """
+        yield from chunk_rows(self.rows(ctx), ctx.batch_rows)
 
     def finalize(self, ctx: ExecutionContext) -> None:
         """Called after the stream is exhausted; default collects children.

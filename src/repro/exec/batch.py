@@ -1,0 +1,76 @@
+"""Row batches: the unit of exchange in page-at-a-time execution.
+
+The Volcano row iterator (:meth:`~repro.exec.base.Operator.rows`) costs a
+Python generator hop per row; at repro scale the simulator — not the
+simulated I/O — dominates wall-clock.  Batch mode replaces the per-row
+exchange with :class:`RowBatch` objects: storage-engine scans emit one
+batch per *page* (so monitor page boundaries stay aligned with exchange
+boundaries for free), relational-engine operators exchange fixed-size
+chunks (:data:`DEFAULT_BATCH_ROWS`).
+
+A batch is deliberately dumb: a list of row tuples plus the page id it
+came from (``None`` for RE chunks).  All per-term truth bookkeeping lives
+in :class:`~repro.sql.evaluator.BatchOutcome`, produced by the compiled
+predicate kernels, so batches themselves carry no selection vectors —
+operators emit batches of *surviving* rows only, exactly mirroring what
+the row iterator would have yielded.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.common.types import PageId
+
+#: Chunk size for relational-engine batches (SE scans batch per page).
+DEFAULT_BATCH_ROWS = 1024
+
+
+class RowBatch:
+    """An ordered run of output rows from one operator.
+
+    ``page_id`` is set when the batch corresponds to one storage-engine
+    page (SE scans); relational-engine chunks leave it ``None``.  Rows are
+    in the exact order the row iterator would have yielded them, which is
+    what makes row-mode ≡ batch-mode equivalence checkable row-for-row.
+    """
+
+    __slots__ = ("rows", "page_id")
+
+    def __init__(
+        self, rows: list[tuple], page_id: Optional[PageId] = None
+    ) -> None:
+        self.rows = rows
+        self.page_id = page_id
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        origin = f" page={int(self.page_id)}" if self.page_id is not None else ""
+        return f"RowBatch({len(self.rows)} rows{origin})"
+
+
+def chunk_rows(
+    rows: Iterable[tuple], batch_rows: int = DEFAULT_BATCH_ROWS
+) -> Iterator[RowBatch]:
+    """Adapt a row stream into fixed-size :class:`RowBatch` chunks.
+
+    The default :meth:`~repro.exec.base.Operator.batches` uses this so
+    every operator is batch-drivable even before it gains a native batch
+    implementation (the rows themselves still flow through the operator's
+    row loop, so all accounting is unchanged).
+    """
+    chunk: list[tuple] = []
+    append = chunk.append
+    for row in rows:
+        append(row)
+        if len(chunk) >= batch_rows:
+            yield RowBatch(chunk)
+            chunk = []
+            append = chunk.append
+    if chunk:
+        yield RowBatch(chunk)

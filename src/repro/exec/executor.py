@@ -51,6 +51,7 @@ def execute(
     database: Database,
     cold_cache: bool = True,
     io: Optional[IOContext] = None,
+    mode: str = "row",
 ) -> QueryResult:
     """Run ``root`` to completion against ``database``.
 
@@ -61,13 +62,24 @@ def execute(
     run leaves the pool warm for a subsequent ``cold_cache=False`` call.
     An *isolated* context brings its own cold private frames, so the
     shared pool is left untouched — that is the concurrent-execution path.
+
+    ``mode`` selects the drive style: ``"row"`` pulls the Volcano row
+    iterator, ``"batch"`` pulls page-at-a-time
+    :class:`~repro.exec.batch.RowBatch` exchange with compiled predicate
+    kernels.  Both produce identical rows, observations and read counts
+    (the equivalence harness in :mod:`repro.harness.equivalence` checks).
     """
+    if mode not in ("row", "batch"):
+        raise ValueError(f"unknown execution mode {mode!r}; expected row|batch")
     if io is None:
         io = database.new_io_context()
     if cold_cache and not io.isolated:
         database.cold_cache()
     ctx = ExecutionContext(database=database, io=io)
-    rows = list(root.rows(ctx))
+    if mode == "batch":
+        rows = [row for batch in root.batches(ctx) for row in batch.rows]
+    else:
+        rows = list(root.rows(ctx))
     root.finalize(ctx)
     runstats = RunStats(
         root=root.collect_stats(),
@@ -78,6 +90,7 @@ def execute(
         sequential_reads=io.sequential_reads,
         logical_reads=io.logical_reads,
         pool_hits=io.pool_hits,
+        execution_mode=mode,
         observations=list(ctx.observations),
     )
     return QueryResult(rows=rows, runstats=runstats, columns=root.output_columns)

@@ -30,6 +30,7 @@ from repro.common.errors import ExecutionError
 from repro.core.bitvector import BitVectorFilter, PartialBitVectorFilter
 from repro.core.monitors import FetchMonitorBundle
 from repro.exec.base import ExecutionContext, Operator
+from repro.exec.batch import RowBatch
 from repro.sql.evaluator import BoundConjunction
 from repro.sql.predicates import Conjunction
 from repro.storage.table import Table
@@ -130,6 +131,67 @@ class INLJoin(Operator):
                     self.stats.actual_rows += 1
                     yield outer_row + inner_row
 
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        io = ctx.io
+        outer_pos = _position_of(self.outer.output_columns, self.outer_join_column)
+        compiled = BoundConjunction(
+            self.inner_residual, self.inner_table.schema.column_names
+        ).compile()
+        use_clustered = self.inner_index_name is None
+        if use_clustered:
+            clustered = self.inner_table.clustered_file()
+        else:
+            index = self.inner_table.index(self.inner_index_name)
+        bundle = self.bundle
+        stats = self.stats
+        chunk_size = ctx.batch_rows
+        outer_buf: list[tuple] = []
+        inner_buf: list[tuple] = []
+        page_ids: list[Any] = []
+
+        def flush() -> list[tuple]:
+            io.charge_rows(len(inner_buf))
+            outcome = compiled.evaluate_batch(inner_buf, short_circuit=True)
+            io.charge_predicates(outcome.evaluations)
+            stats.predicate_evaluations += outcome.evaluations
+            if bundle is not None:
+                bundle.observe_fetch_batch(page_ids, outcome, io)
+            out = [
+                outer_row + inner_row
+                for outer_row, inner_row, ok in zip(
+                    outer_buf, inner_buf, outcome.passed
+                )
+                if ok
+            ]
+            stats.actual_rows += len(out)
+            return out
+
+        for outer_batch in self.outer.batches(ctx):
+            for outer_row in outer_batch.rows:
+                value = outer_row[outer_pos]
+                if value is None:
+                    continue
+                if use_clustered:
+                    fetches = clustered.fetch_by_key(io, (value,))
+                else:
+                    fetches = (
+                        self.inner_table.fetch(io, rid)
+                        for _key, rid, _payload in index.seek_equal(io, value)
+                    )
+                for page_id, inner_row in fetches:
+                    outer_buf.append(outer_row)
+                    inner_buf.append(inner_row)
+                    page_ids.append(page_id)
+                    if len(inner_buf) >= chunk_size:
+                        out = flush()
+                        if out:
+                            yield RowBatch(out)
+                        outer_buf, inner_buf, page_ids = [], [], []
+        if inner_buf:
+            out = flush()
+            if out:
+                yield RowBatch(out)
+
     def finalize(self, ctx: ExecutionContext) -> None:
         self.outer.finalize(ctx)
         if self.bundle is not None:
@@ -208,6 +270,54 @@ class HashJoin(Operator):
                 self.stats.actual_rows += 1
                 yield build_row + probe_row
 
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        io = ctx.io
+        build_pos = _position_of(self.build.output_columns, self.build_join_column)
+        probe_pos = _position_of(self.probe.output_columns, self.probe_join_column)
+        bitvector = self.bitvector
+        stats = self.stats
+        chunk_size = ctx.batch_rows
+
+        hash_table: dict[Any, list[tuple]] = {}
+        setdefault = hash_table.setdefault
+        for build_batch in self.build.batches(ctx):
+            hashes = 0
+            for build_row in build_batch.rows:
+                value = build_row[build_pos]
+                if value is None:
+                    continue
+                hashes += 1
+                setdefault(value, []).append(build_row)
+                if bitvector is not None:
+                    hashes += 1
+                    bitvector.insert(value)
+            if hashes:
+                io.charge_hashes(hashes)
+
+        get = hash_table.get
+        out: list[tuple] = []
+        for probe_batch in self.probe.batches(ctx):
+            hashes = 0
+            for probe_row in probe_batch.rows:
+                value = probe_row[probe_pos]
+                if value is None:
+                    continue
+                hashes += 1
+                matches = get(value)
+                if not matches:
+                    continue
+                for build_row in matches:
+                    out.append(build_row + probe_row)
+                if len(out) >= chunk_size:
+                    stats.actual_rows += len(out)
+                    yield RowBatch(out)
+                    out = []
+            if hashes:
+                io.charge_hashes(hashes)
+        if out:
+            stats.actual_rows += len(out)
+            yield RowBatch(out)
+
     def finalize(self, ctx: ExecutionContext) -> None:
         self.build.finalize(ctx)
         self.probe.finalize(ctx)
@@ -221,6 +331,11 @@ class MergeJoin(Operator):
     pulled (correct when the outer child is a blocking Sort — we enforce
     it by materialising the outer); ``"partial"`` inserts outer values as
     they are consumed and requires a :class:`PartialBitVectorFilter`.
+
+    Merge join keeps the default row-adapter :meth:`batches` — its
+    single-row lookahead (group gathering at key boundaries) is inherently
+    row-at-a-time, and its inputs in this repro are always Sorts or
+    pre-sorted streams, never the hot scan path.
     """
 
     engine_layer = "RE"

@@ -76,6 +76,9 @@ class RunStats:
     #: attributed to the run's own IOContext — not a global-pool delta.
     logical_reads: int = 0
     pool_hits: int = 0
+    #: How the plan was driven: ``"row"`` (Volcano iterator) or ``"batch"``
+    #: (page-at-a-time RowBatch exchange with compiled predicate kernels).
+    execution_mode: str = "row"
     observations: list[PageCountObservation] = field(default_factory=list)
     #: Lifecycle observability, set by the staged query lifecycle: the
     #: per-stage trace (``stages``), the plan-cache outcome for this run
@@ -115,6 +118,7 @@ class RunStats:
             "logical_reads": self.logical_reads,
             "pool_hits": self.pool_hits,
             "warm_ratio": self.warm_ratio,
+            "execution_mode": self.execution_mode,
             "page_counts": [
                 {
                     "expression": obs.key,
@@ -153,7 +157,8 @@ class RunStats:
         lines = [
             f"elapsed={self.elapsed_ms:.3f}ms (io={self.io_ms:.3f}, cpu={self.cpu_ms:.3f}) "
             f"reads: random={self.random_reads} sequential={self.sequential_reads} "
-            f"logical={self.logical_reads} warm={self.warm_ratio:.1%}",
+            f"logical={self.logical_reads} warm={self.warm_ratio:.1%} "
+            f"mode={self.execution_mode}",
             *self._lifecycle_lines(),
             self.root.render(),
         ]

@@ -23,6 +23,7 @@ from typing import Any, Iterator, Optional
 
 from repro.core.monitors import FetchMonitorBundle, ScanMonitorBundle
 from repro.exec.base import ExecutionContext, Operator
+from repro.exec.batch import RowBatch
 from repro.sql.evaluator import BoundConjunction
 from repro.sql.predicates import Conjunction
 from repro.storage.table import Table
@@ -44,37 +45,100 @@ class _MonitoredScanMixin:
     def _scan_pages(
         self, ctx: ExecutionContext, page_iter: Iterator[tuple[Any, Any]]
     ) -> Iterator[tuple]:
-        """Drive the page/row loop over ``(page_id, rows_iterable)`` pairs."""
+        """Drive the page/row loop over ``(page_id, rows_iterable)`` pairs.
+
+        The unmonitored/monitored and full-evaluation cases are split into
+        separate row loops (and ``self.stats`` is hoisted into locals) so
+        the hot loop carries no per-row branch on monitor state.
+        """
         bound = self._bind()
         num_query_terms = len(self.query_conjunction)
         io = ctx.io
         bundle = self.bundle
-        for page_id, rows in page_iter:
-            self.stats.pages_touched += 1
-            if bundle is not None:
-                bundle.start_page(page_id)
-                full_eval = bundle.needs_full_evaluation()
-            else:
-                full_eval = False
-            for row in rows:
-                io.charge_rows(1)
-                if full_eval:
-                    outcome = bound.evaluate(row, short_circuit=False)
-                    passed = all(outcome.truth[:num_query_terms])
-                else:
+        stats = self.stats
+        if bundle is None:
+            for _page_id, rows in page_iter:
+                stats.pages_touched += 1
+                for row in rows:
+                    io.charge_rows(1)
                     outcome = bound.evaluate_prefix(
                         row, num_query_terms, short_circuit=True
                     )
+                    io.charge_predicates(outcome.evaluations)
+                    stats.predicate_evaluations += outcome.evaluations
+                    if outcome.passed:
+                        stats.actual_rows += 1
+                        yield row
+            return
+        for page_id, rows in page_iter:
+            stats.pages_touched += 1
+            bundle.start_page(page_id)
+            if bundle.needs_full_evaluation():
+                for row in rows:
+                    io.charge_rows(1)
+                    outcome = bound.evaluate(row, short_circuit=False)
+                    io.charge_predicates(outcome.evaluations)
+                    stats.predicate_evaluations += outcome.evaluations
+                    bundle.observe_row(outcome, row, io)
+                    if all(outcome.truth[:num_query_terms]):
+                        stats.actual_rows += 1
+                        yield row
+            else:
+                for row in rows:
+                    io.charge_rows(1)
+                    outcome = bound.evaluate_prefix(
+                        row, num_query_terms, short_circuit=True
+                    )
+                    io.charge_predicates(outcome.evaluations)
+                    stats.predicate_evaluations += outcome.evaluations
+                    bundle.observe_row(outcome, row, io)
+                    if outcome.passed:
+                        stats.actual_rows += 1
+                        yield row
+            bundle.end_page()
+
+    def _scan_pages_batched(
+        self, ctx: ExecutionContext, page_iter: Iterator[tuple[Any, list[tuple]]]
+    ) -> Iterator[RowBatch]:
+        """Page-at-a-time drive: one compiled-kernel evaluation per page.
+
+        Emits one :class:`RowBatch` of surviving rows per page (empty
+        pages are charged and observed but yield nothing, matching the
+        row loop, which simply yields no rows for them).
+        """
+        compiled = self._bind().compile()
+        num_query_terms = len(self.query_conjunction)
+        io = ctx.io
+        bundle = self.bundle
+        stats = self.stats
+        for page_id, rows in page_iter:
+            stats.pages_touched += 1
+            io.charge_rows(len(rows))
+            if bundle is not None:
+                bundle.start_page(page_id)
+                if bundle.needs_full_evaluation():
+                    outcome = compiled.evaluate_batch(rows, short_circuit=False)
+                    passed = outcome.prefix_passed(num_query_terms)
+                else:
+                    outcome = compiled.evaluate_batch(
+                        rows, num_query_terms, short_circuit=True
+                    )
                     passed = outcome.passed
                 io.charge_predicates(outcome.evaluations)
-                self.stats.predicate_evaluations += outcome.evaluations
-                if bundle is not None:
-                    bundle.observe_row(outcome, row, io)
-                if passed:
-                    self.stats.actual_rows += 1
-                    yield row
-            if bundle is not None:
+                stats.predicate_evaluations += outcome.evaluations
+                bundle.observe_batch(outcome, rows, io)
                 bundle.end_page()
+            else:
+                outcome = compiled.evaluate_batch(
+                    rows, num_query_terms, short_circuit=True
+                )
+                passed = outcome.passed
+                io.charge_predicates(outcome.evaluations)
+                stats.predicate_evaluations += outcome.evaluations
+            out = [row for row, ok in zip(rows, passed) if ok]
+            stats.actual_rows += len(out)
+            if out:
+                yield RowBatch(out, page_id)
 
     def finalize(self, ctx: ExecutionContext) -> None:
         if self.bundle is not None:
@@ -112,6 +176,13 @@ class SeqScan(_MonitoredScanMixin, Operator):
                 yield page_id, page.rows()
 
         yield from self._scan_pages(ctx, pages())
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        def pages():
+            for page_id, page in self.table.data_file.scan_pages(ctx.io):
+                yield page_id, page.rows_list()
+
+        yield from self._scan_pages_batched(ctx, pages())
 
 
 class ClusteredRangeScan(_MonitoredScanMixin, Operator):
@@ -174,6 +245,15 @@ class ClusteredRangeScan(_MonitoredScanMixin, Operator):
                 yield current_page, current_rows
 
         yield from self._scan_pages(ctx, pages())
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        clustered = self.table.clustered_file()
+        yield from self._scan_pages_batched(
+            ctx,
+            clustered.seek_range_pages(
+                ctx.io, self.low, self.high, self.low_inclusive, self.high_inclusive
+            ),
+        )
 
 
 class CoveringIndexScan(Operator):
@@ -245,6 +325,51 @@ class CoveringIndexScan(Operator):
                 self.stats.actual_rows += 1
                 yield entry_row
         self.stats.pages_touched = io.logical_reads - leaf_pages_before
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        columns = self.output_columns
+        compiled = BoundConjunction(self.monitor_conjunction, columns).compile()
+        num_query_terms = len(self.query_conjunction)
+        io = ctx.io
+        bundle = self.bundle
+        stats = self.stats
+        full_eval = self.monitor_full_eval and bundle is not None
+        leaf_pages_before = io.logical_reads
+        chunk_size = ctx.batch_rows
+        entries: list[tuple] = []
+        page_ids: list[Any] = []
+
+        def flush() -> list[tuple]:
+            io.charge_rows(len(entries))
+            if full_eval:
+                outcome = compiled.evaluate_batch(entries, short_circuit=False)
+                passed = outcome.prefix_passed(num_query_terms)
+            else:
+                outcome = compiled.evaluate_batch(
+                    entries, num_query_terms, short_circuit=True
+                )
+                passed = outcome.passed
+            io.charge_predicates(outcome.evaluations)
+            stats.predicate_evaluations += outcome.evaluations
+            if bundle is not None:
+                bundle.observe_fetch_batch(page_ids, outcome, io)
+            out = [row for row, ok in zip(entries, passed) if ok]
+            stats.actual_rows += len(out)
+            return out
+
+        for key, rid, payload in self.index.scan_all(io):
+            entries.append(key + payload)
+            page_ids.append(rid.page_id)
+            if len(entries) >= chunk_size:
+                out = flush()
+                if out:
+                    yield RowBatch(out)
+                entries, page_ids = [], []
+        if entries:
+            out = flush()
+            if out:
+                yield RowBatch(out)
+        stats.pages_touched = io.logical_reads - leaf_pages_before
 
     def finalize(self, ctx: ExecutionContext) -> None:
         if self.bundle is not None:

@@ -15,16 +15,74 @@ short-circuiting; monitored expressions must be prefixes of that order
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Any, Iterator, Optional
 
 from repro.core.monitors import FetchMonitorBundle
 from repro.exec.base import ExecutionContext, Operator
+from repro.exec.batch import RowBatch
 from repro.sql.evaluator import BoundConjunction
 from repro.sql.predicates import Conjunction
 from repro.storage.table import Table
 
 
-class IndexSeekFetch(Operator):
+class _FetchResidualMixin:
+    """Shared batch drive for operators that fetch rows then filter them."""
+
+    table: Table
+    residual: Conjunction
+    bundle: Optional[FetchMonitorBundle]
+    monitor_full_eval: bool
+
+    def _fetch_batches(
+        self, ctx: ExecutionContext, fetch_iter: Iterator[tuple[Any, tuple]]
+    ) -> Iterator[RowBatch]:
+        """Chunk a ``(page_id, row)`` fetch stream through compiled kernels.
+
+        Accounting and monitor feeds are totals-identical to the row loop:
+        one ``charge_rows(n)`` per chunk, the residual evaluated with the
+        same short-circuit setting, and the fetch bundle observing the
+        same (page id, truth) pairs.
+        """
+        io = ctx.io
+        compiled = BoundConjunction(
+            self.residual, self.table.schema.column_names
+        ).compile()
+        short_circuit = not self.monitor_full_eval
+        bundle = self.bundle
+        stats = self.stats
+        chunk_size = ctx.batch_rows
+        pages_seen: set[int] = set()
+        rows_buf: list[tuple] = []
+        page_ids: list[Any] = []
+
+        def flush() -> list[tuple]:
+            io.charge_rows(len(rows_buf))
+            outcome = compiled.evaluate_batch(rows_buf, short_circuit=short_circuit)
+            io.charge_predicates(outcome.evaluations)
+            stats.predicate_evaluations += outcome.evaluations
+            if bundle is not None:
+                bundle.observe_fetch_batch(page_ids, outcome, io)
+            out = [row for row, ok in zip(rows_buf, outcome.passed) if ok]
+            stats.actual_rows += len(out)
+            return out
+
+        for page_id, row in fetch_iter:
+            pages_seen.add(int(page_id))
+            rows_buf.append(row)
+            page_ids.append(page_id)
+            if len(rows_buf) >= chunk_size:
+                out = flush()
+                if out:
+                    yield RowBatch(out)
+                rows_buf, page_ids = [], []
+        if rows_buf:
+            out = flush()
+            if out:
+                yield RowBatch(out)
+        stats.pages_touched = len(pages_seen)
+
+
+class IndexSeekFetch(_FetchResidualMixin, Operator):
     """Non-clustered index range seek followed by row fetches."""
 
     engine_layer = "SE"
@@ -83,12 +141,22 @@ class IndexSeekFetch(Operator):
                 yield row
         self.stats.pages_touched = len(pages_seen)
 
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        io = ctx.io
+        fetches = (
+            self.table.fetch(io, rid)
+            for _key, rid, _payload in self.index.seek_range(
+                io, self.low, self.high, self.low_inclusive, self.high_inclusive
+            )
+        )
+        yield from self._fetch_batches(ctx, fetches)
+
     def finalize(self, ctx: ExecutionContext) -> None:
         if self.bundle is not None:
             ctx.observations.extend(self.bundle.finish())
 
 
-class IndexInListSeekFetch(Operator):
+class IndexInListSeekFetch(_FetchResidualMixin, Operator):
     """IN-list seek: one equality probe per value, then fetch.
 
     The disjunctive equivalent of an Index Seek for ``col IN (v1..vk)``:
@@ -145,6 +213,16 @@ class IndexInListSeekFetch(Operator):
                     yield row
         self.stats.pages_touched = len(pages_seen)
 
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        io = ctx.io
+
+        def fetches() -> Iterator[tuple[Any, tuple]]:
+            for value in self.values:
+                for _key, rid, _payload in self.index.seek_equal(io, value):
+                    yield self.table.fetch(io, rid)
+
+        yield from self._fetch_batches(ctx, fetches())
+
     def finalize(self, ctx: ExecutionContext) -> None:
         if self.bundle is not None:
             ctx.observations.extend(self.bundle.finish())
@@ -173,7 +251,7 @@ class SeekSpec:
         return f"SeekSpec({self.index_name}: {self.low}..{self.high})"
 
 
-class IndexIntersectionFetch(Operator):
+class IndexIntersectionFetch(_FetchResidualMixin, Operator):
     """Intersect the RID sets of two or more index seeks, then fetch.
 
     RIDs are fetched in (page, slot) order after the intersection — the
@@ -209,8 +287,8 @@ class IndexIntersectionFetch(Operator):
     def output_columns(self) -> tuple[str, ...]:
         return self.table.schema.column_names
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
-        io = ctx.io
+    def _intersect_rids(self, io) -> list:
+        """Run the seek legs, charge the RID hashing, return sorted RIDs."""
         rid_sets = []
         for spec in self.seeks:
             index = self.table.index(spec.index_name)
@@ -224,10 +302,14 @@ class IndexIntersectionFetch(Operator):
         intersection = set.intersection(*rid_sets)
         # Hashing RIDs during the intersection is CPU work.
         io.charge_hashes(sum(len(s) for s in rid_sets))
+        return sorted(intersection, key=lambda r: (r.page_id, r.slot))
 
+    def rows(self, ctx: ExecutionContext) -> Iterator[tuple]:
+        io = ctx.io
+        sorted_rids = self._intersect_rids(io)
         bound = BoundConjunction(self.residual, self.table.schema.column_names)
         pages_seen: set[int] = set()
-        for rid in sorted(intersection, key=lambda r: (r.page_id, r.slot)):
+        for rid in sorted_rids:
             page_id, row = self.table.fetch(io, rid)
             pages_seen.add(int(page_id))
             io.charge_rows(1)
@@ -240,6 +322,13 @@ class IndexIntersectionFetch(Operator):
                 self.stats.actual_rows += 1
                 yield row
         self.stats.pages_touched = len(pages_seen)
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        io = ctx.io
+        fetches = (
+            self.table.fetch(io, rid) for rid in self._intersect_rids(io)
+        )
+        yield from self._fetch_batches(ctx, fetches)
 
     def finalize(self, ctx: ExecutionContext) -> None:
         if self.bundle is not None:

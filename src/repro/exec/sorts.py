@@ -6,6 +6,7 @@ import math
 from typing import Iterator
 
 from repro.exec.base import ExecutionContext, Operator
+from repro.exec.batch import RowBatch
 from repro.exec.joins import _position_of
 from repro.sql.evaluator import BoundConjunction
 from repro.sql.predicates import Conjunction
@@ -47,6 +48,20 @@ class Sort(Operator):
             self.stats.actual_rows += 1
             yield row
 
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        position = _position_of(self.child.output_columns, self.sort_column)
+        materialized = [
+            row for batch in self.child.batches(ctx) for row in batch.rows
+        ]
+        n = len(materialized)
+        if n > 1:
+            ctx.io.charge_predicates(int(n * math.log2(n)))
+        materialized.sort(key=lambda row: row[position], reverse=self.descending)
+        self.stats.actual_rows += n
+        chunk_size = ctx.batch_rows
+        for start in range(0, n, chunk_size):
+            yield RowBatch(materialized[start : start + chunk_size])
+
     def finalize(self, ctx: ExecutionContext) -> None:
         self.child.finalize(ctx)
 
@@ -78,6 +93,22 @@ class Filter(Operator):
             if outcome.passed:
                 self.stats.actual_rows += 1
                 yield row
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        compiled = BoundConjunction(
+            self.conjunction, self.child.output_columns
+        ).compile()
+        io = ctx.io
+        stats = self.stats
+        for batch in self.child.batches(ctx):
+            rows = batch.rows
+            outcome = compiled.evaluate_batch(rows, short_circuit=True)
+            io.charge_predicates(outcome.evaluations)
+            stats.predicate_evaluations += outcome.evaluations
+            out = [row for row, ok in zip(rows, outcome.passed) if ok]
+            stats.actual_rows += len(out)
+            if out:
+                yield RowBatch(out, batch.page_id)
 
     def finalize(self, ctx: ExecutionContext) -> None:
         self.child.finalize(ctx)

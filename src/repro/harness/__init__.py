@@ -1,5 +1,11 @@
 """Evaluation harness: the paper's methodology and per-figure drivers."""
 
+from repro.harness.equivalence import (
+    EquivalenceReport,
+    QueryEquivalence,
+    compare_query,
+    compare_workload,
+)
 from repro.harness.figures import (
     ClusteringFigureResult,
     JoinFigureResult,
@@ -24,7 +30,11 @@ from repro.harness.reporting import format_table, percent, summarize
 
 __all__ = [
     "ClusteringFigureResult",
+    "EquivalenceReport",
     "EvaluationOutcome",
+    "QueryEquivalence",
+    "compare_query",
+    "compare_workload",
     "JoinFigureResult",
     "PageSamplingResult",
     "RealWorldFigureResult",

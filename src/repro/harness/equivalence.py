@@ -1,0 +1,246 @@
+"""Row-mode ≡ batch-mode equivalence harness.
+
+The batch execution path (page-at-a-time :class:`~repro.exec.batch.RowBatch`
+exchange + compiled predicate kernels) is a pure performance optimization:
+it must be observationally identical to the Volcano row iterator.  This
+module proves it per query, by running the same physical plan under both
+modes and diffing everything the paper's machinery depends on:
+
+* result rows (values *and* order) and output columns,
+* every :class:`~repro.core.requests.PageCountObservation` — key,
+  mechanism, estimate, exactness, answered/reason and the mechanism
+  details (sampled-page counts, linear-counter bit patterns, ...),
+* read counts (logical / random / sequential / pool hits),
+* per-operator plan statistics (actual rows, pages touched, predicate
+  evaluation counts — the Fig. 7/9 overhead currency),
+
+then absorbs the monitored run's observations, re-optimizes, and checks
+the improved plan's unmonitored run the same way — i.e. the *entire*
+§V-B methodology pipeline is mode-invariant.  Simulated ``cpu_ms`` is
+deliberately excluded: batched charging accumulates the same totals in
+fewer float additions, so the float may differ in the last ulp while
+every integer counter is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.catalog.catalog import Database
+from repro.core.planner import MonitorConfig, build_executable
+from repro.core.requests import PageCountObservation, PageCountRequest
+from repro.exec.executor import QueryResult, execute
+from repro.exec.runstats import OperatorStats
+from repro.harness.methodology import default_requests
+from repro.lifecycle.plan import build_optimizer
+from repro.optimizer.injection import InjectionSet
+from repro.workloads.queries import GeneratedQuery
+
+
+def observation_fingerprint(observation: PageCountObservation) -> tuple:
+    """Everything downstream consumers can see of one observation."""
+    return (
+        observation.key,
+        observation.mechanism.value,
+        observation.estimate,
+        observation.exact,
+        observation.answered,
+        observation.reason,
+        tuple(sorted((k, repr(v)) for k, v in observation.details.items())),
+    )
+
+
+def _diff_plan_stats(
+    row_stats: OperatorStats, batch_stats: OperatorStats, path: str, out: list[str]
+) -> None:
+    """Recursively compare the per-operator counters of the two runs."""
+    label = f"{path}/{row_stats.operator}"
+    if row_stats.operator != batch_stats.operator:
+        out.append(
+            f"{label}: operator mismatch ({batch_stats.operator} in batch mode)"
+        )
+        return
+    for attribute in ("actual_rows", "pages_touched", "predicate_evaluations"):
+        row_value = getattr(row_stats, attribute)
+        batch_value = getattr(batch_stats, attribute)
+        if row_value != batch_value:
+            out.append(
+                f"{label}: {attribute} row={row_value} batch={batch_value}"
+            )
+    if len(row_stats.children) != len(batch_stats.children):
+        out.append(
+            f"{label}: child count row={len(row_stats.children)} "
+            f"batch={len(batch_stats.children)}"
+        )
+        return
+    for index, (row_child, batch_child) in enumerate(
+        zip(row_stats.children, batch_stats.children)
+    ):
+        _diff_plan_stats(row_child, batch_child, f"{label}[{index}]", out)
+
+
+def diff_results(
+    row_result: QueryResult, batch_result: QueryResult, context: str = ""
+) -> list[str]:
+    """Every observable difference between a row-mode and batch-mode run."""
+    prefix = f"{context}: " if context else ""
+    mismatches: list[str] = []
+    if row_result.columns != batch_result.columns:
+        mismatches.append(
+            f"{prefix}columns row={row_result.columns} batch={batch_result.columns}"
+        )
+    if row_result.rows != batch_result.rows:
+        mismatches.append(
+            f"{prefix}result rows differ "
+            f"(row={len(row_result.rows)} rows, batch={len(batch_result.rows)} rows"
+            + (
+                ""
+                if len(row_result.rows) != len(batch_result.rows)
+                else ", same length but different content/order"
+            )
+            + ")"
+        )
+    row_stats, batch_stats = row_result.runstats, batch_result.runstats
+    for attribute in (
+        "logical_reads",
+        "random_reads",
+        "sequential_reads",
+        "pool_hits",
+    ):
+        row_value = getattr(row_stats, attribute)
+        batch_value = getattr(batch_stats, attribute)
+        if row_value != batch_value:
+            mismatches.append(
+                f"{prefix}{attribute} row={row_value} batch={batch_value}"
+            )
+    row_obs = [observation_fingerprint(o) for o in row_stats.observations]
+    batch_obs = [observation_fingerprint(o) for o in batch_stats.observations]
+    if row_obs != batch_obs:
+        mismatches.append(
+            f"{prefix}observations differ: row={row_obs} batch={batch_obs}"
+        )
+    plan_mismatches: list[str] = []
+    _diff_plan_stats(row_stats.root, batch_stats.root, "", plan_mismatches)
+    mismatches.extend(prefix + m for m in plan_mismatches)
+    return mismatches
+
+
+@dataclass
+class QueryEquivalence:
+    """One query's row-vs-batch comparison."""
+
+    label: str
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+@dataclass
+class EquivalenceReport:
+    """Workload-level row≡batch verdict."""
+
+    queries: list[QueryEquivalence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(q.ok for q in self.queries)
+
+    def failures(self) -> list[QueryEquivalence]:
+        return [q for q in self.queries if not q.ok]
+
+    def render(self) -> str:
+        lines = [
+            f"row≡batch equivalence: {len(self.queries)} queries, "
+            f"{len(self.failures())} mismatched"
+        ]
+        for entry in self.queries:
+            if entry.ok:
+                lines.append(f"  {entry.label}: OK")
+            else:
+                lines.append(f"  {entry.label}: MISMATCH")
+                lines.extend(f"    {m}" for m in entry.mismatches)
+        return "\n".join(lines)
+
+
+def compare_query(
+    database: Database,
+    generated: GeneratedQuery,
+    requests: Optional[Sequence[PageCountRequest]] = None,
+    monitor_config: Optional[MonitorConfig] = None,
+    base_injections: Optional[InjectionSet] = None,
+) -> QueryEquivalence:
+    """Run one generated query through §V-B in both modes and diff.
+
+    Covers the monitored run of the accurate-cardinality plan P *and* the
+    unmonitored run of the feedback-improved plan P' (built from the
+    row-mode observations; the diff has already proven batch produced the
+    same ones).  Monitor state is rebuilt per mode — bundles are stateful.
+    """
+    monitor_config = (
+        monitor_config if monitor_config is not None else MonitorConfig()
+    )
+    injections = generated.injections(base_injections)
+    query = generated.query
+    request_list = (
+        list(requests)
+        if requests is not None
+        else default_requests(database, query)
+    )
+    entry = QueryEquivalence(label=generated.label)
+
+    plan = build_optimizer(database, injections=injections).optimize(query)
+
+    monitored_results = {}
+    for mode in ("row", "batch"):
+        build = build_executable(
+            plan, database, list(request_list), monitor_config
+        )
+        monitored_results[mode] = execute(
+            build.root, database, cold_cache=True, mode=mode
+        )
+    entry.mismatches.extend(
+        diff_results(
+            monitored_results["row"], monitored_results["batch"], "monitored P"
+        )
+    )
+
+    corrected = injections.copy()
+    corrected.absorb_observations(
+        list(monitored_results["row"].runstats.observations)
+    )
+    improved_plan = build_optimizer(database, injections=corrected).optimize(query)
+    improved_results = {}
+    for mode in ("row", "batch"):
+        build = build_executable(improved_plan, database)
+        improved_results[mode] = execute(
+            build.root, database, cold_cache=True, mode=mode
+        )
+    entry.mismatches.extend(
+        diff_results(
+            improved_results["row"], improved_results["batch"], "unmonitored P'"
+        )
+    )
+    return entry
+
+
+def compare_workload(
+    database: Database,
+    workload: Sequence[GeneratedQuery],
+    monitor_config: Optional[MonitorConfig] = None,
+    base_injections: Optional[InjectionSet] = None,
+) -> EquivalenceReport:
+    """Prove row≡batch for every query of a workload."""
+    return EquivalenceReport(
+        queries=[
+            compare_query(
+                database,
+                generated,
+                monitor_config=monitor_config,
+                base_injections=base_injections,
+            )
+            for generated in workload
+        ]
+    )

@@ -175,6 +175,7 @@ def run_fig6_fig7(
     queries_per_column: int = 25,
     seed: int = 0,
     monitor_config: Optional[MonitorConfig] = None,
+    exec_mode: str = "row",
 ) -> SingleTableFiguresResult:
     """The Fig. 6/7 experiment: 4 columns x N queries, selectivity 1-10%."""
     database = build_synthetic_database(num_rows=num_rows, seed=seed)
@@ -186,7 +187,9 @@ def run_fig6_fig7(
         selectivity_range=(0.01, 0.10),
         seed=seed,
     )
-    outcomes = evaluate_workload(database, workload, monitor_config=monitor_config)
+    outcomes = evaluate_workload(
+        database, workload, monitor_config=monitor_config, exec_mode=exec_mode
+    )
     return SingleTableFiguresResult(outcomes=outcomes)
 
 
@@ -234,6 +237,7 @@ def run_fig8(
     queries_per_column: int = 10,
     seed: int = 0,
     monitor_config: Optional[MonitorConfig] = None,
+    exec_mode: str = "row",
 ) -> JoinFigureResult:
     """The Fig. 8 experiment: 40 join queries across the Ci spectrum."""
     database = build_synthetic_database(num_rows=num_rows, seed=seed, with_copy=True)
@@ -249,7 +253,9 @@ def run_fig8(
     config = monitor_config if monitor_config is not None else MonitorConfig(
         dpsample_fraction=0.3
     )
-    outcomes = evaluate_workload(database, workload, monitor_config=config)
+    outcomes = evaluate_workload(
+        database, workload, monitor_config=config, exec_mode=exec_mode
+    )
     return JoinFigureResult(outcomes=outcomes)
 
 

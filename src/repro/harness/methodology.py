@@ -134,8 +134,15 @@ def evaluate_query(
     requests: Optional[Sequence[PageCountRequest]] = None,
     monitor_config: Optional[MonitorConfig] = None,
     base_injections: Optional[InjectionSet] = None,
+    exec_mode: str = "row",
 ) -> EvaluationOutcome:
-    """Run the full §V-B methodology for one generated query."""
+    """Run the full §V-B methodology for one generated query.
+
+    ``exec_mode`` selects the execution drive for all three runs; the
+    simulated times and observations are identical either way (see
+    :mod:`repro.harness.equivalence`), batch mode just gets there with
+    far less interpreter work per row.
+    """
     monitor_config = monitor_config if monitor_config is not None else MonitorConfig()
     injections = generated.injections(base_injections)
     query = generated.query
@@ -150,13 +157,17 @@ def evaluate_query(
 
     # 2. T: plan P, no monitoring.
     plain = build_executable(original_plan, database)
-    time_original = execute(plain.root, database, cold_cache=True).elapsed_ms
+    time_original = execute(
+        plain.root, database, cold_cache=True, mode=exec_mode
+    ).elapsed_ms
 
     # 3. Monitored run of P.
     monitored = build_executable(
         original_plan, database, request_list, monitor_config
     )
-    monitored_result = execute(monitored.root, database, cold_cache=True)
+    monitored_result = execute(
+        monitored.root, database, cold_cache=True, mode=exec_mode
+    )
     observations = (
         list(monitored_result.runstats.observations) + monitored.unanswerable
     )
@@ -171,7 +182,9 @@ def evaluate_query(
         time_improved = time_original
     else:
         improved = build_executable(improved_plan, database)
-        time_improved = execute(improved.root, database, cold_cache=True).elapsed_ms
+        time_improved = execute(
+            improved.root, database, cold_cache=True, mode=exec_mode
+        ).elapsed_ms
 
     return EvaluationOutcome(
         generated=generated,
@@ -190,6 +203,7 @@ def evaluate_workload(
     workload: Sequence[GeneratedQuery],
     monitor_config: Optional[MonitorConfig] = None,
     base_injections: Optional[InjectionSet] = None,
+    exec_mode: str = "row",
 ) -> list[EvaluationOutcome]:
     """Evaluate every query in a workload (Figs. 6-8, 11)."""
     return [
@@ -198,6 +212,7 @@ def evaluate_workload(
             generated,
             monitor_config=monitor_config,
             base_injections=base_injections,
+            exec_mode=exec_mode,
         )
         for generated in workload
     ]

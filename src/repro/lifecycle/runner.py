@@ -253,6 +253,7 @@ class QueryLifecycle:
         cold_cache: bool = True,
         io: Optional[IOContext] = None,
         remember: bool = False,
+        exec_mode: str = "row",
     ) -> ExecutedQuery:
         """The full lifecycle: plan (cached or fresh), execute, harvest."""
         plan_node, trace = self.plan(query, use_feedback=use_feedback, hint=hint)
@@ -264,6 +265,7 @@ class QueryLifecycle:
             io=io,
             remember=remember,
             trace=trace,
+            exec_mode=exec_mode,
         )
 
     def run_plan(
@@ -275,12 +277,15 @@ class QueryLifecycle:
         io: Optional[IOContext] = None,
         remember: bool = False,
         trace: Optional[LifecycleTrace] = None,
+        exec_mode: str = "row",
     ) -> ExecutedQuery:
         """Execute a specific plan with monitors (stages 5–7 only).
 
         ``io`` is the execution's accounting context (default: a fresh
         shared-pool context); pass an *isolated* context to run
-        interference-free next to concurrent executions.
+        interference-free next to concurrent executions.  ``exec_mode``
+        selects row-at-a-time or page-at-a-time drive (see
+        :func:`repro.exec.executor.execute`).
         """
         session = self.session
         trace = trace if trace is not None else LifecycleTrace()
@@ -289,13 +294,18 @@ class QueryLifecycle:
         )
         trace.record("monitor-plan", "ok", build.summary())
         result = execute(
-            build.root, session.database, cold_cache=cold_cache, io=io
+            build.root,
+            session.database,
+            cold_cache=cold_cache,
+            io=io,
+            mode=exec_mode,
         )
         result.runstats.observations.extend(build.unanswerable)
         trace.record(
             "execute",
             "ok",
-            f"rows={result.rows} physical_reads={result.runstats.physical_reads}",
+            f"mode={exec_mode} rows={result.rows} "
+            f"physical_reads={result.runstats.physical_reads}",
         )
         executed = ExecutedQuery(
             query=query, plan=plan_node, result=result, trace=trace

@@ -138,15 +138,22 @@ class Session:
         requests: Sequence[PageCountRequest] = (),
         cold_cache: bool = True,
         io: Optional[IOContext] = None,
+        exec_mode: str = "row",
     ) -> ExecutedQuery:
         """Execute a specific plan, with monitors for ``requests``.
 
         ``io`` is the execution's accounting context (default: a fresh
         shared-pool context); pass an *isolated* context to run
-        interference-free next to concurrent executions.
+        interference-free next to concurrent executions.  ``exec_mode``
+        picks row-at-a-time (default) or page-at-a-time batch drive.
         """
         executed = self.lifecycle().run_plan(
-            query, plan, requests=requests, cold_cache=cold_cache, io=io
+            query,
+            plan,
+            requests=requests,
+            cold_cache=cold_cache,
+            io=io,
+            exec_mode=exec_mode,
         )
         self.last_trace = executed.trace
         return executed
@@ -160,6 +167,7 @@ class Session:
         cold_cache: bool = True,
         io: Optional[IOContext] = None,
         remember: bool = False,
+        exec_mode: str = "row",
     ) -> ExecutedQuery:
         """The full lifecycle: plan (cached or fresh), execute, and — with
         ``remember=True`` — harvest feedback in the same call."""
@@ -171,6 +179,7 @@ class Session:
             cold_cache=cold_cache,
             io=io,
             remember=remember,
+            exec_mode=exec_mode,
         )
         self.last_trace = executed.trace
         return executed

@@ -13,15 +13,22 @@ skipped (Example 3).  The DPC monitors need to know, per row:
 :class:`BoundConjunction` binds a :class:`~repro.sql.predicates.Conjunction`
 to a row layout once (name -> position), then evaluates rows cheaply.  The
 result is a :class:`TermOutcome` carrying the per-term truth vector.
+
+Batch mode adds a second seam: :meth:`BoundConjunction.compile` specializes
+each term into a closure (a *kernel*) evaluated over a whole page of rows
+at once, selection-vector style — term *i* runs only on the rows every
+earlier term passed, so the per-term truth vectors and the total number of
+term evaluations are exactly what the row-at-a-time loop would have
+produced.  The column-oriented result is a :class:`BatchOutcome`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.common.errors import ExpressionError
-from repro.sql.predicates import Conjunction
+from repro.sql.predicates import AtomicPredicate, Conjunction
 
 
 @dataclass(slots=True)
@@ -43,6 +50,170 @@ class TermOutcome:
         return self.truth[index] is not None
 
 
+class BatchOutcome:
+    """Result of evaluating a conjunction over one batch of rows.
+
+    Column-oriented mirror of :class:`TermOutcome`: ``truth[i]`` is the
+    per-row truth column of term *i* (``None`` entries for rows the term
+    was short-circuited on), or ``None`` when the term was evaluated on no
+    row at all.  ``passed[r]`` is the evaluated prefix's value on row *r*
+    and ``evaluations`` is the total number of term evaluations — both
+    bit-identical to summing the per-row :class:`TermOutcome` results.
+    """
+
+    __slots__ = ("passed", "truth", "evaluations", "num_rows")
+
+    def __init__(
+        self,
+        passed: list[bool],
+        truth: list[Optional[list[Optional[bool]]]],
+        evaluations: int,
+        num_rows: int,
+    ) -> None:
+        self.passed = passed
+        self.truth = truth
+        self.evaluations = evaluations
+        self.num_rows = num_rows
+
+    def truth_row(self, row_index: int) -> tuple[Optional[bool], ...]:
+        """Row ``row_index``'s truth vector, in :class:`TermOutcome` form."""
+        return tuple(
+            column[row_index] if column is not None else None
+            for column in self.truth
+        )
+
+    def prefix_passed(self, num_terms: int) -> list[bool]:
+        """Per-row truth of the first ``num_terms`` terms.
+
+        Used by scans in full-evaluation mode, where the monitor
+        conjunction was evaluated in full but row output is decided by the
+        query's own prefix (`all(outcome.truth[:num_query_terms])` in the
+        row loop).
+        """
+        if num_terms == 0:
+            return [True] * self.num_rows
+        columns = self.truth[:num_terms]
+        if any(column is None for column in columns):
+            return [False] * self.num_rows
+        if num_terms == 1:
+            return [value is True for value in columns[0]]
+        return [
+            all(value is True for value in values) for values in zip(*columns)
+        ]
+
+
+class CompiledConjunction:
+    """Per-term kernels for page-at-a-time conjunction evaluation.
+
+    ``compile()`` specializes every term into a closure that evaluates it
+    over a list of rows in one comprehension (constants hoisted by the
+    term's :meth:`~repro.sql.predicates.AtomicPredicate.matches_batch`).
+    Evaluation is selection-vector style: with short-circuiting on, term
+    *i*'s kernel runs only on the rows that every earlier term passed, so
+    per-term truth, short-circuit skips (``None``) and the evaluation
+    count all match the interpreted per-row path exactly.
+    """
+
+    __slots__ = ("conjunction", "_positions", "_kernels")
+
+    def __init__(
+        self,
+        conjunction: Conjunction,
+        positions: tuple[int, ...],
+        terms: tuple[AtomicPredicate, ...],
+    ) -> None:
+        self.conjunction = conjunction
+        self._positions = positions
+        self._kernels = tuple(
+            self._specialize(position, term)
+            for position, term in zip(positions, terms)
+        )
+
+    @staticmethod
+    def _specialize(
+        position: int, term: AtomicPredicate
+    ) -> Callable[[list[tuple]], list[bool]]:
+        matches_batch = term.matches_batch
+
+        def kernel(rows: list[tuple]) -> list[bool]:
+            return matches_batch([row[position] for row in rows])
+
+        return kernel
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def evaluate_batch(
+        self,
+        rows: Sequence[tuple],
+        num_terms: Optional[int] = None,
+        short_circuit: bool = True,
+    ) -> BatchOutcome:
+        """Evaluate the first ``num_terms`` terms over all of ``rows``.
+
+        ``num_terms=None`` evaluates the whole conjunction.  Equivalent to
+        calling :meth:`BoundConjunction.evaluate_prefix` on every row and
+        transposing the outcomes; see :class:`BatchOutcome`.
+        """
+        total = len(self._kernels)
+        if num_terms is None:
+            num_terms = total
+        if not 0 <= num_terms <= total:
+            raise ExpressionError(
+                f"prefix of {num_terms} terms out of range for "
+                f"{total}-term conjunction"
+            )
+        rows = rows if isinstance(rows, list) else list(rows)
+        num_rows = len(rows)
+        truth: list[Optional[list[Optional[bool]]]] = [None] * total
+        passed = [True] * num_rows
+        evaluations = 0
+
+        if not short_circuit:
+            for i in range(num_terms):
+                column = self._kernels[i](rows)
+                truth[i] = column  # type: ignore[assignment]
+                evaluations += num_rows
+                for r, value in enumerate(column):
+                    if not value:
+                        passed[r] = False
+            return BatchOutcome(passed, truth, evaluations, num_rows)
+
+        # Selection-vector path: ``alive`` is the list of row indexes every
+        # term so far passed; ``None`` means "all rows" (fast common case).
+        alive: Optional[list[int]] = None
+        for i in range(num_terms):
+            if alive is None:
+                column = self._kernels[i](rows)
+                truth[i] = column  # type: ignore[assignment]
+                evaluations += num_rows
+                if not all(column):
+                    alive = []
+                    survived = alive.append
+                    for r, value in enumerate(column):
+                        if value:
+                            survived(r)
+                        else:
+                            passed[r] = False
+            else:
+                if not alive:
+                    break  # every row short-circuited: later terms unevaluated
+                values = self._kernels[i]([rows[r] for r in alive])
+                evaluations += len(alive)
+                column_sparse: list[Optional[bool]] = [None] * num_rows
+                next_alive: list[int] = []
+                survived = next_alive.append
+                for r, value in zip(alive, values):
+                    column_sparse[r] = value
+                    if value:
+                        survived(r)
+                    else:
+                        passed[r] = False
+                truth[i] = column_sparse
+                alive = next_alive
+        return BatchOutcome(passed, truth, evaluations, num_rows)
+
+
 class BoundConjunction:
     """A conjunction bound to a specific row layout for fast evaluation.
 
@@ -51,7 +222,7 @@ class BoundConjunction:
     evaluation does no dict lookups.
     """
 
-    __slots__ = ("conjunction", "_positions", "_matchers")
+    __slots__ = ("conjunction", "_positions", "_matchers", "_compiled")
 
     def __init__(self, conjunction: Conjunction, columns: Sequence[str]) -> None:
         self.conjunction = conjunction
@@ -67,9 +238,24 @@ class BoundConjunction:
             matchers.append(term.matches)
         self._positions = tuple(positions)
         self._matchers = tuple(matchers)
+        self._compiled: Optional[CompiledConjunction] = None
 
     def __len__(self) -> int:
         return len(self._positions)
+
+    def compile(self) -> CompiledConjunction:
+        """Specialize every term into a batch kernel (cached).
+
+        The compiled form evaluates whole pages at a time; see
+        :class:`CompiledConjunction` for the equivalence guarantees.
+        """
+        compiled = self._compiled
+        if compiled is None:
+            compiled = CompiledConjunction(
+                self.conjunction, self._positions, self.conjunction.terms
+            )
+            self._compiled = compiled
+        return compiled
 
     def evaluate(self, row: Sequence, short_circuit: bool = True) -> TermOutcome:
         """Evaluate all terms on ``row``.

@@ -47,6 +47,18 @@ class AtomicPredicate(ABC):
         SQL three-valued logic is collapsed: NULL never matches.
         """
 
+    def matches_batch(self, values: Sequence[Any]) -> list[bool]:
+        """Vectorized :meth:`matches` over a column of values.
+
+        Semantically ``[self.matches(v) for v in values]`` — subclasses
+        override with a specialized comprehension that hoists the per-term
+        constants out of the loop, which is what the compiled batch
+        kernels (:meth:`~repro.sql.evaluator.BoundConjunction.compile`)
+        run per page.  Overrides must preserve the NULL-never-matches
+        collapse exactly.
+        """
+        return [self.matches(v) for v in values]
+
     @abstractmethod
     def key(self) -> str:
         """Canonical string form, stable across runs (feedback-store key)."""
@@ -83,6 +95,10 @@ class Comparison(AtomicPredicate):
             return False
         return _OPS[self.op](value, self.value)
 
+    def matches_batch(self, values: Sequence[Any]) -> list[bool]:
+        op, bound = _OPS[self.op], self.value
+        return [v is not None and op(v, bound) for v in values]
+
     def key(self) -> str:
         return f"{self.column} {self.op} {self.value!r}"
 
@@ -112,6 +128,10 @@ class Between(AtomicPredicate):
             return False
         return self.low <= value <= self.high
 
+    def matches_batch(self, values: Sequence[Any]) -> list[bool]:
+        low, high = self.low, self.high
+        return [v is not None and low <= v <= high for v in values]
+
     def key(self) -> str:
         return f"{self.column} BETWEEN {self.low!r} AND {self.high!r}"
 
@@ -136,6 +156,10 @@ class InList(AtomicPredicate):
         if value is None:
             return False
         return value in self._value_set
+
+    def matches_batch(self, values: Sequence[Any]) -> list[bool]:
+        value_set = self._value_set
+        return [v is not None and v in value_set for v in values]
 
     def key(self) -> str:
         rendered = ", ".join(repr(v) for v in sorted(self.values, key=repr))

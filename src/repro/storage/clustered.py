@@ -134,6 +134,57 @@ class ClusteredFile(DataFile):
                         return
                 yield page_id, slot, row
 
+    def seek_range_pages(
+        self,
+        io: IOContext,
+        low: Optional[tuple],
+        high: Optional[tuple],
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[tuple[PageId, list[tuple]]]:
+        """Page-at-a-time form of :meth:`seek_range`: ``(page_id, rows)``.
+
+        Yields exactly the pages (and rows, in order) that grouping
+        :meth:`seek_range`'s output by page would produce: pages the scan
+        reads but that hold no in-range row are charged yet not yielded,
+        and the scan stops at the first row past the upper bound (the
+        partial page's in-range rows are still yielded first).  Keeping
+        the page sequence identical keeps the monitor's Bernoulli sampler
+        and ``pages_touched`` identical between the two execution modes.
+        """
+        self._require_loaded()
+        start = 0
+        if low is not None:
+            start = (
+                self.first_page_with_key_ge(low)
+                if low_inclusive
+                else self.first_page_with_key_gt(low)
+            )
+        key_of = self.key_of
+        for page_id, page in self.scan_pages(io, start_page=start):
+            matched: list[tuple] = []
+            for row in page.rows_list():
+                key = key_of(row)
+                if low is not None:
+                    if low_inclusive:
+                        if key < low:
+                            continue
+                    elif key <= low:
+                        continue
+                if high is not None:
+                    if high_inclusive:
+                        if key > high:
+                            if matched:
+                                yield page_id, matched
+                            return
+                    elif key >= high:
+                        if matched:
+                            yield page_id, matched
+                        return
+                matched.append(row)
+            if matched:
+                yield page_id, matched
+
     def fetch_by_key(self, io: IOContext, key: tuple) -> Iterator[tuple[PageId, tuple]]:
         """Random-access fetch of all rows with the exact clustering key.
 

@@ -77,6 +77,14 @@ class Page:
         """Iterate rows in slot order."""
         return iter(self._rows)
 
+    def rows_list(self) -> list[tuple]:
+        """The page's rows in slot order, as a list — read-only.
+
+        Batch scans use this to hand a whole page to the compiled kernels
+        without a per-row iterator hop; callers must not mutate it.
+        """
+        return self._rows
+
     def __len__(self) -> int:
         return len(self._rows)
 

@@ -228,6 +228,58 @@ class TestR007:
 
 
 # ----------------------------------------------------------------------
+# R008 — no per-row charging inside batch-mode operators
+# ----------------------------------------------------------------------
+class TestR008:
+    def test_fires_on_charge_rows_one_in_batches(self):
+        assert "R008" in rules_fired(
+            "def batches(self, ctx):\n"
+            "    for row in rows:\n"
+            "        ctx.io.charge_rows(1)\n"
+        )
+
+    def test_fires_on_argless_charge_rows(self):
+        assert "R008" in rules_fired(
+            "def _scan_pages_batched(self, ctx):\n"
+            "    io.charge_rows()\n"
+        )
+
+    def test_fires_inside_nested_flush_closure(self):
+        """A flush() helper nested in batches() is still batch-mode code."""
+        assert "R008" in rules_fired(
+            "def batches(self, ctx):\n"
+            "    def flush():\n"
+            "        io.charge_rows(1)\n"
+            "    flush()\n"
+        )
+
+    def test_fires_on_keyword_constant_one(self):
+        assert "R008" in rules_fired(
+            "def batches(self, ctx):\n"
+            "    io.charge_rows(count=1)\n"
+        )
+
+    def test_silent_on_batched_charge(self):
+        clean = (
+            "def batches(self, ctx):\n"
+            "    def flush():\n"
+            "        io.charge_rows(len(rows_buf))\n"
+            "    flush()\n"
+        )
+        assert "R008" not in rules_fired(clean)
+
+    def test_silent_in_row_mode_functions(self):
+        """charge_rows(1) is the correct idiom in the row iterator."""
+        assert "R008" not in rules_fired(
+            "def rows(self, ctx):\n"
+            "    io.charge_rows(1)\n"
+        )
+
+    def test_silent_at_module_level(self):
+        assert "R008" not in rules_fired("io.charge_rows(1)\n")
+
+
+# ----------------------------------------------------------------------
 # Shared machinery
 # ----------------------------------------------------------------------
 class TestMachinery:
@@ -271,5 +323,6 @@ class TestMachinery:
             "R005",
             "R006",
             "R007",
+            "R008",
         }
         assert all(CODE_RULES[rule] for rule in CODE_RULES)

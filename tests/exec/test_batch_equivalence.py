@@ -1,0 +1,71 @@
+"""Row-mode ≡ batch-mode equivalence on real workload queries.
+
+The batch execution path is a performance optimization only: these
+tests drive the full §V-B pipeline (monitored P, feedback, unmonitored
+P') through :func:`repro.harness.compare_workload` and require that
+every observable — result rows, observations, read counters, and the
+per-operator stats tree — is identical between the two modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import MonitorConfig
+from repro.workloads import (
+    build_synthetic_database,
+    join_workload,
+    single_table_workload,
+)
+from repro.harness import compare_workload
+
+
+@pytest.fixture(scope="module")
+def equivalence_db():
+    """8k-row synthetic database with the permuted copy for joins."""
+    return build_synthetic_database(num_rows=8_000, seed=0, with_copy=True)
+
+
+def test_single_table_workload_row_batch_equivalent(equivalence_db):
+    workload = single_table_workload(
+        equivalence_db,
+        "t",
+        ["c2", "c3", "c4", "c5"],
+        queries_per_column=3,
+        selectivity_range=(0.01, 0.10),
+        seed=0,
+    )
+    report = compare_workload(equivalence_db, workload)
+    assert report.ok, report.render()
+
+
+def test_join_workload_row_batch_equivalent(equivalence_db):
+    workload = join_workload(
+        equivalence_db,
+        "t",
+        "t1",
+        ["c2", "c4"],
+        queries_per_column=2,
+        seed=3,
+    )
+    report = compare_workload(
+        equivalence_db,
+        workload,
+        monitor_config=MonitorConfig(dpsample_fraction=0.3),
+    )
+    assert report.ok, report.render()
+
+
+def test_equivalence_report_renders_per_query(equivalence_db):
+    workload = single_table_workload(
+        equivalence_db,
+        "t",
+        ["c2"],
+        queries_per_column=1,
+        seed=7,
+    )
+    report = compare_workload(equivalence_db, workload)
+    rendered = report.render()
+    assert "row≡batch equivalence: 1 queries, 0 mismatched" in rendered
+    assert "OK" in rendered
+    assert not report.failures()
