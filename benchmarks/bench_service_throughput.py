@@ -1,0 +1,162 @@
+"""Service-layer throughput benchmark: the closed loop at several widths.
+
+Replays the Fig. 6-style workload through the in-process transport at a
+sweep of client counts, cold and warm, and prints per-width latency
+digests (p50/p95/p99), queue-wait digests and QPS — the serving-layer
+view of the paper's claim: shared feedback plus the shared plan cache
+make the *tail* of a live workload faster as the service warms up.
+
+Each width also asserts the engine's serial≡concurrent equivalence
+(``Engine.equivalence_report``) and the service-level response diff
+against a fresh serial replay, so a throughput number is never reported
+for a run that changed what the feedback loop observes.
+
+Non-gating; run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+from repro.engine import Engine, WorkloadItem
+from repro.harness.loadgen import (
+    DEFAULT_WORKLOAD_SQL,
+    LoadSpec,
+    diff_against_serial,
+    run_closed_loop,
+    workload_items,
+)
+from repro.harness.reporting import format_table
+from repro.service import QueryService
+from repro.workloads import build_synthetic_database
+
+#: Closed-loop widths to sweep.
+CONCURRENCIES = (1, 4, 16, 64)
+
+#: Admission ceiling shared by every width (queue takes the rest).
+MAX_IN_FLIGHT = 8
+
+#: Replays of the workload per run.
+PASSES = 8
+
+NUM_ROWS = 20_000
+SEED = 1234
+
+
+async def _one_width(database, concurrency: int, warm: bool) -> dict:
+    engine = Engine(database)
+    if warm:
+        for item in workload_items(database, DEFAULT_WORKLOAD_SQL):
+            engine.execute(
+                WorkloadItem(
+                    query=item.query, requests=item.requests, remember=True
+                )
+            )
+    service = QueryService(
+        engine,
+        max_in_flight=MAX_IN_FLIGHT,
+        max_queue_depth=max(concurrency, MAX_IN_FLIGHT),
+    )
+    report = await run_closed_loop(
+        service,
+        LoadSpec(concurrency=concurrency, passes=PASSES, use_feedback=warm),
+    )
+    await service.shutdown()
+    if report.leaked is not None:
+        raise RuntimeError(f"admission slot leak: {report.leaked}")
+    if not warm:
+        diffs = diff_against_serial(database, report)
+        if diffs:
+            raise RuntimeError(
+                f"service responses diverged from serial replay: {diffs[:3]}"
+            )
+    latency = report.latency()
+    queue_wait = report.queue_wait()
+    return {
+        "concurrency": concurrency,
+        "mode": "warm" if warm else "cold",
+        "qps": round(report.qps, 1),
+        "p50_ms": round(latency["p50"], 3),
+        "p95_ms": round(latency["p95"], 3),
+        "p99_ms": round(latency["p99"], 3),
+        "mean_ms": round(latency["mean"], 3),
+        "queue_wait_p99_ms": round(queue_wait["p99"], 3),
+        "requests": report.total_requests,
+    }
+
+
+def run_bench() -> dict:
+    database = build_synthetic_database(num_rows=NUM_ROWS, seed=SEED)
+
+    engine_report = Engine(database).equivalence_report(
+        workload_items(database, DEFAULT_WORKLOAD_SQL),
+        num_threads=MAX_IN_FLIGHT,
+    )
+    if not engine_report.equivalent:
+        raise RuntimeError(
+            f"Engine.equivalence_report found "
+            f"{len(engine_report.mismatches())} mismatch(es); refusing to "
+            "benchmark a service whose engine is not serial-equivalent"
+        )
+
+    sweeps = []
+    for concurrency in CONCURRENCIES:
+        for warm in (False, True):
+            sweeps.append(
+                asyncio.run(_one_width(database, concurrency, warm))
+            )
+    return {
+        "benchmark": "service closed-loop throughput (Fig. 6 workload)",
+        "num_rows": NUM_ROWS,
+        "seed": SEED,
+        "max_in_flight": MAX_IN_FLIGHT,
+        "passes": PASSES,
+        "sweeps": sweeps,
+    }
+
+
+def main() -> int:
+    result = run_bench()
+    rows = [
+        [
+            s["concurrency"],
+            s["mode"],
+            s["qps"],
+            s["p50_ms"],
+            s["p95_ms"],
+            s["p99_ms"],
+            s["queue_wait_p99_ms"],
+        ]
+        for s in result["sweeps"]
+    ]
+    print(
+        format_table(
+            ["clients", "mode", "qps", "p50", "p95", "p99", "queue p99"],
+            rows,
+        )
+    )
+    for concurrency in CONCURRENCIES:
+        cold = next(
+            s
+            for s in result["sweeps"]
+            if s["concurrency"] == concurrency and s["mode"] == "cold"
+        )
+        warm = next(
+            s
+            for s in result["sweeps"]
+            if s["concurrency"] == concurrency and s["mode"] == "warm"
+        )
+        print(
+            f"clients={concurrency}: warm/cold mean "
+            f"{warm['mean_ms']:.1f}/{cold['mean_ms']:.1f} ms "
+            f"({cold['mean_ms'] / warm['mean_ms']:.2f}x), "
+            f"qps {warm['qps']:.1f} vs {cold['qps']:.1f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,11 @@ regression at a glance:
 * **scan throughput** — a full-table-scan query repeated per mode,
   reported as rows/second of harness throughput;
 * **plancache** — the plan-cache smoke gate's violation list, so the
-  artifact also witnesses that caching still behaves.
+  artifact also witnesses that caching still behaves;
+* **service throughput** — the closed-loop service sweep (cold vs. warm
+  engine at several client counts) from
+  ``benchmarks/bench_service_throughput.py``: QPS and latency tails at
+  the service boundary.
 
 Wall-clock comes from :class:`repro.harness.timing.Stopwatch` (the only
 sanctioned host-clock reader).  The artifact is committed at the repo
@@ -31,8 +35,9 @@ from pathlib import Path
 
 try:  # repo-root import (pytest); falls back for direct script runs,
     # where sys.path[0] is benchmarks/ itself.
-    from benchmarks import smoke_plancache
+    from benchmarks import bench_service_throughput, smoke_plancache
 except ModuleNotFoundError:
+    import bench_service_throughput  # type: ignore[no-redef]
     import smoke_plancache  # type: ignore[no-redef]
 
 from repro.harness.figures import run_fig6_fig7
@@ -119,6 +124,7 @@ def build_trajectory() -> dict:
         "fig6": _fig6_both_modes(),
         "scan_throughput": _scan_throughput(),
         "plancache_smoke_violations": smoke_plancache.run_smoke(),
+        "service_throughput": bench_service_throughput.run_bench(),
     }
 
 

@@ -12,11 +12,18 @@ Commands:
   persist the gathered feedback;
 * ``inventory [--scale S]`` — print Table I's database inventory;
 * ``analyze [--strict] [--json] [--rules ...] [--plans] [paths]`` — run the
-  two-tier static analysis (codebase rules R001–R005; with ``--plans`` also
-  the plan-linter rules P001–P006 over a synthetic workload's plans).
+  two-tier static analysis (codebase rules R001–R009; with ``--plans`` also
+  the plan-linter rules P001–P006 over a synthetic workload's plans);
+* ``serve [--host H] [--port P] ...`` — run the NDJSON-over-TCP query
+  service over a synthetic database (Ctrl-C drains and stops);
+* ``loadgen [--clients N] [--warm] [--connect HOST:PORT] ...`` — the
+  closed-loop load generator, in-process by default or against a running
+  ``serve``.
 
 The synthetic database commands exist so the tool is usable out of the
 box; programmatic users point the same APIs at their own ``Database``.
+Unknown subcommands return exit code 2 (argparse's convention), also when
+``main()`` is called programmatically.
 """
 
 from __future__ import annotations
@@ -207,10 +214,151 @@ def _cmd_analyze(args) -> int:
     return analysis_main(argv)
 
 
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve", help="run the NDJSON-over-TCP query service"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=7433, help="0 picks an ephemeral port"
+    )
+    parser.add_argument("--rows", type=int, default=50_000)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--max-in-flight", type=int, default=8)
+    parser.add_argument("--max-queue-depth", type=int, default=32)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.engine import Engine
+    from repro.service import QueryServer, QueryService
+
+    database = _build_synthetic(args)
+    service = QueryService(
+        Engine(database),
+        max_in_flight=args.max_in_flight,
+        max_queue_depth=args.max_queue_depth,
+    )
+    server = QueryServer(service, host=args.host, port=args.port)
+
+    async def run() -> None:
+        host, port = await server.start()
+        print(
+            f"serving on {host}:{port} — newline-delimited JSON; "
+            'send {"kind":"stats"} for telemetry; Ctrl-C drains and stops'
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("stopped", file=sys.stderr)
+    return 0
+
+
+def _add_loadgen(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "loadgen", help="closed-loop load generator for the query service"
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--passes", type=int, default=3)
+    parser.add_argument("--rows", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument(
+        "--warm",
+        action="store_true",
+        help="pre-harvest feedback and optimize with it (in-process only)",
+    )
+    parser.add_argument("--exec-mode", choices=["row", "batch"], default="row")
+    parser.add_argument("--deadline-ms", type=float, default=None)
+    parser.add_argument("--max-in-flight", type=int, default=8)
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="target a running `serve` instead of an in-process service",
+    )
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from repro.harness.loadgen import (
+        DEFAULT_WORKLOAD_SQL,
+        LoadSpec,
+        diff_against_serial,
+        run_closed_loop,
+        run_closed_loop_tcp,
+        workload_items,
+    )
+
+    spec = LoadSpec(
+        concurrency=args.clients,
+        passes=args.passes,
+        exec_mode=args.exec_mode,
+        use_feedback=args.warm,
+        deadline_ms=args.deadline_ms,
+    )
+
+    if args.connect:
+        host, _, port_text = args.connect.rpartition(":")
+        if not host or not port_text.isdigit():
+            print(f"--connect needs HOST:PORT, got {args.connect!r}")
+            return 2
+        report = asyncio.run(run_closed_loop_tcp(host, int(port_text), spec))
+        print(report.render())
+        return 1 if report.leaked else 0
+
+    from repro.engine import Engine, WorkloadItem
+    from repro.service import QueryService
+
+    database = _build_synthetic(args)
+    engine = Engine(database)
+    if args.warm:
+        for item in workload_items(database, DEFAULT_WORKLOAD_SQL):
+            engine.execute(
+                WorkloadItem(
+                    query=item.query, requests=item.requests, remember=True
+                )
+            )
+
+    async def run():
+        service = QueryService(
+            engine,
+            max_in_flight=args.max_in_flight,
+            max_queue_depth=max(args.clients, args.max_in_flight),
+        )
+        report = await run_closed_loop(service, spec)
+        await service.shutdown()
+        return report
+
+    report = asyncio.run(run())
+    print(report.render())
+    if not args.warm:
+        diffs = diff_against_serial(database, report)
+        print(f"equivalence diffs vs serial replay: {len(diffs)}")
+        for diff in diffs[:5]:
+            print(f"  {diff}")
+        if diffs:
+            return 1
+    if report.leaked:
+        print(f"LEAK: {report.leaked}")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Page-count execution-feedback reproduction (ICDE 2008)",
+        epilog=(
+            "tier-1 verify: PYTHONPATH=src python -m pytest -x -q "
+            "(run from the repo root before shipping changes)"
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_figures(subparsers)
@@ -222,14 +370,26 @@ def main(argv: list[str] | None = None) -> int:
     inventory.add_argument("--scale", type=float, default=0.25)
     inventory.add_argument("--seed", type=int, default=3)
     _add_analyze(subparsers)
+    _add_serve(subparsers)
+    _add_loadgen(subparsers)
 
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on unknown subcommands/bad flags (0 for
+        # --help); surface that as a return code so programmatic callers
+        # of main() see the same convention as the shell.
+        code = exc.code
+        return code if isinstance(code, int) else 2
+
     handlers = {
         "figures": _cmd_figures,
         "explain": _cmd_explain,
         "diagnose": _cmd_diagnose,
         "inventory": _cmd_inventory,
         "analyze": _cmd_analyze,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }
     return handlers[args.command](args)
 

@@ -37,6 +37,12 @@ This module enforces them statically:
           stack contains ``batch`` — nested ``flush()`` closures
           included): batch mode exists to amortize accounting, so charge
           once per batch with ``charge_rows(len(rows))``
+``R009``  no ``asyncio.get_event_loop()`` and no bare
+          ``threading.Thread`` outside the sanctioned concurrency sites
+          (``service/``, ``engine/engine.py``, ``harness/timing.py``) —
+          ad-hoc threads bypass the engine's drain/shutdown accounting
+          and admission control, and ``get_event_loop()`` is deprecated
+          outside a running loop (use ``asyncio.get_running_loop()``)
 ========  =====================================================================
 
 Suppress a finding inline with a trailing ``# lint: disable=R003`` (or a
@@ -63,9 +69,13 @@ CODE_RULES: dict[str, str] = {
     "R006": "no global clock: accounting flows through per-execution IOContext",
     "R007": "Optimizer construction only through the lifecycle (build_optimizer)",
     "R008": "no per-row charge_rows(1) inside batch-mode operators",
+    "R009": "no get_event_loop()/bare Thread outside sanctioned concurrency sites",
 }
 
 #: Per-rule path suffixes where the rule intentionally does not apply.
+#: Entries ending in ``/`` are directory prefixes: the rule is waived for
+#: every file under any directory of that name (``service/`` matches
+#: ``src/repro/service/server.py``).
 ALLOWED_PATHS: dict[str, tuple[str, ...]] = {
     "R001": ("common/rng.py",),
     "R002": ("storage/buffer.py", "storage/disk.py", "storage/accounting.py"),
@@ -74,6 +84,9 @@ ALLOWED_PATHS: dict[str, tuple[str, ...]] = {
     # diagnostics builds throwaway what-if optimizers over injected stores;
     # routing it through the lifecycle would cycle core -> lifecycle -> core.
     "R007": ("lifecycle/plan.py", "core/diagnostics.py"),
+    # the service layer and the engine's concurrency harness are where
+    # threads/event loops are supposed to live.
+    "R009": ("service/", "engine/engine.py", "harness/timing.py"),
 }
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9, ]+)")
@@ -229,6 +242,26 @@ class _FileChecker(ast.NodeVisitor):
                 hint="go through Session.optimize/run (the staged lifecycle) "
                 "or repro.lifecycle.plan.build_optimizer",
             )
+        elif chain == ("asyncio", "get_event_loop") or chain == (
+            "get_event_loop",
+        ):
+            self.report(
+                "R009",
+                node,
+                "deprecated/implicit event-loop lookup get_event_loop()",
+                hint="use asyncio.get_running_loop() inside coroutines, or "
+                "asyncio.run() at the entry point",
+            )
+        elif leaf == "Thread" and (
+            len(chain) == 1 or chain[-2] == "threading"
+        ):
+            self.report(
+                "R009",
+                node,
+                f"bare thread construction {'.'.join(chain)}()",
+                hint="route concurrency through Engine.run_concurrent or the "
+                "service's thread pool so drain/shutdown accounting holds",
+            )
         elif leaf == "charge_rows" and any(
             "batch" in name for name in self._function_stack
         ):
@@ -300,6 +333,21 @@ class _FileChecker(ast.NodeVisitor):
                 "importing the retired global-clock types "
                 f"{sorted(names & {'SimulatedClock', 'ClockSnapshot'})}",
                 hint="use repro.storage.accounting.IOContext",
+            )
+        elif module == "threading" and "Thread" in names:
+            self.report(
+                "R009",
+                node,
+                "importing threading.Thread",
+                hint="route concurrency through Engine.run_concurrent or the "
+                "service's thread pool so drain/shutdown accounting holds",
+            )
+        elif module == "asyncio" and "get_event_loop" in names:
+            self.report(
+                "R009",
+                node,
+                "importing asyncio.get_event_loop",
+                hint="use asyncio.get_running_loop() inside coroutines",
             )
         self.generic_visit(node)
 
@@ -382,13 +430,21 @@ def _suppressed_rules(source: str) -> dict[int, set[str]]:
     return suppressions
 
 
+def _path_waived(path_label: str, allowed: str) -> bool:
+    """File-suffix match, or directory-prefix match for ``dir/`` entries."""
+    normalized = "/" + path_label.replace("\\", "/")
+    if allowed.endswith("/"):
+        return f"/{allowed}" in normalized
+    return normalized.endswith("/" + allowed)
+
+
 def _rules_for(path_label: str, rules: Sequence[str]) -> list[str]:
     return [
         rule
         for rule in rules
         if not any(
-            path_label.replace("\\", "/").endswith(suffix)
-            for suffix in ALLOWED_PATHS.get(rule, ())
+            _path_waived(path_label, allowed)
+            for allowed in ALLOWED_PATHS.get(rule, ())
         )
     ]
 

@@ -1,6 +1,8 @@
-"""Shared substrate: errors, identifier types, hashing and RNG helpers."""
+"""Shared substrate: errors, cancellation, identifier types, hashing and RNG."""
 
+from repro.common.cancellation import CancellationToken
 from repro.common.errors import (
+    AdmissionError,
     BufferPoolError,
     CatalogError,
     EstimationError,
@@ -11,8 +13,10 @@ from repro.common.errors import (
     MonitorError,
     OptimizerError,
     PageError,
+    QueryCancelled,
     ReproError,
     SchemaError,
+    ServiceError,
     StorageError,
     WorkloadError,
 )
@@ -21,7 +25,9 @@ from repro.common.rng import derive_seed, make_numpy_rng, make_random
 from repro.common.types import INVALID_PAGE_ID, RID, FileId, PageId
 
 __all__ = [
+    "AdmissionError",
     "BufferPoolError",
+    "CancellationToken",
     "CatalogError",
     "EstimationError",
     "ExecutionError",
@@ -34,9 +40,11 @@ __all__ = [
     "OptimizerError",
     "PageError",
     "PageId",
+    "QueryCancelled",
     "RID",
     "ReproError",
     "SchemaError",
+    "ServiceError",
     "StorageError",
     "WorkloadError",
     "derive_seed",

@@ -45,6 +45,19 @@ class ExecutionError(ReproError):
     """A runtime operator failed while executing a plan."""
 
 
+class QueryCancelled(ExecutionError):
+    """An execution stopped at a cooperative cancellation checkpoint.
+
+    Raised from the executor's page/batch-boundary checkpoints when the
+    run's :class:`~repro.common.cancellation.CancellationToken` has been
+    cancelled (deadline expiry, client disconnect, service shutdown).
+    ``reason`` carries the cause recorded at :meth:`cancel` time."""
+
+    def __init__(self, reason: str = "cancelled") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
 class EngineError(ReproError):
     """The multi-session engine violated (or detected a violation of) a
     workload-level contract, e.g. a concurrent run that did not produce
@@ -73,6 +86,16 @@ class FeedbackError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload/data generator received invalid parameters."""
+
+
+class ServiceError(ReproError):
+    """The query service layer rejected or failed a request."""
+
+
+class AdmissionError(ServiceError):
+    """The admission controller refused a request (in-flight semaphore
+    saturated and the bounded wait queue full, or the service no longer
+    accepting).  Clients see this as ``SERVICE_OVERLOADED``."""
 
 
 class AnalysisError(ReproError):

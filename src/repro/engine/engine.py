@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.catalog.catalog import Database
+from repro.common.cancellation import CancellationToken
 from repro.common.errors import EngineError
 from repro.core.feedback import FeedbackStore
 from repro.core.planner import MonitorConfig
@@ -59,6 +60,9 @@ class WorkloadItem:
     #: store (serialized).  Off by default: remembering changes what later
     #: optimizations see, which a pure measurement workload rarely wants.
     remember: bool = False
+    #: Drive style for the execution: ``"row"`` or ``"batch"`` (results
+    #: are mode-invariant; see :func:`repro.exec.executor.execute`).
+    exec_mode: str = "row"
 
 
 @dataclass(frozen=True)
@@ -135,14 +139,76 @@ class Engine:
             else (PlanCache() if use_plan_cache else None)
         )
         self._feedback_lock = threading.Lock()
+        #: Lifecycle state: ``shutdown()`` flips ``_closed`` and then (with
+        #: ``drain=True``) waits on ``_state`` until ``_active`` executions
+        #: reach zero.  ``_state`` guards both fields.
+        self._state = threading.Condition()
+        self._closed = False
+        self._active = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`shutdown` has been called."""
+        with self._state:
+            return self._closed
+
+    @property
+    def active_executions(self) -> int:
+        """Executions currently inside :meth:`execute` (drain watches this)."""
+        with self._state:
+            return self._active
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> bool:
+        """End the engine's lifecycle: no new sessions or executions.
+
+        With ``drain=True`` (the default) the call blocks until every
+        in-flight :meth:`execute` finishes — the service layer's graceful
+        stop.  ``drain=False`` only flips the flag; in-flight executions
+        still complete (cooperative cancellation is the caller's job) but
+        the engine stops admitting work immediately.  Idempotent.
+
+        Returns ``True`` when the engine is fully drained on return,
+        ``False`` when a ``timeout`` expired (or ``drain=False``) while
+        executions were still in flight.
+        """
+        with self._state:
+            self._closed = True
+            if not drain:
+                return self._active == 0
+            return self._state.wait_for(
+                lambda: self._active == 0, timeout=timeout
+            )
+
+    def _begin_execution(self) -> None:
+        with self._state:
+            if self._closed:
+                raise EngineError(
+                    "engine is shut down; execute() rejected "
+                    f"({self._active} execution(s) still draining)"
+                )
+            self._active += 1
+
+    def _end_execution(self) -> None:
+        with self._state:
+            self._active -= 1
+            self._state.notify_all()
 
     # ------------------------------------------------------------------
     def session(self, injections: Optional[InjectionSet] = None) -> Session:
         """A new session sharing this engine's database and feedback store.
 
         Sessions are cheap; give each thread its own (a ``Session`` itself
-        is not thread-safe — only the engine-level sharing is).
+        is not thread-safe — only the engine-level sharing is).  Raises
+        :class:`~repro.common.errors.EngineError` once the engine is shut
+        down — an engine that stopped serving must not hand out new
+        connections.
         """
+        with self._state:
+            if self._closed:
+                raise EngineError(
+                    "engine is shut down; session() rejected"
+                )
         return Session(
             database=self.database,
             feedback=self.feedback,
@@ -156,23 +222,35 @@ class Engine:
         )
 
     def execute(
-        self, item: WorkloadItem, session: Optional[Session] = None
+        self,
+        item: WorkloadItem,
+        session: Optional[Session] = None,
+        cancellation: Optional[CancellationToken] = None,
     ) -> ExecutedQuery:
         """Run one workload item under an isolated accounting context.
 
         The isolated context starts with cold private buffer frames, so
         the result is independent of any other execution in flight — the
-        engine's unit of concurrency-safe work.
+        engine's unit of concurrency-safe work.  The execution is
+        registered with the engine's lifecycle: :meth:`shutdown` with
+        ``drain=True`` waits for it, and new calls after shutdown raise
+        :class:`~repro.common.errors.EngineError`.
         """
         session = session if session is not None else self.session()
-        return session.run(
-            item.query,
-            requests=item.requests,
-            use_feedback=item.use_feedback,
-            hint=item.hint,
-            io=self.database.new_io_context(isolated=True),
-            remember=item.remember,
-        )
+        self._begin_execution()
+        try:
+            return session.run(
+                item.query,
+                requests=item.requests,
+                use_feedback=item.use_feedback,
+                hint=item.hint,
+                io=self.database.new_io_context(isolated=True),
+                remember=item.remember,
+                exec_mode=item.exec_mode,
+                cancellation=cancellation,
+            )
+        finally:
+            self._end_execution()
 
     # ------------------------------------------------------------------
     def run_serial(self, items: Sequence[WorkloadItem]) -> list[ExecutedQuery]:

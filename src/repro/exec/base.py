@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.catalog.catalog import Database
+from repro.common.cancellation import CancellationToken
 from repro.core.requests import PageCountObservation
 from repro.exec.batch import DEFAULT_BATCH_ROWS, RowBatch, chunk_rows
 from repro.exec.runstats import OperatorStats
@@ -31,12 +32,27 @@ class ExecutionContext:
     counts are exact attributions (no global clock, no snapshot deltas).
     ``batch_rows`` is the chunk size relational-engine operators use in
     batch mode (storage-engine scans batch per page regardless).
+    ``cancellation`` is the run's cooperative-cancellation token (``None``
+    for the overwhelmingly common uncancellable run); operators call
+    :meth:`checkpoint` at page/probe boundaries.
     """
 
     database: Database
     io: IOContext
     observations: list[PageCountObservation] = field(default_factory=list)
     batch_rows: int = DEFAULT_BATCH_ROWS
+    cancellation: Optional[CancellationToken] = None
+
+    def checkpoint(self) -> None:
+        """Raise :class:`~repro.common.errors.QueryCancelled` if this
+        execution's token has been cancelled; no-op without a token.
+
+        Called once per storage page (scan operators) and once per probe
+        row (index-nested-loop join), so a timed-out query stops charging
+        its :attr:`io` within one page of work.
+        """
+        if self.cancellation is not None:
+            self.cancellation.checkpoint()
 
 
 class Operator(ABC):

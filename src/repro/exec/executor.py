@@ -18,9 +18,17 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.catalog.catalog import Database
+from repro.common.cancellation import CancellationToken
 from repro.exec.base import ExecutionContext, Operator
 from repro.exec.runstats import RunStats
 from repro.storage.accounting import IOContext
+
+#: Row-mode cancellation granularity: the checked drive loop consults the
+#: token every this-many output rows (batch mode checks at every batch —
+#: i.e. page — boundary instead).  Small enough that a timed-out scan
+#: stops within one page's worth of output, large enough that the check
+#: is invisible next to per-row simulation costs.
+CANCELLATION_CHECK_ROWS = 64
 
 
 @dataclass
@@ -46,12 +54,41 @@ class QueryResult:
         return self.rows[0][0]
 
 
+def _drive_checked(
+    root: Operator, ctx: ExecutionContext, mode: str, token: CancellationToken
+) -> list[tuple]:
+    """Drive the tree with cancellation checkpoints at exchange boundaries.
+
+    Batch mode checks once per batch — one storage page at scan leaves, so
+    a cancelled scan stops at the next page boundary.  Row mode checks
+    every :data:`CANCELLATION_CHECK_ROWS` output rows.  Raising
+    :class:`~repro.common.errors.QueryCancelled` abandons the generators
+    mid-stream: the run stops charging its IOContext immediately and no
+    end-of-stream monitor observations are produced (so a later harvest
+    of a partial run cannot happen — the exception skips it).
+    """
+    rows: list[tuple] = []
+    token.checkpoint()
+    if mode == "batch":
+        for batch in root.batches(ctx):
+            token.checkpoint()
+            rows.extend(batch.rows)
+        return rows
+    check_interval = CANCELLATION_CHECK_ROWS
+    for row in root.rows(ctx):
+        rows.append(row)
+        if len(rows) % check_interval == 0:
+            token.checkpoint()
+    return rows
+
+
 def execute(
     root: Operator,
     database: Database,
     cold_cache: bool = True,
     io: Optional[IOContext] = None,
     mode: str = "row",
+    cancellation: Optional[CancellationToken] = None,
 ) -> QueryResult:
     """Run ``root`` to completion against ``database``.
 
@@ -68,6 +105,12 @@ def execute(
     :class:`~repro.exec.batch.RowBatch` exchange with compiled predicate
     kernels.  Both produce identical rows, observations and read counts
     (the equivalence harness in :mod:`repro.harness.equivalence` checks).
+
+    ``cancellation`` opts the run into cooperative cancellation: the drive
+    loop consults the token at page/batch boundaries and raises
+    :class:`~repro.common.errors.QueryCancelled` once it is cancelled.
+    The default ``None`` keeps the unchecked fast path bit-identical to a
+    token-less run.
     """
     if mode not in ("row", "batch"):
         raise ValueError(f"unknown execution mode {mode!r}; expected row|batch")
@@ -75,8 +118,10 @@ def execute(
         io = database.new_io_context()
     if cold_cache and not io.isolated:
         database.cold_cache()
-    ctx = ExecutionContext(database=database, io=io)
-    if mode == "batch":
+    ctx = ExecutionContext(database=database, io=io, cancellation=cancellation)
+    if cancellation is not None:
+        rows = _drive_checked(root, ctx, mode, cancellation)
+    elif mode == "batch":
         rows = [row for batch in root.batches(ctx) for row in batch.rows]
     else:
         rows = list(root.rows(ctx))

@@ -110,6 +110,7 @@ class INLJoin(Operator):
         else:
             index = self.inner_table.index(self.inner_index_name)
         for outer_row in self.outer.rows(ctx):
+            ctx.checkpoint()
             value = outer_row[outer_pos]
             if value is None:
                 continue
@@ -167,6 +168,7 @@ class INLJoin(Operator):
             return out
 
         for outer_batch in self.outer.batches(ctx):
+            ctx.checkpoint()
             for outer_row in outer_batch.rows:
                 value = outer_row[outer_pos]
                 if value is None:

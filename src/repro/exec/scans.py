@@ -58,6 +58,7 @@ class _MonitoredScanMixin:
         stats = self.stats
         if bundle is None:
             for _page_id, rows in page_iter:
+                ctx.checkpoint()
                 stats.pages_touched += 1
                 for row in rows:
                     io.charge_rows(1)
@@ -71,6 +72,7 @@ class _MonitoredScanMixin:
                         yield row
             return
         for page_id, rows in page_iter:
+            ctx.checkpoint()
             stats.pages_touched += 1
             bundle.start_page(page_id)
             if bundle.needs_full_evaluation():
@@ -112,6 +114,7 @@ class _MonitoredScanMixin:
         bundle = self.bundle
         stats = self.stats
         for page_id, rows in page_iter:
+            ctx.checkpoint()
             stats.pages_touched += 1
             io.charge_rows(len(rows))
             if bundle is not None:
@@ -306,7 +309,11 @@ class CoveringIndexScan(Operator):
         # Per-context counters make this an exact attribution even with
         # other executions in flight (the old code diffed global pool stats).
         leaf_pages_before = io.logical_reads
+        entries_seen = 0
         for key, rid, payload in self.index.scan_all(io):
+            entries_seen += 1
+            if not entries_seen % 256:  # ~ a few leaf pages of entries
+                ctx.checkpoint()
             entry_row = key + payload
             io.charge_rows(1)
             if self.monitor_full_eval and self.bundle is not None:
@@ -361,6 +368,7 @@ class CoveringIndexScan(Operator):
             entries.append(key + payload)
             page_ids.append(rid.page_id)
             if len(entries) >= chunk_size:
+                ctx.checkpoint()
                 out = flush()
                 if out:
                     yield RowBatch(out)

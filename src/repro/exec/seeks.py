@@ -71,6 +71,7 @@ class _FetchResidualMixin:
             rows_buf.append(row)
             page_ids.append(page_id)
             if len(rows_buf) >= chunk_size:
+                ctx.checkpoint()
                 out = flush()
                 if out:
                     yield RowBatch(out)
@@ -127,6 +128,8 @@ class IndexSeekFetch(_FetchResidualMixin, Operator):
             io, self.low, self.high, self.low_inclusive, self.high_inclusive
         ):
             page_id, row = self.table.fetch(io, rid)
+            if int(page_id) not in pages_seen:  # new data page fetched
+                ctx.checkpoint()
             pages_seen.add(int(page_id))
             io.charge_rows(1)
             outcome = bound.evaluate(

@@ -65,3 +65,43 @@ def summarize(values: Sequence[float]) -> dict[str, float]:
 
 def percent(value: float) -> str:
     return f"{value * 100:.1f}%"
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) by linear interpolation.
+
+    Matches ``numpy.percentile``'s default method on sorted data; 0.0 for
+    an empty series so report rows never blow up on a counter that stayed
+    at zero.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    fraction = rank - low
+    return float(ordered[low] * (1 - fraction) + ordered[high] * fraction)
+
+
+def latency_summary(values: Sequence[float]) -> dict[str, float]:
+    """The serving-layer digest of a latency series: count, mean, tail."""
+    if not values:
+        return {
+            "count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            "max": 0.0,
+        }
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "max": float(max(values)),
+    }

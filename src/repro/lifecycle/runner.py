@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional, Sequence
 
+from repro.common.cancellation import CancellationToken
 from repro.core.planner import build_executable
 from repro.core.requests import PageCountRequest
 from repro.exec.executor import QueryResult, execute
@@ -254,6 +255,7 @@ class QueryLifecycle:
         io: Optional[IOContext] = None,
         remember: bool = False,
         exec_mode: str = "row",
+        cancellation: Optional[CancellationToken] = None,
     ) -> ExecutedQuery:
         """The full lifecycle: plan (cached or fresh), execute, harvest."""
         plan_node, trace = self.plan(query, use_feedback=use_feedback, hint=hint)
@@ -266,6 +268,7 @@ class QueryLifecycle:
             remember=remember,
             trace=trace,
             exec_mode=exec_mode,
+            cancellation=cancellation,
         )
 
     def run_plan(
@@ -278,6 +281,7 @@ class QueryLifecycle:
         remember: bool = False,
         trace: Optional[LifecycleTrace] = None,
         exec_mode: str = "row",
+        cancellation: Optional[CancellationToken] = None,
     ) -> ExecutedQuery:
         """Execute a specific plan with monitors (stages 5–7 only).
 
@@ -285,7 +289,11 @@ class QueryLifecycle:
         shared-pool context); pass an *isolated* context to run
         interference-free next to concurrent executions.  ``exec_mode``
         selects row-at-a-time or page-at-a-time drive (see
-        :func:`repro.exec.executor.execute`).
+        :func:`repro.exec.executor.execute`).  ``cancellation`` threads a
+        cooperative-cancellation token into the execute stage; a
+        cancelled run raises :class:`~repro.common.errors.QueryCancelled`
+        out of this method *before* the harvest stage, so a partial run
+        can never bump the feedback store's epoch.
         """
         session = self.session
         trace = trace if trace is not None else LifecycleTrace()
@@ -299,6 +307,7 @@ class QueryLifecycle:
             cold_cache=cold_cache,
             io=io,
             mode=exec_mode,
+            cancellation=cancellation,
         )
         result.runstats.observations.extend(build.unanswerable)
         trace.record(

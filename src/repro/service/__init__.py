@@ -1,0 +1,54 @@
+"""The query service layer: asyncio front end over a shared engine.
+
+See :mod:`repro.service.service` for the subsystem overview (admission
+control, deadlines, telemetry, graceful shutdown) and
+``docs/architecture.md`` for where it sits in the stack.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionSlot
+from repro.service.client import InProcessClient, TCPClient
+from repro.service.protocol import (
+    BAD_REQUEST,
+    DEADLINE_EXCEEDED,
+    ERROR_CODES,
+    INTERNAL_ERROR,
+    QUERY_ERROR,
+    SERVICE_OVERLOADED,
+    SERVICE_SHUTTING_DOWN,
+    QueryRequest,
+    QueryResponse,
+    decode_message,
+    encode_message,
+)
+from repro.service.server import QueryServer
+from repro.service.service import QueryService
+from repro.service.telemetry import (
+    STANDARD_COUNTERS,
+    STANDARD_GAUGES,
+    STANDARD_HISTOGRAMS,
+    ServiceTelemetry,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionSlot",
+    "BAD_REQUEST",
+    "DEADLINE_EXCEEDED",
+    "ERROR_CODES",
+    "INTERNAL_ERROR",
+    "InProcessClient",
+    "QUERY_ERROR",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryServer",
+    "QueryService",
+    "SERVICE_OVERLOADED",
+    "SERVICE_SHUTTING_DOWN",
+    "STANDARD_COUNTERS",
+    "STANDARD_GAUGES",
+    "STANDARD_HISTOGRAMS",
+    "ServiceTelemetry",
+    "TCPClient",
+    "decode_message",
+    "encode_message",
+]

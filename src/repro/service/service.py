@@ -1,0 +1,316 @@
+"""The asyncio query service fronting one shared :class:`Engine`.
+
+This is the subsystem that turns per-query machinery into a multi-client,
+continuously-learning system: every admitted request runs through the
+engine's staged lifecycle on a worker thread (isolated IOContext, shared
+plan cache, shared feedback store), so one client's harvested page-count
+feedback re-optimizes the next client's plan.
+
+Request path::
+
+    admit (bounded semaphore + bounded queue)  ->  stage pipeline
+    (canonicalize ... execute on thread pool)  ->  harvest (optional)
+    ->  respond (rows + RunStats + lifecycle trace)
+
+Properties the tests and the CI smoke gate hold the service to:
+
+* **No unbounded queues.**  Past ``max_in_flight`` running and
+  ``max_queue_depth`` waiting, requests are rejected with
+  ``SERVICE_OVERLOADED`` instead of parked.
+* **Deadlines cancel work, not just responses.**  ``deadline_ms`` arms an
+  event-loop timer that cancels the run's
+  :class:`~repro.common.cancellation.CancellationToken`; the executor
+  stops at the next page/batch boundary, so a timed-out query stops
+  charging its IOContext, releases its admission slot, and (because the
+  harvest stage is never reached) cannot bump the feedback epoch with a
+  partial run.
+* **Graceful shutdown.**  New requests are rejected with
+  ``SERVICE_SHUTTING_DOWN``; in-flight queries drain (or are cancelled
+  with ``drain=False``); then the engine itself is shut down, after which
+  ``Engine.session()`` raises.
+* **Slot conservation.**  Every admitted request terminates in exactly
+  one of completed/timed-out/cancelled/failed and returns its slot —
+  :meth:`ServiceTelemetry.leaked_slots` audits this after every run.
+
+Engine work happens on a ``ThreadPoolExecutor`` sized to the admission
+limit and bridged with ``loop.run_in_executor``; the event loop itself
+never blocks on a query.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional
+
+from repro.common.cancellation import CancellationToken
+from repro.common.errors import (
+    AdmissionError,
+    QueryCancelled,
+    ReproError,
+    ExpressionError,
+    ServiceError,
+)
+from repro.engine import Engine, WorkloadItem
+from repro.harness.methodology import default_requests
+from repro.harness.timing import Stopwatch
+from repro.service.admission import AdmissionController
+from repro.service.protocol import (
+    BAD_REQUEST,
+    DEADLINE_EXCEEDED,
+    INTERNAL_ERROR,
+    QUERY_ERROR,
+    SERVICE_OVERLOADED,
+    SERVICE_SHUTTING_DOWN,
+    QueryRequest,
+    QueryResponse,
+)
+from repro.service.telemetry import ServiceTelemetry
+from repro.sql import parse_query
+
+
+class QueryService:
+    """Admission-controlled asyncio front end over one :class:`Engine`."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        max_in_flight: int = 8,
+        max_queue_depth: int = 32,
+        monitor_by_default: bool = True,
+    ) -> None:
+        self.engine = engine
+        self.admission = AdmissionController(max_in_flight, max_queue_depth)
+        self.telemetry = ServiceTelemetry()
+        self.monitor_by_default = monitor_by_default
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_in_flight, thread_name_prefix="repro-service"
+        )
+        self._accepting = True
+        self._pending = 0
+        self._drained: Optional[asyncio.Event] = None
+        #: Tokens of in-flight executions, for fast-abort shutdown.
+        self._live_tokens: set[CancellationToken] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def accepting(self) -> bool:
+        return self._accepting
+
+    @property
+    def pending(self) -> int:
+        """Requests currently inside :meth:`handle` (queued or running)."""
+        return self._pending
+
+    def _drain_event(self) -> asyncio.Event:
+        if self._drained is None:
+            self._drained = asyncio.Event()
+            self._drained.set()
+        return self._drained
+
+    # ------------------------------------------------------------------
+    async def handle(self, request: QueryRequest) -> QueryResponse:
+        """Serve one request end to end (the in-process client entry)."""
+        watch = Stopwatch()
+        if not self._accepting:
+            self.telemetry.count("rejected")
+            return QueryResponse.failure(
+                request.request_id,
+                SERVICE_SHUTTING_DOWN,
+                "service is shutting down; not accepting new queries",
+            )
+        drained = self._drain_event()
+        self._pending += 1
+        drained.clear()
+        try:
+            return await self._admit_and_run(request, watch)
+        finally:
+            self._pending -= 1
+            if self._pending == 0:
+                drained.set()
+
+    async def _admit_and_run(
+        self, request: QueryRequest, watch: Stopwatch
+    ) -> QueryResponse:
+        try:
+            self.telemetry.gauge_set(
+                "queue_depth", self.admission.queue_depth + 1
+            )
+            slot = await self.admission.admit()
+        except AdmissionError as exc:
+            self.telemetry.count("rejected")
+            self.telemetry.gauge_set(
+                "queue_depth", self.admission.queue_depth
+            )
+            return QueryResponse.failure(
+                request.request_id, SERVICE_OVERLOADED, str(exc)
+            )
+        queue_wait_ms = watch.elapsed_seconds * 1000
+        self.telemetry.count("admitted")
+        self.telemetry.observe("queue_wait_ms", queue_wait_ms)
+        self.telemetry.gauge_set("in_flight", self.admission.in_flight)
+        self.telemetry.gauge_set("queue_depth", self.admission.queue_depth)
+
+        token = CancellationToken()
+        timer: Optional[asyncio.TimerHandle] = None
+        loop = asyncio.get_running_loop()
+        try:
+            if request.deadline_ms is not None:
+                remaining_ms = request.deadline_ms - queue_wait_ms
+                if remaining_ms <= 0:
+                    self.telemetry.count("timed_out")
+                    return self._finish(
+                        QueryResponse.failure(
+                            request.request_id,
+                            DEADLINE_EXCEEDED,
+                            f"deadline of {request.deadline_ms:.1f}ms spent "
+                            f"waiting for admission ({queue_wait_ms:.1f}ms)",
+                        ),
+                        queue_wait_ms,
+                        watch,
+                    )
+                timer = loop.call_later(
+                    remaining_ms / 1000,
+                    token.cancel,
+                    f"deadline of {request.deadline_ms:.1f}ms exceeded",
+                )
+            self._live_tokens.add(token)
+            try:
+                executed = await loop.run_in_executor(
+                    self._pool, self._execute_blocking, request, token
+                )
+            finally:
+                self._live_tokens.discard(token)
+            rows = [list(row) for row in executed.result.rows]
+            self.telemetry.count("completed")
+            self.telemetry.observe(
+                "execution_ms", watch.elapsed_seconds * 1000 - queue_wait_ms
+            )
+            self.telemetry.observe("rows_returned", len(rows))
+            return self._finish(
+                QueryResponse(
+                    request_id=request.request_id,
+                    rows=rows,
+                    columns=list(executed.result.columns),
+                    runstats=executed.result.runstats.to_dict(),
+                ),
+                queue_wait_ms,
+                watch,
+            )
+        except QueryCancelled as exc:
+            if exc.reason.startswith("deadline"):
+                self.telemetry.count("timed_out")
+                code = DEADLINE_EXCEEDED
+            else:
+                self.telemetry.count("cancelled")
+                code = SERVICE_SHUTTING_DOWN
+            return self._finish(
+                QueryResponse.failure(request.request_id, code, exc.reason),
+                queue_wait_ms,
+                watch,
+            )
+        except (ExpressionError, ServiceError) as exc:
+            self.telemetry.count("failed")
+            return self._finish(
+                QueryResponse.failure(
+                    request.request_id, BAD_REQUEST, str(exc)
+                ),
+                queue_wait_ms,
+                watch,
+            )
+        except ReproError as exc:
+            self.telemetry.count("failed")
+            return self._finish(
+                QueryResponse.failure(
+                    request.request_id,
+                    QUERY_ERROR,
+                    f"{type(exc).__name__}: {exc}",
+                ),
+                queue_wait_ms,
+                watch,
+            )
+        except Exception as exc:  # noqa: BLE001 — the wire must answer
+            self.telemetry.count("failed")
+            return self._finish(
+                QueryResponse.failure(
+                    request.request_id,
+                    INTERNAL_ERROR,
+                    f"{type(exc).__name__}: {exc}",
+                ),
+                queue_wait_ms,
+                watch,
+            )
+        finally:
+            if timer is not None:
+                timer.cancel()
+            slot.release()
+            self.telemetry.gauge_set("in_flight", self.admission.in_flight)
+            self.telemetry.gauge_set("queue_depth", self.admission.queue_depth)
+
+    @staticmethod
+    def _finish(
+        response: QueryResponse, queue_wait_ms: float, watch: Stopwatch
+    ) -> QueryResponse:
+        response.queue_wait_ms = queue_wait_ms
+        response.service_ms = watch.elapsed_seconds * 1000
+        return response
+
+    def _execute_blocking(
+        self, request: QueryRequest, token: CancellationToken
+    ):
+        """The thread-pool half: parse, plan, execute, (maybe) harvest."""
+        query = parse_query(request.sql)
+        requests = (
+            tuple(default_requests(self.engine.database, query))
+            if request.monitor and self.monitor_by_default
+            else ()
+        )
+        item = WorkloadItem(
+            query=query,
+            requests=requests,
+            use_feedback=request.use_feedback,
+            hint=request.plan_hint(),
+            remember=request.remember,
+            exec_mode=request.exec_mode,
+        )
+        session = self.engine.session()
+        return self.engine.execute(item, session=session, cancellation=token)
+
+    # ------------------------------------------------------------------
+    async def stats(self) -> dict[str, Any]:
+        """The ``stats`` endpoint payload: telemetry + admission + engine."""
+        return {
+            "kind": "stats",
+            "accepting": self._accepting,
+            "telemetry": self.telemetry.snapshot(),
+            "admission": self.admission.snapshot(),
+            "engine": {
+                "feedback_records": len(self.engine.feedback),
+                "feedback_epoch": self.engine.feedback.epoch,
+                "plan_cache": (
+                    self.engine.plan_cache.stats.snapshot()
+                    if self.engine.plan_cache is not None
+                    else None
+                ),
+                "report": self.engine.report(),
+            },
+        }
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, settle in-flight work, shut the engine down.
+
+        ``drain=True`` lets queued and running queries finish;
+        ``drain=False`` cancels every live execution's token (each stops
+        at its next page/batch boundary and answers
+        ``SERVICE_SHUTTING_DOWN``).  Either way, by return the service is
+        idle, the thread pool is closed, and the engine refuses new
+        sessions.  Idempotent.
+        """
+        self._accepting = False
+        if not drain:
+            for token in list(self._live_tokens):
+                token.cancel("shutdown: service stopping")
+        await self._drain_event().wait()
+        self._pool.shutdown(wait=True)
+        if not self.engine.closed:
+            self.engine.shutdown(drain=True)

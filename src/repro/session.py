@@ -29,6 +29,7 @@ from typing import Any, ContextManager, Optional, Sequence
 from repro.analysis.findings import Finding, errors, render_findings
 from repro.analysis.planlint import lint_plan
 from repro.catalog.catalog import Database
+from repro.common.cancellation import CancellationToken
 from repro.common.errors import PlanLintError
 from repro.core.feedback import FeedbackStore
 from repro.core.planner import MonitorConfig
@@ -139,6 +140,7 @@ class Session:
         cold_cache: bool = True,
         io: Optional[IOContext] = None,
         exec_mode: str = "row",
+        cancellation: Optional[CancellationToken] = None,
     ) -> ExecutedQuery:
         """Execute a specific plan, with monitors for ``requests``.
 
@@ -146,6 +148,9 @@ class Session:
         shared-pool context); pass an *isolated* context to run
         interference-free next to concurrent executions.  ``exec_mode``
         picks row-at-a-time (default) or page-at-a-time batch drive.
+        ``cancellation`` opts into cooperative cancellation (the executor
+        raises :class:`~repro.common.errors.QueryCancelled` at the next
+        page/batch boundary after the token is cancelled).
         """
         executed = self.lifecycle().run_plan(
             query,
@@ -154,6 +159,7 @@ class Session:
             cold_cache=cold_cache,
             io=io,
             exec_mode=exec_mode,
+            cancellation=cancellation,
         )
         self.last_trace = executed.trace
         return executed
@@ -168,6 +174,7 @@ class Session:
         io: Optional[IOContext] = None,
         remember: bool = False,
         exec_mode: str = "row",
+        cancellation: Optional[CancellationToken] = None,
     ) -> ExecutedQuery:
         """The full lifecycle: plan (cached or fresh), execute, and — with
         ``remember=True`` — harvest feedback in the same call."""
@@ -180,6 +187,7 @@ class Session:
             io=io,
             remember=remember,
             exec_mode=exec_mode,
+            cancellation=cancellation,
         )
         self.last_trace = executed.trace
         return executed

@@ -280,6 +280,56 @@ class TestR008:
 
 
 # ----------------------------------------------------------------------
+# R009 — concurrency primitives stay in sanctioned sites
+# ----------------------------------------------------------------------
+class TestR009:
+    def test_fires_on_bare_thread_call(self):
+        assert "R009" in rules_fired(
+            "import threading\nt = threading.Thread(target=work)\n"
+        )
+
+    def test_fires_on_thread_from_import(self):
+        assert "R009" in rules_fired("from threading import Thread\n")
+
+    def test_fires_on_get_event_loop_call(self):
+        assert "R009" in rules_fired(
+            "import asyncio\nloop = asyncio.get_event_loop()\n"
+        )
+
+    def test_fires_on_get_event_loop_from_import(self):
+        assert "R009" in rules_fired("from asyncio import get_event_loop\n")
+
+    def test_allowed_inside_service_package(self):
+        violating = "import asyncio\nloop = asyncio.get_event_loop()\n"
+        assert "R009" not in rules_fired(
+            violating, "src/repro/service/service.py"
+        )
+
+    def test_allowed_inside_engine_module(self):
+        violating = "import threading\nt = threading.Thread(target=w)\n"
+        assert "R009" not in rules_fired(
+            violating, "src/repro/engine/engine.py"
+        )
+
+    def test_silent_on_thread_pool_executor(self):
+        clean = (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "pool = ThreadPoolExecutor(max_workers=2)\n"
+        )
+        assert "R009" not in rules_fired(clean)
+
+    def test_silent_on_get_running_loop(self):
+        assert "R009" not in rules_fired(
+            "import asyncio\nloop = asyncio.get_running_loop()\n"
+        )
+
+    def test_silent_on_threading_lock(self):
+        assert "R009" not in rules_fired(
+            "import threading\nlock = threading.Lock()\n"
+        )
+
+
+# ----------------------------------------------------------------------
 # Shared machinery
 # ----------------------------------------------------------------------
 class TestMachinery:
@@ -324,5 +374,6 @@ class TestMachinery:
             "R006",
             "R007",
             "R008",
+            "R009",
         }
         assert all(CODE_RULES[rule] for rule in CODE_RULES)

@@ -1,0 +1,86 @@
+"""Engine lifecycle: shutdown, drain, and post-shutdown rejection."""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+
+import pytest
+
+from repro.common.errors import EngineError
+from repro.engine import Engine, WorkloadItem
+from repro.sql import parse_query
+
+SCAN_SQL = "SELECT count(padding) FROM t WHERE c2 < 900"
+
+
+def scan_item() -> WorkloadItem:
+    return WorkloadItem(query=parse_query(SCAN_SQL))
+
+
+class TestRejectAfterShutdown:
+    def test_session_raises(self, synthetic_db):
+        engine = Engine(synthetic_db)
+        assert not engine.closed
+        assert engine.shutdown() is True
+        assert engine.closed
+        with pytest.raises(EngineError, match="shut down"):
+            engine.session()
+
+    def test_execute_raises(self, synthetic_db):
+        engine = Engine(synthetic_db)
+        session = engine.session()  # obtained before shutdown
+        engine.shutdown()
+        with pytest.raises(EngineError, match="shut down"):
+            engine.execute(scan_item(), session=session)
+
+    def test_shutdown_is_idempotent(self, synthetic_db):
+        engine = Engine(synthetic_db)
+        assert engine.shutdown() is True
+        assert engine.shutdown() is True
+
+
+class TestDrain:
+    def test_drain_waits_for_in_flight_execution(self, synthetic_db):
+        engine = Engine(synthetic_db)
+        session = engine.session()
+        with concurrent.futures.ThreadPoolExecutor(max_workers=1) as pool:
+            running = pool.submit(engine.execute, scan_item(), session)
+            deadline = time.monotonic() + 5.0
+            while engine.active_executions == 0:
+                assert time.monotonic() < deadline, "execution never started"
+                time.sleep(0.0005)
+            assert engine.shutdown(drain=True) is True
+            # drain returned only after the worker left execute():
+            assert engine.active_executions == 0
+            executed = running.result(timeout=5.0)
+        assert executed.result.rows == [(900,)]
+
+    def test_drain_false_returns_without_waiting(self, synthetic_db):
+        engine = Engine(synthetic_db)
+        session = engine.session()
+        with concurrent.futures.ThreadPoolExecutor(max_workers=1) as pool:
+            running = pool.submit(engine.execute, scan_item(), session)
+            deadline = time.monotonic() + 5.0
+            while engine.active_executions == 0:
+                assert time.monotonic() < deadline, "execution never started"
+                time.sleep(0.0005)
+            # flips the flag but does not block on the in-flight run
+            assert engine.shutdown(drain=False) is False
+            assert engine.closed
+            executed = running.result(timeout=5.0)  # still completes
+        assert executed.result.rows == [(900,)]
+
+    def test_drain_timeout_reports_false(self, synthetic_db):
+        engine = Engine(synthetic_db)
+        session = engine.session()
+        with concurrent.futures.ThreadPoolExecutor(max_workers=1) as pool:
+            running = pool.submit(engine.execute, scan_item(), session)
+            deadline = time.monotonic() + 5.0
+            while engine.active_executions == 0:
+                assert time.monotonic() < deadline, "execution never started"
+                time.sleep(0.0005)
+            assert engine.shutdown(drain=True, timeout=0.0) is False
+            running.result(timeout=5.0)
+        # a later drain with no deadline observes the quiesced engine
+        assert engine.shutdown(drain=True) is True

@@ -1,0 +1,100 @@
+"""Cooperative cancellation observed through the executor.
+
+``cancel_after_checks`` turns "the deadline fired mid-scan" into an
+exact program point, so these tests are deterministic: the N-th
+page/batch checkpoint raises, and we assert what a *partial* execution
+must not do — bump the feedback epoch or leave observations behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.cancellation import CancellationToken
+from repro.common.errors import QueryCancelled
+from repro.engine import Engine, WorkloadItem
+from repro.harness.methodology import default_requests
+from repro.sql import parse_query
+
+SCAN_SQL = "SELECT count(padding) FROM t WHERE c2 < 900"
+JOIN_SQL = (
+    "SELECT count(t.padding) FROM t, t1 WHERE t1.c1 < 1000 AND t1.c2 = t.c2"
+)
+
+
+def monitored_item(database, sql, exec_mode="row", remember=False):
+    query = parse_query(sql)
+    return WorkloadItem(
+        query=query,
+        requests=tuple(default_requests(database, query)),
+        remember=remember,
+        exec_mode=exec_mode,
+    )
+
+
+class TestDeterministicCancellation:
+    @pytest.mark.parametrize("exec_mode", ["row", "batch"])
+    def test_cancel_mid_scan_skips_harvest(self, synthetic_db, exec_mode):
+        engine = Engine(synthetic_db)
+        item = monitored_item(
+            synthetic_db, SCAN_SQL, exec_mode=exec_mode, remember=True
+        )
+        token = CancellationToken(cancel_after_checks=2)
+        with pytest.raises(QueryCancelled, match="cancel_after_checks=2"):
+            engine.execute(item, cancellation=token)
+        assert token.checks == 2  # stopped AT the checkpoint, not after
+        # a cancelled run must leave no trace in the shared store
+        assert engine.feedback.epoch == 0
+        assert len(engine.feedback) == 0
+        assert engine.active_executions == 0
+
+    @pytest.mark.parametrize("exec_mode", ["row", "batch"])
+    def test_cancel_mid_probe_skips_harvest(self, join_db, exec_mode):
+        engine = Engine(join_db)
+        item = monitored_item(
+            join_db, JOIN_SQL, exec_mode=exec_mode, remember=True
+        )
+        # deep enough to be inside the join drive loop, shallow enough to
+        # fire well before the query completes
+        token = CancellationToken(cancel_after_checks=10)
+        with pytest.raises(QueryCancelled):
+            engine.execute(item, cancellation=token)
+        assert engine.feedback.epoch == 0
+        assert len(engine.feedback) == 0
+
+    def test_completed_run_after_cancelled_one_still_harvests(
+        self, synthetic_db
+    ):
+        engine = Engine(synthetic_db)
+        item = monitored_item(synthetic_db, SCAN_SQL, remember=True)
+        with pytest.raises(QueryCancelled):
+            engine.execute(
+                item, cancellation=CancellationToken(cancel_after_checks=1)
+            )
+        executed = engine.execute(item)
+        assert executed.result.rows == [(900,)]
+        assert engine.feedback.epoch == 1
+
+
+class TestLiveTokenIsFree:
+    @pytest.mark.parametrize("exec_mode", ["row", "batch"])
+    def test_uncancelled_token_is_bit_identical(self, synthetic_db, exec_mode):
+        """Threading a live token must not perturb the execution."""
+        engine = Engine(synthetic_db)
+        item = monitored_item(synthetic_db, SCAN_SQL, exec_mode=exec_mode)
+        baseline = engine.execute(item)
+        token = CancellationToken()
+        observed = engine.execute(item, cancellation=token)
+        assert token.checks > 0, "checked drive loop was not engaged"
+        assert observed.result.rows == baseline.result.rows
+        base_stats = baseline.result.runstats.to_dict()
+        obs_stats = observed.result.runstats.to_dict()
+        for key in ("random_reads", "sequential_reads", "rows_returned"):
+            assert obs_stats.get(key) == base_stats.get(key), key
+        assert [
+            (o.key, o.mechanism.value, o.answered, o.estimate, o.exact)
+            for o in observed.observations
+        ] == [
+            (o.key, o.mechanism.value, o.answered, o.estimate, o.exact)
+            for o in baseline.observations
+        ]

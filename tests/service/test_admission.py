@@ -1,0 +1,157 @@
+"""Admission controller: bounded in-flight, bounded queue, FIFO grants."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.common.errors import AdmissionError
+from repro.service.admission import AdmissionController
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestImmediateGrant:
+    def test_grants_until_full(self):
+        async def scenario():
+            controller = AdmissionController(2, 4)
+            first = await controller.admit()
+            second = await controller.admit()
+            assert controller.in_flight == 2
+            assert controller.queue_depth == 0
+            first.release()
+            assert controller.in_flight == 1
+            second.release()
+            assert controller.in_flight == 0
+            assert controller.total_admitted == 2
+
+        run(scenario())
+
+    def test_release_is_idempotent(self):
+        async def scenario():
+            controller = AdmissionController(1, 0)
+            slot = await controller.admit()
+            slot.release()
+            slot.release()
+            assert controller.in_flight == 0
+            # the double release must not have freed a phantom slot
+            replacement = await controller.admit()
+            assert controller.in_flight == 1
+            replacement.release()
+
+        run(scenario())
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError, match="max_in_flight"):
+            AdmissionController(0, 4)
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            AdmissionController(1, -1)
+
+
+class TestQueueing:
+    def test_fifo_handoff(self):
+        async def scenario():
+            controller = AdmissionController(1, 4)
+            holder = await controller.admit()
+            order: list[int] = []
+
+            async def waiter(tag: int) -> None:
+                slot = await controller.admit()
+                order.append(tag)
+                slot.release()
+
+            tasks = [asyncio.ensure_future(waiter(n)) for n in range(3)]
+            await asyncio.sleep(0)  # let all three park in the queue
+            assert controller.queue_depth == 3
+            holder.release()
+            await asyncio.gather(*tasks)
+            assert order == [0, 1, 2]
+            assert controller.in_flight == 0
+            assert controller.total_admitted == 4
+
+        run(scenario())
+
+    def test_no_queue_jumping(self):
+        async def scenario():
+            controller = AdmissionController(1, 4)
+            holder = await controller.admit()
+            waiter = asyncio.ensure_future(controller.admit())
+            await asyncio.sleep(0)
+            holder.release()  # slot transfers to the waiter...
+            # ...so a newcomer must NOT sneak in even though the grant has
+            # not been picked up by the waiting task yet.
+            newcomer = asyncio.ensure_future(controller.admit())
+            await asyncio.sleep(0)
+            slot = await waiter
+            assert controller.in_flight == 1
+            slot.release()
+            (await newcomer).release()
+
+        run(scenario())
+
+
+class TestRejection:
+    def test_rejects_when_queue_full(self):
+        async def scenario():
+            controller = AdmissionController(1, 1)
+            holder = await controller.admit()
+            queued = asyncio.ensure_future(controller.admit())
+            await asyncio.sleep(0)
+            assert controller.queue_depth == 1
+            with pytest.raises(AdmissionError, match="service overloaded"):
+                await controller.admit()
+            assert controller.total_rejected == 1
+            holder.release()
+            (await queued).release()
+
+        run(scenario())
+
+    def test_zero_queue_rejects_immediately(self):
+        async def scenario():
+            controller = AdmissionController(1, 0)
+            holder = await controller.admit()
+            with pytest.raises(AdmissionError):
+                await controller.admit()
+            holder.release()
+
+        run(scenario())
+
+
+class TestCancelledWaiter:
+    def test_cancelled_waiter_does_not_leak_the_queue(self):
+        async def scenario():
+            controller = AdmissionController(1, 2)
+            holder = await controller.admit()
+            doomed = asyncio.ensure_future(controller.admit())
+            survivor = asyncio.ensure_future(controller.admit())
+            await asyncio.sleep(0)
+            doomed.cancel()
+            await asyncio.sleep(0)
+            assert controller.queue_depth == 1  # dead waiter not counted
+            holder.release()  # must skip the cancelled future
+            slot = await survivor
+            assert controller.in_flight == 1
+            slot.release()
+            assert controller.in_flight == 0
+
+        run(scenario())
+
+    def test_snapshot_shape(self):
+        async def scenario():
+            controller = AdmissionController(2, 3)
+            slot = await controller.admit()
+            snapshot = controller.snapshot()
+            assert snapshot == {
+                "in_flight": 1,
+                "max_in_flight": 2,
+                "queue_depth": 0,
+                "max_queue_depth": 3,
+                "total_admitted": 1,
+                "total_rejected": 0,
+            }
+            slot.release()
+
+        run(scenario())

@@ -1,0 +1,293 @@
+"""End-to-end service behaviour over the in-process transport.
+
+The deadline tests are the heart of the satellite contract: a query that
+times out mid-scan or mid-probe must answer ``DEADLINE_EXCEEDED``,
+release its admission slot (the next query on a width-1 service runs),
+and must NOT bump the shared feedback epoch even when the request asked
+to ``remember`` — a partial run's observations are not evidence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.common.errors import EngineError
+from repro.engine import Engine
+from repro.service import (
+    BAD_REQUEST,
+    DEADLINE_EXCEEDED,
+    INTERNAL_ERROR,
+    QUERY_ERROR,
+    SERVICE_SHUTTING_DOWN,
+    QueryRequest,
+    QueryService,
+)
+
+SCAN_SQL = "SELECT count(padding) FROM t WHERE c2 < 900"
+JOIN_SQL = (
+    "SELECT count(t.padding) FROM t, t1 WHERE t1.c1 < 1000 AND t1.c2 = t.c2"
+)
+
+#: Far below the queries' execution cost (tens of ms), far above timer
+#: resolution — the deadline reliably fires at an executor checkpoint.
+TINY_DEADLINE_MS = 1.0
+
+
+def serve_one(engine: Engine, request: QueryRequest, **service_kwargs):
+    async def scenario():
+        service = QueryService(engine, **service_kwargs)
+        response = await service.handle(request)
+        return service, response
+
+    return asyncio.run(scenario())
+
+
+class TestHappyPath:
+    def test_query_returns_rows_stats_and_trace(self, synthetic_db):
+        engine = Engine(synthetic_db)
+        _, response = serve_one(
+            engine,
+            QueryRequest(sql=SCAN_SQL, request_id="q1", remember=True),
+        )
+        assert response.ok, response.error
+        assert response.rows == [[900]]
+        assert response.columns == ["count(padding)"] or response.columns
+        assert response.runstats is not None
+        assert "lifecycle" in response.runstats
+        assert response.runstats["page_counts"], "monitoring was attached"
+        assert response.service_ms >= response.queue_wait_ms >= 0
+        assert engine.feedback.epoch == 1  # remember=True harvested
+
+    def test_monitor_off_skips_page_counts(self, synthetic_db):
+        _, response = serve_one(
+            Engine(synthetic_db),
+            QueryRequest(sql=SCAN_SQL, request_id="q1", monitor=False),
+        )
+        assert response.ok
+        assert response.runstats["page_counts"] == []
+
+    def test_telemetry_counts_completion(self, synthetic_db):
+        service, response = serve_one(
+            Engine(synthetic_db), QueryRequest(sql=SCAN_SQL)
+        )
+        assert response.ok
+        assert service.telemetry.counter("admitted") == 1
+        assert service.telemetry.counter("completed") == 1
+        assert service.telemetry.histogram("execution_ms")["count"] == 1
+        assert service.telemetry.histogram("rows_returned")["max"] == 1.0
+        assert service.telemetry.leaked_slots() is None
+
+
+class TestErrorMapping:
+    def test_unparseable_sql_is_bad_request(self, synthetic_db):
+        service, response = serve_one(
+            Engine(synthetic_db), QueryRequest(sql="SELECT nonsense")
+        )
+        assert response.error_code == BAD_REQUEST
+        assert service.telemetry.counter("failed") == 1
+
+    def test_unknown_table_is_query_error(self, synthetic_db):
+        _, response = serve_one(
+            Engine(synthetic_db),
+            QueryRequest(sql="SELECT count(z) FROM ghost WHERE z < 5"),
+        )
+        assert response.error_code == QUERY_ERROR
+
+    def test_bad_hint_is_bad_request(self, synthetic_db):
+        _, response = serve_one(
+            Engine(synthetic_db),
+            QueryRequest(sql=SCAN_SQL, hint={"flavor": "fast"}),
+        )
+        assert response.error_code == BAD_REQUEST
+
+    def test_engine_crash_is_internal_error(self, synthetic_db):
+        async def scenario():
+            service = QueryService(Engine(synthetic_db))
+            def boom(request, token):
+                raise RuntimeError("kaboom")
+            service._execute_blocking = boom
+            response = await service.handle(QueryRequest(sql=SCAN_SQL))
+            return service, response
+
+        service, response = asyncio.run(scenario())
+        assert response.error_code == INTERNAL_ERROR
+        assert "kaboom" in response.error
+        assert service.telemetry.counter("failed") == 1
+        assert service.telemetry.leaked_slots() is None
+
+
+class TestDeadlines:
+    @pytest.mark.parametrize("sql_kind", ["scan", "probe"])
+    def test_deadline_expiry_releases_slot_and_epoch(
+        self, join_db, sql_kind
+    ):
+        """Timeout mid-scan / mid-probe: slot freed, no epoch bump."""
+        sql = SCAN_SQL if sql_kind == "scan" else JOIN_SQL
+        engine = Engine(join_db)
+
+        async def scenario():
+            service = QueryService(engine, max_in_flight=1, max_queue_depth=1)
+            timed_out = await service.handle(
+                QueryRequest(
+                    sql=sql,
+                    request_id="doomed",
+                    remember=True,  # must still not bump the epoch
+                    deadline_ms=TINY_DEADLINE_MS,
+                )
+            )
+            # The slot must be free again: the next query on this
+            # width-1 service runs to completion.
+            follow_up = await service.handle(
+                QueryRequest(sql=sql, request_id="after")
+            )
+            return service, timed_out, follow_up
+
+        service, timed_out, follow_up = asyncio.run(scenario())
+        assert timed_out.error_code == DEADLINE_EXCEEDED
+        assert "deadline" in timed_out.error
+        assert follow_up.ok, follow_up.error
+        assert service.telemetry.counter("timed_out") == 1
+        assert service.telemetry.counter("completed") == 1
+        assert service.admission.in_flight == 0
+        assert service.telemetry.leaked_slots() is None
+        # the partial run never reached harvest:
+        assert engine.feedback.epoch == 0
+        assert len(engine.feedback) == 0
+
+    def test_deadline_spent_in_queue_rejects_without_running(
+        self, synthetic_db
+    ):
+        engine = Engine(synthetic_db)
+
+        async def scenario():
+            service = QueryService(engine, max_in_flight=1, max_queue_depth=2)
+            blocker = asyncio.ensure_future(
+                service.handle(QueryRequest(sql=SCAN_SQL, request_id="slow"))
+            )
+            while service.admission.in_flight == 0:
+                await asyncio.sleep(0.001)
+            doomed = await service.handle(
+                QueryRequest(
+                    sql=SCAN_SQL, request_id="late", deadline_ms=0.001
+                )
+            )
+            first = await blocker
+            return service, first, doomed
+
+        service, first, doomed = asyncio.run(scenario())
+        assert first.ok
+        assert doomed.error_code == DEADLINE_EXCEEDED
+        assert "waiting for admission" in doomed.error
+        assert service.telemetry.leaked_slots() is None
+
+    def test_generous_deadline_does_not_fire(self, synthetic_db):
+        _, response = serve_one(
+            Engine(synthetic_db),
+            QueryRequest(sql=SCAN_SQL, deadline_ms=60_000.0),
+        )
+        assert response.ok, response.error
+
+
+class TestOverload:
+    def test_full_queue_rejects_with_service_overloaded(self, synthetic_db):
+        from repro.service import SERVICE_OVERLOADED
+
+        engine = Engine(synthetic_db)
+
+        async def scenario():
+            service = QueryService(engine, max_in_flight=1, max_queue_depth=1)
+            running = asyncio.ensure_future(
+                service.handle(QueryRequest(sql=SCAN_SQL, request_id="r"))
+            )
+            while service.admission.in_flight == 0:
+                await asyncio.sleep(0.001)
+            queued = asyncio.ensure_future(
+                service.handle(QueryRequest(sql=SCAN_SQL, request_id="q"))
+            )
+            while service.admission.queue_depth == 0:
+                await asyncio.sleep(0)
+            rejected = await service.handle(
+                QueryRequest(sql=SCAN_SQL, request_id="x")
+            )
+            return service, await running, await queued, rejected
+
+        service, running, queued, rejected = asyncio.run(scenario())
+        assert running.ok and queued.ok
+        assert rejected.error_code == SERVICE_OVERLOADED
+        assert service.telemetry.counter("rejected") == 1
+        assert service.telemetry.counter("admitted") == 2
+        assert service.telemetry.leaked_slots() is None
+
+
+class TestStats:
+    def test_stats_payload_shape(self, synthetic_db):
+        async def scenario():
+            service = QueryService(Engine(synthetic_db))
+            await service.handle(QueryRequest(sql=SCAN_SQL))
+            return await service.stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["kind"] == "stats"
+        assert stats["accepting"] is True
+        assert stats["telemetry"]["counters"]["completed"] == 1
+        assert stats["admission"]["max_in_flight"] == 8
+        assert stats["engine"]["feedback_epoch"] == 0
+        assert stats["engine"]["plan_cache"]["misses"] >= 1
+        assert "feedback" in stats["engine"]["report"]
+
+
+class TestShutdown:
+    def test_drain_then_reject(self, synthetic_db):
+        engine = Engine(synthetic_db)
+
+        async def scenario():
+            service = QueryService(engine)
+            in_flight = asyncio.ensure_future(
+                service.handle(QueryRequest(sql=SCAN_SQL, request_id="live"))
+            )
+            while service.admission.in_flight == 0:
+                await asyncio.sleep(0.001)
+            await service.shutdown(drain=True)
+            drained = await in_flight  # finished before shutdown returned
+            late = await service.handle(
+                QueryRequest(sql=SCAN_SQL, request_id="late")
+            )
+            return service, drained, late
+
+        service, drained, late = asyncio.run(scenario())
+        assert drained.ok, drained.error
+        assert late.error_code == SERVICE_SHUTTING_DOWN
+        assert service.pending == 0
+        assert engine.closed
+        with pytest.raises(EngineError, match="shut down"):
+            engine.session()
+
+    def test_fast_abort_cancels_in_flight(self, synthetic_db):
+        engine = Engine(synthetic_db)
+
+        async def scenario():
+            service = QueryService(engine)
+            victim = asyncio.ensure_future(
+                service.handle(QueryRequest(sql=SCAN_SQL, request_id="v"))
+            )
+            while service.admission.in_flight == 0:
+                await asyncio.sleep(0.001)
+            await service.shutdown(drain=False)
+            return service, await victim
+
+        service, victim = asyncio.run(scenario())
+        assert victim.error_code == SERVICE_SHUTTING_DOWN
+        assert "shutdown" in victim.error
+        assert service.telemetry.counter("cancelled") == 1
+        assert service.telemetry.leaked_slots() is None
+        assert engine.feedback.epoch == 0
+
+    def test_shutdown_is_idempotent(self, synthetic_db):
+        async def scenario():
+            service = QueryService(Engine(synthetic_db))
+            await service.shutdown()
+            await service.shutdown()
+
+        asyncio.run(scenario())
