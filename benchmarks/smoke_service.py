@@ -23,6 +23,12 @@ the service to its acceptance bar:
   aggregate latency than a cold one: the paper's loop, observed at the
   service boundary.
 
+The first two gates are deterministic and fail the smoke on the spot.
+The last two are wall-clock measurements, so a noisy shared CI runner
+can violate them without anything being wrong; those gates get up to
+``TIMING_ATTEMPTS`` full re-measurements and only fail when every
+attempt violates.
+
 Exit status 0/1 so CI can gate on it.  Run directly
 (``PYTHONPATH=src python benchmarks/smoke_service.py``) or via pytest
 (the ``test_*`` wrapper below).
@@ -59,6 +65,11 @@ PASSES = 20
 
 #: Execution-tail bound: p99 of execution wall-clock vs. serial median.
 P99_BOUND = 50.0
+
+#: Full re-measurements granted to the wall-clock gates (p99 bound,
+#: warm-beats-cold) before they count as failures; deterministic gates
+#: (equivalence, slot conservation) are hard on every attempt.
+TIMING_ATTEMPTS = 3
 
 
 async def _measure_serial_median(database) -> float:
@@ -103,20 +114,11 @@ async def _run_load(database, warm: bool):
     return report, snapshot
 
 
-def run_smoke() -> list[str]:
-    """Run the service smoke; returns a list of violations."""
+def _deterministic_violations(
+    database, cold_report, warm_report, cold_admission, warm_admission
+) -> list[str]:
+    """The hard gates: equivalence and slot conservation, no wall clock."""
     violations: list[str] = []
-    database = build_synthetic_database(num_rows=20_000, seed=1234)
-
-    serial_median = asyncio.run(_measure_serial_median(database))
-    cold_report, cold_admission = asyncio.run(_run_load(database, warm=False))
-    warm_report, warm_admission = asyncio.run(_run_load(database, warm=True))
-
-    print(f"serial median: {serial_median:.3f} ms")
-    print("--- cold service ---")
-    print(cold_report.render())
-    print("--- warm service (feedback harvested, use_feedback=on) ---")
-    print(warm_report.render())
 
     # Every request must succeed: the queue is sized so the closed loop
     # never overloads, and no deadline is set.
@@ -131,16 +133,6 @@ def run_smoke() -> list[str]:
         violations.append(f"equivalence diff: {diff}")
     if len(diffs) > 5:
         violations.append(f"... and {len(diffs) - 5} more equivalence diffs")
-
-    # Engine-level serial≡concurrent proof on the same workload.
-    engine_report = Engine(database).equivalence_report(
-        workload_items(database, DEFAULT_WORKLOAD_SQL),
-        num_threads=MAX_IN_FLIGHT,
-    )
-    for comparison in engine_report.mismatches():
-        violations.append(
-            f"Engine.equivalence_report mismatch at item {comparison.index}"
-        )
 
     # Zero leaked admission slots.
     for label, report, admission in (
@@ -158,6 +150,14 @@ def run_smoke() -> list[str]:
                 f"{label} run rejected {admission['total_rejected']} "
                 "request(s); the queue is sized to admit the whole loop"
             )
+    return violations
+
+
+def _timing_violations(
+    serial_median, cold_report, warm_report
+) -> list[str]:
+    """The wall-clock gates: execution tail bound and warm-beats-cold."""
+    violations: list[str] = []
 
     # Bounded execution tail: p99 of execution wall-clock vs serial median.
     bound_ms = P99_BOUND * serial_median
@@ -186,6 +186,56 @@ def run_smoke() -> list[str]:
             f"cold {cold_mean:.3f} ms — warming bought nothing"
         )
     return violations
+
+
+def run_smoke() -> list[str]:
+    """Run the service smoke; returns a list of violations."""
+    database = build_synthetic_database(num_rows=20_000, seed=1234)
+
+    # Engine-level serial≡concurrent proof on the same workload
+    # (deterministic; once is enough).
+    engine_report = Engine(database).equivalence_report(
+        workload_items(database, DEFAULT_WORKLOAD_SQL),
+        num_threads=MAX_IN_FLIGHT,
+    )
+    mismatches = [
+        f"Engine.equivalence_report mismatch at item {comparison.index}"
+        for comparison in engine_report.mismatches()
+    ]
+    if mismatches:
+        return mismatches
+
+    timing: list[str] = []
+    for attempt in range(1, TIMING_ATTEMPTS + 1):
+        serial_median = asyncio.run(_measure_serial_median(database))
+        cold_report, cold_admission = asyncio.run(
+            _run_load(database, warm=False)
+        )
+        warm_report, warm_admission = asyncio.run(
+            _run_load(database, warm=True)
+        )
+
+        print(f"--- attempt {attempt}/{TIMING_ATTEMPTS} ---")
+        print(f"serial median: {serial_median:.3f} ms")
+        print("--- cold service ---")
+        print(cold_report.render())
+        print("--- warm service (feedback harvested, use_feedback=on) ---")
+        print(warm_report.render())
+
+        deterministic = _deterministic_violations(
+            database, cold_report, warm_report,
+            cold_admission, warm_admission,
+        )
+        if deterministic:
+            return deterministic
+        timing = _timing_violations(serial_median, cold_report, warm_report)
+        if not timing:
+            return []
+        if attempt < TIMING_ATTEMPTS:
+            print("timing gate(s) violated; re-measuring (noisy runner?):")
+            for violation in timing:
+                print(f"  ~ {violation}")
+    return timing
 
 
 def test_smoke_service() -> None:

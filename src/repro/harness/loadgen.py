@@ -187,6 +187,22 @@ class LoadReport:
         return "\n".join(lines)
 
 
+async def _drive_workers(worker, count: int) -> None:
+    """Run ``count`` copies of ``worker()`` to completion.
+
+    TaskGroup semantics on the 3.10 floor (``asyncio.TaskGroup`` is
+    3.11+): if any worker raises, the rest are cancelled and the first
+    error propagates.
+    """
+    tasks = [asyncio.ensure_future(worker()) for _ in range(count)]
+    try:
+        await asyncio.gather(*tasks)
+    finally:
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+
 async def run_closed_loop(
     service: QueryService, spec: LoadSpec
 ) -> LoadReport:
@@ -205,9 +221,7 @@ async def run_closed_loop(
             responses[index] = await service.handle(requests[index])
 
     watch = Stopwatch()
-    async with asyncio.TaskGroup() as group:
-        for _ in range(min(spec.concurrency, len(requests))):
-            group.create_task(worker())
+    await _drive_workers(worker, min(spec.concurrency, len(requests)))
     wall_seconds = watch.elapsed_seconds
 
     missing = [i for i, r in enumerate(responses) if r is None]
@@ -251,9 +265,7 @@ async def run_closed_loop_tcp(
                 responses[index] = await client.query(requests[index])
 
     watch = Stopwatch()
-    async with asyncio.TaskGroup() as group:
-        for _ in range(min(spec.concurrency, len(requests))):
-            group.create_task(worker())
+    await _drive_workers(worker, min(spec.concurrency, len(requests)))
     wall_seconds = watch.elapsed_seconds
 
     async with TCPClient(host, port) as client:

@@ -68,6 +68,7 @@ class AdmissionController:
         #: service; kept here too so the controller is testable alone.
         self.total_admitted = 0
         self.total_rejected = 0
+        self.total_aborted = 0
 
     @property
     def queue_depth(self) -> int:
@@ -105,6 +106,24 @@ class AdmissionController:
         self.total_admitted += 1
         return AdmissionSlot(self)
 
+    def abort_waiters(self, reason: str) -> int:
+        """Fail every parked waiter with :class:`AdmissionError`.
+
+        Fast-abort shutdown calls this so queued requests answer
+        immediately instead of acquiring slots later and executing after
+        the service stopped accepting work.  Waiters whose grant already
+        happened (done futures) are untouched — their tasks hold a slot
+        and release it normally.  Returns the number aborted.
+        """
+        aborted = 0
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_exception(AdmissionError(reason))
+                aborted += 1
+        self.total_aborted += aborted
+        return aborted
+
     def _release_one(self) -> None:
         """Hand the freed slot to the next live waiter, or free it."""
         while self._waiters:
@@ -122,4 +141,5 @@ class AdmissionController:
             "max_queue_depth": self.max_queue_depth,
             "total_admitted": self.total_admitted,
             "total_rejected": self.total_rejected,
+            "total_aborted": self.total_aborted,
         }

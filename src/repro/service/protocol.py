@@ -59,7 +59,9 @@ class QueryRequest:
     #: Harvest this run's observations into the shared store (epoch bump).
     remember: bool = False
     #: Attach the default page-count monitor requests for the query.
-    monitor: bool = True
+    #: ``None`` (unspecified on the wire) defers to the service's
+    #: ``monitor_by_default``; an explicit value always wins.
+    monitor: Optional[bool] = None
     #: Optional plan restriction, as :class:`PlanHint` fields
     #: (``{"kind": "table_scan"}``, ...).
     hint: Optional[dict[str, Any]] = None

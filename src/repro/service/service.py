@@ -17,17 +17,19 @@ Properties the tests and the CI smoke gate hold the service to:
 * **No unbounded queues.**  Past ``max_in_flight`` running and
   ``max_queue_depth`` waiting, requests are rejected with
   ``SERVICE_OVERLOADED`` instead of parked.
-* **Deadlines cancel work, not just responses.**  ``deadline_ms`` arms an
-  event-loop timer that cancels the run's
+* **Deadlines cancel work, not just responses.**  ``deadline_ms`` bounds
+  the admission wait (an expired request leaves the queue and answers
+  promptly) and arms an event-loop timer that cancels the run's
   :class:`~repro.common.cancellation.CancellationToken`; the executor
   stops at the next page/batch boundary, so a timed-out query stops
   charging its IOContext, releases its admission slot, and (because the
   harvest stage is never reached) cannot bump the feedback epoch with a
   partial run.
 * **Graceful shutdown.**  New requests are rejected with
-  ``SERVICE_SHUTTING_DOWN``; in-flight queries drain (or are cancelled
-  with ``drain=False``); then the engine itself is shut down, after which
-  ``Engine.session()`` raises.
+  ``SERVICE_SHUTTING_DOWN``; in-flight queries drain (with
+  ``drain=False`` running queries are cancelled *and* admission-queued
+  requests are aborted without executing); then the engine itself is
+  shut down, after which ``Engine.session()`` raises.
 * **Slot conservation.**  Every admitted request terminates in exactly
   one of completed/timed-out/cancelled/failed and returns its slot —
   :meth:`ServiceTelemetry.leaked_slots` audits this after every run.
@@ -87,6 +89,7 @@ class QueryService:
             max_workers=max_in_flight, thread_name_prefix="repro-service"
         )
         self._accepting = True
+        self._aborting = False
         self._pending = 0
         self._drained: Optional[asyncio.Event] = None
         #: Tokens of in-flight executions, for fast-abort shutdown.
@@ -136,16 +139,64 @@ class QueryService:
             self.telemetry.gauge_set(
                 "queue_depth", self.admission.queue_depth + 1
             )
-            slot = await self.admission.admit()
-        except AdmissionError as exc:
+            if request.deadline_ms is not None:
+                # Bound the queue wait by the deadline so an expired
+                # request leaves its queue slot and answers promptly
+                # instead of holding it until admission.
+                slot = await asyncio.wait_for(
+                    self.admission.admit(), request.deadline_ms / 1000
+                )
+            else:
+                slot = await self.admission.admit()
+        except asyncio.TimeoutError:
             self.telemetry.count("rejected")
             self.telemetry.gauge_set(
                 "queue_depth", self.admission.queue_depth
             )
-            return QueryResponse.failure(
-                request.request_id, SERVICE_OVERLOADED, str(exc)
+            queue_wait_ms = watch.elapsed_seconds * 1000
+            return self._finish(
+                QueryResponse.failure(
+                    request.request_id,
+                    DEADLINE_EXCEEDED,
+                    f"deadline of {request.deadline_ms:.1f}ms spent "
+                    f"waiting for admission ({queue_wait_ms:.1f}ms)",
+                ),
+                queue_wait_ms,
+                watch,
+            )
+        except AdmissionError as exc:
+            # Overload, or a fast-abort shutdown failing the queue.
+            self.telemetry.count("rejected")
+            self.telemetry.gauge_set(
+                "queue_depth", self.admission.queue_depth
+            )
+            code = SERVICE_OVERLOADED if self._accepting else (
+                SERVICE_SHUTTING_DOWN
+            )
+            return self._finish(
+                QueryResponse.failure(request.request_id, code, str(exc)),
+                watch.elapsed_seconds * 1000,
+                watch,
             )
         queue_wait_ms = watch.elapsed_seconds * 1000
+        if self._aborting:
+            # Granted in the race between shutdown(drain=False) and a
+            # running query's release: hand the slot back unused.
+            slot.release()
+            self.telemetry.count("rejected")
+            self.telemetry.gauge_set("in_flight", self.admission.in_flight)
+            self.telemetry.gauge_set(
+                "queue_depth", self.admission.queue_depth
+            )
+            return self._finish(
+                QueryResponse.failure(
+                    request.request_id,
+                    SERVICE_SHUTTING_DOWN,
+                    "service is shutting down; queued request aborted",
+                ),
+                queue_wait_ms,
+                watch,
+            )
         self.telemetry.count("admitted")
         self.telemetry.observe("queue_wait_ms", queue_wait_ms)
         self.telemetry.gauge_set("in_flight", self.admission.in_flight)
@@ -260,9 +311,14 @@ class QueryService:
     ):
         """The thread-pool half: parse, plan, execute, (maybe) harvest."""
         query = parse_query(request.sql)
+        monitor = (
+            self.monitor_by_default
+            if request.monitor is None
+            else request.monitor
+        )
         requests = (
             tuple(default_requests(self.engine.database, query))
-            if request.monitor and self.monitor_by_default
+            if monitor
             else ()
         )
         item = WorkloadItem(
@@ -300,14 +356,19 @@ class QueryService:
         """Stop accepting, settle in-flight work, shut the engine down.
 
         ``drain=True`` lets queued and running queries finish;
-        ``drain=False`` cancels every live execution's token (each stops
-        at its next page/batch boundary and answers
-        ``SERVICE_SHUTTING_DOWN``).  Either way, by return the service is
-        idle, the thread pool is closed, and the engine refuses new
-        sessions.  Idempotent.
+        ``drain=False`` aborts the admission queue (each waiter answers
+        ``SERVICE_SHUTTING_DOWN`` without executing) and cancels every
+        live execution's token (each stops at its next page/batch
+        boundary and answers ``SERVICE_SHUTTING_DOWN``).  Either way, by
+        return the service is idle, the thread pool is closed, and the
+        engine refuses new sessions.  Idempotent.
         """
         self._accepting = False
         if not drain:
+            self._aborting = True
+            self.admission.abort_waiters(
+                "service is shutting down; queued request aborted"
+            )
             for token in list(self._live_tokens):
                 token.cancel("shutdown: service stopping")
         await self._drain_event().wait()

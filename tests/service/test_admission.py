@@ -151,7 +151,47 @@ class TestCancelledWaiter:
                 "max_queue_depth": 3,
                 "total_admitted": 1,
                 "total_rejected": 0,
+                "total_aborted": 0,
             }
             slot.release()
+
+        run(scenario())
+
+
+class TestAbortWaiters:
+    def test_abort_fails_parked_waiters_without_granting(self):
+        async def scenario():
+            controller = AdmissionController(1, 4)
+            holder = await controller.admit()
+            first = asyncio.ensure_future(controller.admit())
+            second = asyncio.ensure_future(controller.admit())
+            await asyncio.sleep(0)
+            assert controller.queue_depth == 2
+            aborted = controller.abort_waiters("service stopping")
+            assert aborted == 2
+            assert controller.total_aborted == 2
+            for task in (first, second):
+                with pytest.raises(AdmissionError, match="service stopping"):
+                    await task
+            assert controller.queue_depth == 0
+            # The holder's slot is untouched and releases cleanly.
+            holder.release()
+            assert controller.in_flight == 0
+            assert controller.total_admitted == 1
+
+        run(scenario())
+
+    def test_abort_skips_already_granted_waiters(self):
+        async def scenario():
+            controller = AdmissionController(1, 4)
+            holder = await controller.admit()
+            granted = asyncio.ensure_future(controller.admit())
+            await asyncio.sleep(0)
+            holder.release()  # grant transfers before the task wakes
+            assert controller.abort_waiters("service stopping") == 0
+            slot = await granted  # the grant survives the abort
+            assert controller.in_flight == 1
+            slot.release()
+            assert controller.in_flight == 0
 
         run(scenario())

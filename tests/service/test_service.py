@@ -68,6 +68,26 @@ class TestHappyPath:
         assert response.ok
         assert response.runstats["page_counts"] == []
 
+    def test_explicit_monitor_overrides_service_default(self, synthetic_db):
+        _, response = serve_one(
+            Engine(synthetic_db),
+            QueryRequest(sql=SCAN_SQL, request_id="q1", monitor=True),
+            monitor_by_default=False,
+        )
+        assert response.ok
+        assert response.runstats["page_counts"], (
+            "an explicit monitor=True must win over monitor_by_default=False"
+        )
+
+    def test_unspecified_monitor_uses_service_default(self, synthetic_db):
+        _, response = serve_one(
+            Engine(synthetic_db),
+            QueryRequest(sql=SCAN_SQL, request_id="q1"),  # monitor=None
+            monitor_by_default=False,
+        )
+        assert response.ok
+        assert response.runstats["page_counts"] == []
+
     def test_telemetry_counts_completion(self, synthetic_db):
         service, response = serve_one(
             Engine(synthetic_db), QueryRequest(sql=SCAN_SQL)
@@ -173,13 +193,19 @@ class TestDeadlines:
                     sql=SCAN_SQL, request_id="late", deadline_ms=0.001
                 )
             )
+            # The expired request must leave the queue promptly, not
+            # hold its queue slot until the blocker finishes.
+            answered_before_blocker = not blocker.done()
             first = await blocker
-            return service, first, doomed
+            return service, first, doomed, answered_before_blocker
 
-        service, first, doomed = asyncio.run(scenario())
+        service, first, doomed, prompt = asyncio.run(scenario())
         assert first.ok
         assert doomed.error_code == DEADLINE_EXCEEDED
         assert "waiting for admission" in doomed.error
+        assert prompt, "expired request waited for admission anyway"
+        assert service.admission.queue_depth == 0
+        assert service.telemetry.counter("rejected") == 1
         assert service.telemetry.leaked_slots() is None
 
     def test_generous_deadline_does_not_fire(self, synthetic_db):
@@ -281,6 +307,38 @@ class TestShutdown:
         assert victim.error_code == SERVICE_SHUTTING_DOWN
         assert "shutdown" in victim.error
         assert service.telemetry.counter("cancelled") == 1
+        assert service.telemetry.leaked_slots() is None
+        assert engine.feedback.epoch == 0
+
+    def test_fast_abort_aborts_queued_requests(self, synthetic_db):
+        """drain=False must fail admission-queued requests immediately,
+        not let them acquire slots and run after shutdown began."""
+        engine = Engine(synthetic_db)
+
+        async def scenario():
+            service = QueryService(engine, max_in_flight=1, max_queue_depth=4)
+            running = asyncio.ensure_future(
+                service.handle(QueryRequest(sql=SCAN_SQL, request_id="run"))
+            )
+            while service.admission.in_flight == 0:
+                await asyncio.sleep(0.001)
+            queued = asyncio.ensure_future(
+                service.handle(QueryRequest(sql=SCAN_SQL, request_id="q"))
+            )
+            while service.admission.queue_depth == 0:
+                await asyncio.sleep(0)
+            await service.shutdown(drain=False)
+            return service, await running, await queued
+
+        service, running, queued = asyncio.run(scenario())
+        assert queued.error_code == SERVICE_SHUTTING_DOWN
+        assert "aborted" in queued.error
+        # The queued request never executed: only the running one was
+        # ever admitted, and the books balance.
+        assert service.telemetry.counter("admitted") == 1
+        assert service.telemetry.counter("rejected") == 1
+        assert service.admission.total_aborted == 1
+        assert service.admission.in_flight == 0
         assert service.telemetry.leaked_slots() is None
         assert engine.feedback.epoch == 0
 
