@@ -11,8 +11,10 @@ Commands:
   estimate-vs-actual report, recommend a plan hint, and optionally
   persist the gathered feedback;
 * ``inventory [--scale S]`` — print Table I's database inventory;
-* ``analyze [--strict] [--json] [--rules ...] [--plans] [paths]`` — run the
-  two-tier static analysis (codebase rules R001–R009; with ``--plans`` also
+* ``analyze [--strict] [--json] [--rules ...] [--plans] [--dataflow]
+  [--changed-only] [paths]`` — run the three-tier static analysis
+  (codebase rules R001–R010; with ``--dataflow`` also the interprocedural
+  concurrency/flow rules C001–C003 and F001–F003; with ``--plans`` also
   the plan-linter rules P001–P006 over a synthetic workload's plans);
 * ``serve [--host H] [--port P] ...`` — run the NDJSON-over-TCP query
   service over a synthetic database (Ctrl-C drains and stops);
@@ -187,7 +189,8 @@ def _cmd_inventory(args) -> int:
 
 def _add_analyze(subparsers) -> None:
     parser = subparsers.add_parser(
-        "analyze", help="run the two-tier static analysis (see docs/static_analysis.md)"
+        "analyze",
+        help="run the three-tier static analysis (see docs/static_analysis.md)",
     )
     parser.add_argument("paths", nargs="*", default=["src/repro"])
     parser.add_argument("--json", action="store_true")
@@ -200,17 +203,30 @@ def _add_analyze(subparsers) -> None:
         action="store_true",
         help="also lint a synthetic workload's candidate plans",
     )
+    parser.add_argument(
+        "--dataflow",
+        action="store_true",
+        help="also run the Tier-3 interprocedural dataflow rules",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="restrict source checks to files changed versus --changed-base",
+    )
+    parser.add_argument("--changed-base", default="HEAD", metavar="REF")
 
 
 def _cmd_analyze(args) -> int:
     from repro.analysis.cli import main as analysis_main
 
     argv = list(args.paths)
-    for flag in ("json", "strict", "plans"):
+    for flag in ("json", "strict", "plans", "dataflow", "changed_only"):
         if getattr(args, flag):
-            argv.append(f"--{flag}")
+            argv.append("--" + flag.replace("_", "-"))
     if args.rules:
         argv.extend(["--rules", args.rules])
+    if args.changed_base != "HEAD":
+        argv.extend(["--changed-base", args.changed_base])
     return analysis_main(argv)
 
 

@@ -1,4 +1,4 @@
-"""Two-tier static analysis for the reproduction (see docs/static_analysis.md).
+"""Three-tier static analysis for the reproduction (see docs/static_analysis.md).
 
 * **Tier 1** (:mod:`repro.analysis.planlint`) lints physical plan trees
   between the optimizer and the monitor planner: structural soundness,
@@ -7,14 +7,21 @@
 * **Tier 2** (:mod:`repro.analysis.codelint`) checks repo-wide invariants
   over the source tree with ``ast``: seeded RNG discipline, buffer-pool
   accounting discipline, float-comparison and wall-clock hygiene (rules
-  ``R001``–``R005``).
+  ``R001``–``R010``).
+* **Tier 3** (:mod:`repro.analysis.dataflow`) reasons *across* functions:
+  a call graph plus per-function CFGs power concurrency sanitizers
+  (``C001``–``C003``: lock-order cycles, locks held across ``await``,
+  blocking calls in service coroutines) and flow rules (``F001``–``F003``:
+  cancellation-checkpoint coverage of drive loops, admission-slot and
+  IOContext release on all paths, no epoch bumps after a cancellation).
 
-Both tiers report through :class:`repro.analysis.findings.Finding` and the
+All tiers report through :class:`repro.analysis.findings.Finding` and the
 shared text/JSON renderers; ``python -m repro.analysis`` (or ``python -m
 repro analyze``) runs them from the command line.
 """
 
 from repro.analysis.codelint import CODE_RULES, lint_paths, lint_source
+from repro.analysis.dataflow import DATAFLOW_RULES, analyze_paths, analyze_sources
 from repro.analysis.findings import (
     Finding,
     Severity,
@@ -27,9 +34,12 @@ from repro.analysis.planlint import PLAN_RULES, lint_plan
 
 __all__ = [
     "CODE_RULES",
+    "DATAFLOW_RULES",
     "Finding",
     "PLAN_RULES",
     "Severity",
+    "analyze_paths",
+    "analyze_sources",
     "errors",
     "findings_to_json",
     "lint_paths",

@@ -5,7 +5,21 @@ runs the Tier-2 codebase linter over the given files/directories (default
 ``src/repro``).  ``--plans`` additionally exercises the Tier-1 plan linter
 by optimizing a small synthetic workload and linting every candidate plan
 the optimizer produces — a smoke check that the optimizer's output obeys
-the plan invariants end to end.
+the plan invariants end to end.  ``--dataflow`` additionally runs the
+Tier-3 interprocedural rules (call graph + CFG reachability): concurrency
+sanitizers C001-C003 and cancellation/resource flow rules F001-F003.
+
+``--changed-only`` narrows the source-level tiers (2 and 3) to files that
+differ from ``--changed-base`` (default ``HEAD``) according to git — the
+fast pre-commit mode.  When git is unavailable the flag degrades to a
+full-repo run rather than silently checking nothing.
+
+Suppression hygiene: any run that includes rule R010 (the default) audits
+``# lint: disable=...`` comments and reports, at warning severity, those
+that name an unknown rule id or that suppressed nothing during this run.
+Suppressions for rules the run did *not* check (a ``--rules`` subset, or
+Tier-3 ids without ``--dataflow``) are dormant, not unused, and stay
+silent.
 
 Exit status: ``0`` when clean; ``1`` when any error-severity finding (or,
 with ``--strict``, any finding at all) was produced; ``2`` on bad usage.
@@ -15,12 +29,22 @@ from __future__ import annotations
 
 import argparse
 import os
+import subprocess
 import sys
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
 
-from repro.analysis.codelint import CODE_RULES, lint_paths
+from repro.analysis.codelint import (
+    CODE_RULES,
+    _suppressed_rules,
+    applicable_code_rules,
+    iter_python_files,
+    lint_source_raw,
+)
+from repro.analysis.dataflow import DATAFLOW_RULES, analyze_sources
 from repro.analysis.findings import (
     Finding,
+    Severity,
     errors,
     findings_to_json,
     render_findings,
@@ -29,22 +53,160 @@ from repro.analysis.findings import (
 from repro.analysis.planlint import PLAN_RULES, lint_plan
 from repro.common.errors import AnalysisError
 
+_RuleSplit = tuple[Optional[list[str]], Optional[list[str]], Optional[list[str]]]
 
-def _split_rules(spec: Optional[str]) -> tuple[Optional[list[str]], Optional[list[str]]]:
-    """``"R001,P002"`` -> (code rules, plan rules); ``None`` -> all rules."""
+
+def _split_rules(spec: Optional[str]) -> _RuleSplit:
+    """``"R001,P002,C003"`` -> (code, plan, dataflow); ``None`` -> all."""
     if spec is None:
-        return None, None
+        return None, None, None
     requested = [part.strip() for part in spec.split(",") if part.strip()]
-    unknown = [r for r in requested if r not in CODE_RULES and r not in PLAN_RULES]
+    known = set(CODE_RULES) | set(PLAN_RULES) | set(DATAFLOW_RULES)
+    unknown = [r for r in requested if r not in known]
     if unknown:
-        raise AnalysisError(
-            f"unknown rule(s) {unknown}; known: "
-            f"{sorted(CODE_RULES) + sorted(PLAN_RULES)}"
-        )
+        raise AnalysisError(f"unknown rule(s) {unknown}; known: {sorted(known)}")
     return (
         [r for r in requested if r in CODE_RULES],
         [r for r in requested if r in PLAN_RULES],
+        [r for r in requested if r in DATAFLOW_RULES],
     )
+
+
+def _changed_files(base: str) -> Optional[set[Path]]:
+    """Absolute paths of files differing from ``base``, or None without git.
+
+    ``git diff --name-only <base>`` compares the *working tree* against the
+    base commit, so staged and unstaged edits are both included — the set a
+    pre-commit hook actually wants.
+    """
+    try:
+        root = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", base, "--"],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return {
+        (Path(root) / line.strip()).resolve()
+        for line in diff.stdout.splitlines()
+        if line.strip()
+    }
+
+
+def _audit_suppressions(
+    sources: Mapping[str, str],
+    checked: Mapping[str, set[str]],
+    used: set[tuple[str, int, str]],
+) -> list[Finding]:
+    """R010: flag suppression comments that are unknown or did nothing.
+
+    A suppression is *unused* only relative to the rules this run checked
+    for that file; ids outside the run's scope are dormant and silent.
+    R010 findings themselves honour a same-line ``disable=R010``.
+    """
+    known = set(CODE_RULES) | set(PLAN_RULES) | set(DATAFLOW_RULES) | {"R000"}
+    findings: list[Finding] = []
+    for label, source in sources.items():
+        for line, rules in _suppressed_rules(source).items():
+            if "R010" in rules:
+                continue
+            for rule in sorted(rules):
+                if rule not in known:
+                    message = f"suppression names unknown rule id {rule!r}"
+                    hint = f"known rule ids: {', '.join(sorted(known))}"
+                elif rule in checked.get(label, set()) and (
+                    label,
+                    line,
+                    rule,
+                ) not in used:
+                    message = f"suppression for {rule} matched no finding"
+                    hint = (
+                        "the code is clean under this rule; remove the "
+                        "stale # lint: disable comment"
+                    )
+                else:
+                    continue
+                findings.append(
+                    Finding(
+                        rule="R010",
+                        severity=Severity.WARNING,
+                        message=message,
+                        file=label,
+                        line=line,
+                        hint=hint,
+                    )
+                )
+    return findings
+
+
+def _analyze_sources(
+    paths: Sequence[str],
+    code_rules: Optional[list[str]],
+    flow_rules: Optional[list[str]],
+    run_dataflow: bool,
+    changed_only: bool,
+    changed_base: str,
+) -> list[Finding]:
+    """Run the source-level tiers (2 and 3) with shared suppression logic."""
+    files = iter_python_files(paths)
+    narrowed = False
+    if changed_only:
+        changed = _changed_files(changed_base)
+        if changed is None:
+            print(
+                "note: --changed-only needs git; checking all files instead",
+                file=sys.stderr,
+            )
+        else:
+            files = [f for f in files if f.resolve() in changed]
+            narrowed = True
+    sources = {str(f): f.read_text(encoding="utf-8") for f in files}
+
+    run_codelint = code_rules is None or bool(code_rules)
+    raw: list[Finding] = []
+    checked: dict[str, set[str]] = {label: set() for label in sources}
+    if run_codelint:
+        for label, source in sources.items():
+            applicable = applicable_code_rules(label, code_rules)
+            checked[label].update(applicable)
+            if applicable:
+                raw.extend(lint_source_raw(source, label, code_rules))
+    if run_dataflow:
+        raw.extend(analyze_sources(sources, flow_rules, apply_suppressions=False))
+        if not narrowed:
+            # A narrowed file set is a partial program: cross-file call
+            # edges are missing, so a dataflow suppression that matched
+            # nothing may simply lack its evidence.  Only whole runs may
+            # call a C/F suppression unused.
+            flow_checked = set(DATAFLOW_RULES if flow_rules is None else flow_rules)
+            for label in checked:
+                checked[label].update(flow_checked)
+
+    findings: list[Finding] = []
+    used: set[tuple[str, int, str]] = set()
+    suppression_maps = {
+        label: _suppressed_rules(source) for label, source in sources.items()
+    }
+    for finding in raw:
+        per_line = suppression_maps.get(finding.file, {})
+        if finding.rule in per_line.get(finding.line, set()):
+            used.add((finding.file, finding.line, finding.rule))
+        else:
+            findings.append(finding)
+    if any("R010" in rules for rules in checked.values()):
+        findings.extend(_audit_suppressions(sources, checked, used))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return findings
 
 
 def _lint_sample_plans(plan_rules: Optional[list[str]]) -> list[Finding]:
@@ -74,8 +236,9 @@ def _lint_sample_plans(plan_rules: Optional[list[str]]) -> list[Finding]:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Two-tier static analysis: codebase invariants (R001-R006) "
-        "and plan-tree invariants (P001-P006).",
+        description="Three-tier static analysis: codebase invariants "
+        "(R-rules), plan-tree invariants (P-rules, --plans), and "
+        "interprocedural dataflow rules (C/F-rules, --dataflow).",
     )
     parser.add_argument(
         "paths",
@@ -94,12 +257,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--rules",
         default=None,
-        help="comma-separated subset of rule ids, e.g. R001,R003,P005",
+        help="comma-separated subset of rule ids, e.g. R001,P005,C001; "
+        "naming a C/F rule runs the dataflow tier for it even without "
+        "--dataflow",
     )
     parser.add_argument(
         "--plans",
         action="store_true",
         help="also lint every candidate plan of a small synthetic workload",
+    )
+    parser.add_argument(
+        "--dataflow",
+        action="store_true",
+        help="also run the Tier-3 interprocedural dataflow rules "
+        "(C001-C003, F001-F003)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="restrict source checks to files that differ from "
+        "--changed-base per git (falls back to all files without git)",
+    )
+    parser.add_argument(
+        "--changed-base",
+        default="HEAD",
+        metavar="REF",
+        help="git ref --changed-only diffs against (default: HEAD)",
     )
     return parser
 
@@ -108,10 +291,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        code_rules, plan_rules = _split_rules(args.rules)
+        code_rules, plan_rules, flow_rules = _split_rules(args.rules)
+        # With an explicit --rules list, the list is authoritative: C/F ids
+        # opt in to the dataflow tier, their absence opts out even under
+        # --dataflow.
+        run_dataflow = args.dataflow if args.rules is None else bool(flow_rules)
         findings: list[Finding] = []
-        if code_rules is None or code_rules:
-            findings.extend(lint_paths(args.paths, rules=code_rules))
+        if code_rules is None or code_rules or run_dataflow:
+            findings.extend(
+                _analyze_sources(
+                    args.paths,
+                    code_rules,
+                    flow_rules,
+                    run_dataflow,
+                    args.changed_only,
+                    args.changed_base,
+                )
+            )
         if args.plans and (plan_rules is None or plan_rules):
             findings.extend(_lint_sample_plans(plan_rules))
     except AnalysisError as exc:

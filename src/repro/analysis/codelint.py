@@ -45,8 +45,8 @@ This module enforces them statically:
           outside a running loop (use ``asyncio.get_running_loop()``)
 ========  =====================================================================
 
-Suppress a finding inline with a trailing ``# lint: disable=R003`` (or a
-comma-separated list) on the offending line.
+Suppress a finding inline with a trailing ``lint: disable=R003`` comment
+(or a comma-separated list) on the offending line.
 """
 
 from __future__ import annotations
@@ -70,6 +70,7 @@ CODE_RULES: dict[str, str] = {
     "R007": "Optimizer construction only through the lifecycle (build_optimizer)",
     "R008": "no per-row charge_rows(1) inside batch-mode operators",
     "R009": "no get_event_loop()/bare Thread outside sanctioned concurrency sites",
+    "R010": "no unused or unknown # lint: disable=... suppression comments",
 }
 
 #: Per-rule path suffixes where the rule intentionally does not apply.
@@ -449,17 +450,34 @@ def _rules_for(path_label: str, rules: Sequence[str]) -> list[str]:
     ]
 
 
-def lint_source(
-    source: str, file_label: str, rules: Optional[Iterable[str]] = None
-) -> list[Finding]:
-    """Lint one file's source text; ``file_label`` is used in findings."""
+def applicable_code_rules(
+    file_label: str, rules: Optional[Iterable[str]] = None
+) -> list[str]:
+    """The selected rules minus per-path waivers, validated.
+
+    The CLI's unused-suppression audit needs to know which rules were
+    *actually checked* for a file: a suppression for a rule that did not
+    run (a waived path, a ``--rules`` subset, a Tier-3 rule without
+    ``--dataflow``) is not "unused", just dormant.
+    """
     selected = list(CODE_RULES) if rules is None else list(rules)
     unknown = [r for r in selected if r not in CODE_RULES]
     if unknown:
         raise AnalysisError(
             f"unknown code-lint rule(s) {unknown}; known: {sorted(CODE_RULES)}"
         )
-    applicable = _rules_for(file_label, selected)
+    return _rules_for(file_label, selected)
+
+
+def lint_source_raw(
+    source: str, file_label: str, rules: Optional[Iterable[str]] = None
+) -> list[Finding]:
+    """Lint one file *without* applying inline suppression comments.
+
+    The unused-suppression audit compares this raw set against the
+    suppression map; everyday callers want :func:`lint_source`.
+    """
+    applicable = applicable_code_rules(file_label, rules)
     if not applicable:
         return []
     try:
@@ -476,10 +494,17 @@ def lint_source(
         ]
     checker = _FileChecker(file_label, applicable)
     checker.visit(tree)
+    return checker.findings
+
+
+def lint_source(
+    source: str, file_label: str, rules: Optional[Iterable[str]] = None
+) -> list[Finding]:
+    """Lint one file's source text; ``file_label`` is used in findings."""
     suppressions = _suppressed_rules(source)
     return [
         finding
-        for finding in checker.findings
+        for finding in lint_source_raw(source, file_label, rules)
         if finding.rule not in suppressions.get(finding.line, set())
     ]
 
@@ -493,9 +518,10 @@ def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
             files.update(
                 p for p in path.rglob("*.py") if "__pycache__" not in p.parts
             )
-        elif path.suffix == ".py":
-            files.add(path)
-        elif not path.exists():
+        elif path.is_file():
+            if path.suffix == ".py":
+                files.add(path)
+        else:
             raise AnalysisError(f"no such file or directory: {path}")
     return sorted(files)
 

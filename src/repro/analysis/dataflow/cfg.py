@@ -1,0 +1,357 @@
+"""Per-function control-flow graphs over ``ast`` statement lists.
+
+The Tier-3 flow rules (F001/F002) are *all-paths* questions: "does every
+path through this loop body pass a checkpoint", "does every path from
+this acquisition — including exceptional ones — pass a release".  Both
+reduce to reachability over a CFG, so the graph keeps just enough
+structure to make those queries sound for the code in this repo:
+
+* Nodes are statements (plus synthetic entry/exit/junction nodes).
+* ``try``/``except``/``finally`` is modelled precisely enough for the
+  release audit: a statement that *may raise* (contains a call, await,
+  or raise) gets an edge to every handler of the innermost enclosing
+  ``try`` **and** to the escape continuation (handlers may not match).
+  ``finally`` bodies are cloned per continuation (normal fall-through,
+  exception propagation, and ``return``) so a release inside ``finally``
+  covers exceptional exits and early returns alike.
+* Attribute access, subscripting, and arithmetic are **not** modelled as
+  raising — only calls/awaits/raises are.  That keeps the exceptional
+  edge set small enough that the F002 audit has no noise on this
+  codebase while still catching every leak a failing call could cause.
+* ``with`` statements are a node (the context-manager expression can
+  raise) followed by their body; ``__exit__`` cleanup semantics are not
+  modelled — the repo's resource rules track explicit release calls.
+
+Two exits are distinguished: ``exit_normal`` (fell off the end or
+returned) and ``exit_raised`` (an exception escaped the function).  For
+F002 both are leak exits; for F001 loop bodies they are reused as
+"repeat the loop" and "left the loop" respectively.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass
+class CFGNode:
+    """One CFG vertex: a statement, or a synthetic connector."""
+
+    index: int
+    stmt: Optional[ast.stmt]
+    label: str
+
+
+@dataclass
+class CFG:
+    """A single function's (or loop body's) control-flow graph."""
+
+    nodes: list[CFGNode] = field(default_factory=list)
+    #: normal-flow successor edges
+    succ: dict[int, set[int]] = field(default_factory=dict)
+    #: exceptional successor edges (statement may raise)
+    succ_exc: dict[int, set[int]] = field(default_factory=dict)
+    entry: int = 0
+    exit_normal: int = 0
+    exit_raised: int = 0
+
+    def new_node(self, stmt: Optional[ast.stmt], label: str) -> int:
+        index = len(self.nodes)
+        self.nodes.append(CFGNode(index=index, stmt=stmt, label=label))
+        self.succ[index] = set()
+        self.succ_exc[index] = set()
+        return index
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.succ[src].add(dst)
+
+    def add_exc_edge(self, src: int, dst: int) -> None:
+        self.succ_exc[src].add(dst)
+
+    def successors(self, index: int) -> set[int]:
+        return self.succ[index] | self.succ_exc[index]
+
+    def statement_nodes(self) -> list[CFGNode]:
+        return [node for node in self.nodes if node.stmt is not None]
+
+
+_DEFINITIONS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def may_raise(stmt: ast.stmt) -> bool:
+    """Whether the statement can transfer to an exception handler.
+
+    Only calls, awaits, and explicit raises count; pure attribute access
+    and arithmetic are treated as safe (see module docstring).  Nested
+    ``def``/``class`` statements never raise at definition time even
+    though their bodies contain calls.
+    """
+    if isinstance(stmt, _DEFINITIONS):
+        return False
+    for child in ast.walk(stmt):
+        if isinstance(child, (ast.Call, ast.Await, ast.Raise)):
+            return True
+    return False
+
+
+@dataclass
+class _Context:
+    """Continuation targets threaded through the recursive builder."""
+
+    follow: int
+    break_to: Optional[int]
+    continue_to: Optional[int]
+    return_to: int
+    raise_to: tuple[int, ...]
+
+
+class _Builder:
+    def __init__(self, with_exceptions: bool) -> None:
+        self.cfg = CFG()
+        self.with_exceptions = with_exceptions
+        #: >0 while wiring a ``finally`` clone: cleanup code is modelled
+        #: as non-raising, otherwise every multi-statement finally would
+        #: count as "the earlier cleanup call may raise and skip the
+        #: later release" — true in principle, pure noise in practice.
+        self._cleanup_depth = 0
+
+    def build(self, stmts: Sequence[ast.stmt]) -> CFG:
+        cfg = self.cfg
+        cfg.entry = cfg.new_node(None, "entry")
+        cfg.exit_normal = cfg.new_node(None, "exit")
+        cfg.exit_raised = cfg.new_node(None, "exit-raised")
+        context = _Context(
+            follow=cfg.exit_normal,
+            break_to=None,
+            continue_to=None,
+            return_to=cfg.exit_normal,
+            raise_to=(cfg.exit_raised,),
+        )
+        first = self._wire_block(stmts, context)
+        cfg.add_edge(cfg.entry, first)
+        return cfg
+
+    # -- wiring helpers ------------------------------------------------
+
+    def _wire_block(self, stmts: Sequence[ast.stmt], context: _Context) -> int:
+        """Wire a statement list; returns the entry node of the block."""
+        if not stmts:
+            return context.follow
+        entry = context.follow
+        # Wire back-to-front so each statement knows its successor.
+        for stmt in reversed(stmts):
+            entry = self._wire_stmt(
+                stmt,
+                _Context(
+                    follow=entry,
+                    break_to=context.break_to,
+                    continue_to=context.continue_to,
+                    return_to=context.return_to,
+                    raise_to=context.raise_to,
+                ),
+            )
+        return entry
+
+    def _junction(self, targets: Sequence[int], label: str) -> int:
+        """A synthetic node fanning out to several continuations."""
+        if len(targets) == 1:
+            return targets[0]
+        node = self.cfg.new_node(None, label)
+        for target in targets:
+            self.cfg.add_edge(node, target)
+        return node
+
+    def _simple(self, stmt: ast.stmt, context: _Context) -> int:
+        node = self.cfg.new_node(stmt, type(stmt).__name__)
+        self.cfg.add_edge(node, context.follow)
+        if (
+            self.with_exceptions
+            and not self._cleanup_depth
+            and may_raise(stmt)
+        ):
+            for target in context.raise_to:
+                self.cfg.add_exc_edge(node, target)
+        return node
+
+    def _wire_stmt(self, stmt: ast.stmt, context: _Context) -> int:
+        if isinstance(stmt, ast.Return):
+            node = self.cfg.new_node(stmt, "Return")
+            self.cfg.add_edge(node, context.return_to)
+            if (
+                self.with_exceptions
+                and not self._cleanup_depth
+                and may_raise(stmt)
+            ):
+                for target in context.raise_to:
+                    self.cfg.add_exc_edge(node, target)
+            return node
+        if isinstance(stmt, ast.Raise):
+            node = self.cfg.new_node(stmt, "Raise")
+            for target in context.raise_to:
+                self.cfg.add_edge(node, target)
+            return node
+        if isinstance(stmt, ast.Break):
+            node = self.cfg.new_node(stmt, "Break")
+            self.cfg.add_edge(node, context.break_to or context.follow)
+            return node
+        if isinstance(stmt, ast.Continue):
+            node = self.cfg.new_node(stmt, "Continue")
+            self.cfg.add_edge(node, context.continue_to or context.follow)
+            return node
+        if isinstance(stmt, ast.If):
+            return self._wire_if(stmt, context)
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            return self._wire_loop(stmt, context)
+        if isinstance(stmt, ast.Try):
+            return self._wire_try(stmt, context)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._wire_with(stmt, context)
+        return self._simple(stmt, context)
+
+    def _wire_if(self, stmt: ast.If, context: _Context) -> int:
+        node = self.cfg.new_node(stmt, "If")
+        then_entry = self._wire_block(stmt.body, context)
+        else_entry = self._wire_block(stmt.orelse, context)
+        self.cfg.add_edge(node, then_entry)
+        self.cfg.add_edge(node, else_entry)
+        return node
+
+    def _wire_loop(
+        self, stmt: "ast.For | ast.AsyncFor | ast.While", context: _Context
+    ) -> int:
+        header = self.cfg.new_node(stmt, type(stmt).__name__)
+        after = self._wire_block(stmt.orelse, context) if stmt.orelse else context.follow
+        body_context = _Context(
+            follow=header,
+            break_to=context.follow,
+            continue_to=header,
+            return_to=context.return_to,
+            raise_to=context.raise_to,
+        )
+        body_entry = self._wire_block(stmt.body, body_context)
+        self.cfg.add_edge(header, body_entry)
+        self.cfg.add_edge(header, after)
+        if (
+            self.with_exceptions
+            and not self._cleanup_depth
+            and isinstance(stmt, (ast.For, ast.AsyncFor))
+        ):
+            # The iterator's __next__ may raise (generators re-raise from
+            # their bodies); model it so drives over raising sources are
+            # connected to their handlers.
+            for target in context.raise_to:
+                self.cfg.add_exc_edge(header, target)
+        return header
+
+    def _wire_with(
+        self, stmt: "ast.With | ast.AsyncWith", context: _Context
+    ) -> int:
+        node = self.cfg.new_node(stmt, type(stmt).__name__)
+        body_entry = self._wire_block(stmt.body, context)
+        self.cfg.add_edge(node, body_entry)
+        if self.with_exceptions and not self._cleanup_depth:
+            # Entering the context manager evaluates calls.
+            for target in context.raise_to:
+                self.cfg.add_exc_edge(node, target)
+        return node
+
+    def _wire_try(self, stmt: ast.Try, context: _Context) -> int:
+        def finally_to(target: int, targets: tuple[int, ...] = ()) -> int:
+            """A fresh clone of the ``finally`` body ending at ``target``
+            (or fanning out to ``targets``)."""
+            if not stmt.finalbody:
+                return self._junction(targets, "escape") if targets else target
+            follow = self._junction(targets, "escape") if targets else target
+            self._cleanup_depth += 1
+            try:
+                return self._wire_block(
+                    stmt.finalbody,
+                    _Context(
+                        follow=follow,
+                        break_to=context.break_to,
+                        continue_to=context.continue_to,
+                        return_to=context.return_to,
+                        raise_to=context.raise_to,
+                    ),
+                )
+            finally:
+                self._cleanup_depth -= 1
+
+        normal_follow = finally_to(context.follow)
+        escape_follow = finally_to(0, targets=context.raise_to)
+        return_follow = finally_to(context.return_to)
+
+        handler_entries: list[int] = []
+        for handler in stmt.handlers:
+            handler_entries.append(
+                self._wire_block(
+                    handler.body,
+                    _Context(
+                        follow=normal_follow,
+                        break_to=context.break_to,
+                        continue_to=context.continue_to,
+                        return_to=return_follow,
+                        raise_to=(escape_follow,),
+                    ),
+                )
+            )
+
+        # An exception inside the body may land in any handler, or match
+        # none and escape (through finally).
+        body_raise_to = tuple(handler_entries) + (escape_follow,)
+        body_follow = (
+            self._wire_block(
+                stmt.orelse,
+                _Context(
+                    follow=normal_follow,
+                    break_to=context.break_to,
+                    continue_to=context.continue_to,
+                    return_to=return_follow,
+                    raise_to=body_raise_to,
+                ),
+            )
+            if stmt.orelse
+            else normal_follow
+        )
+        return self._wire_block(
+            stmt.body,
+            _Context(
+                follow=body_follow,
+                break_to=context.break_to,
+                continue_to=context.continue_to,
+                return_to=return_follow,
+                raise_to=body_raise_to,
+            ),
+        )
+
+
+def build_cfg(stmts: Sequence[ast.stmt], with_exceptions: bool = True) -> CFG:
+    """Build the CFG for a statement list (typically a function body)."""
+    return _Builder(with_exceptions).build(list(stmts))
+
+
+def build_loop_body_cfg(loop: "ast.For | ast.AsyncFor | ast.While") -> CFG:
+    """CFG of one iteration of ``loop``'s body, without exceptional edges.
+
+    ``exit_normal`` means "reached the end of the body — the loop
+    repeats"; ``break``/``return``/``raise`` are routed to
+    ``exit_raised``, i.e. "left the loop".  The F001 cancellation audit
+    asks whether every path to the repeat point passes a checkpoint.
+    """
+    builder = _Builder(with_exceptions=False)
+    cfg = builder.cfg
+    cfg.entry = cfg.new_node(None, "entry")
+    cfg.exit_normal = cfg.new_node(None, "repeat")
+    cfg.exit_raised = cfg.new_node(None, "left-loop")
+    context = _Context(
+        follow=cfg.exit_normal,
+        break_to=cfg.exit_raised,
+        continue_to=cfg.exit_normal,
+        return_to=cfg.exit_raised,
+        raise_to=(cfg.exit_raised,),
+    )
+    first = builder._wire_block(loop.body, context)
+    cfg.add_edge(cfg.entry, first)
+    return cfg

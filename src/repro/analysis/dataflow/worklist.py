@@ -1,0 +1,70 @@
+"""A small worklist fixpoint framework shared by the Tier-3 rules.
+
+Two shapes cover everything the C/F rules need:
+
+* :func:`propagate` — transitive closure of a seed set over a call (or
+  reverse-call) graph: "every function that can reach an epoch bump",
+  "every function that transitively acquires lock L".  The classic
+  monotone worklist: pop a dirty node, recompute its fact from its
+  neighbours, re-dirty dependents when the fact grew.
+* :func:`reachable` — forward reachability over a CFG with an optional
+  *barrier* predicate: nodes satisfying the barrier are reached but not
+  expanded.  "Which nodes can execute before any ``release()``" is
+  reachability with release nodes as barriers; "is there a
+  checkpoint-free path through the loop body" is the same query with
+  checkpoint nodes as barriers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Iterable, Mapping, Optional, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def propagate(
+    seeds: Iterable[Node],
+    edges: Mapping[Node, set[Node]],
+) -> set[Node]:
+    """The closure of ``seeds`` under ``edges`` (seed ∪ everything reachable).
+
+    ``edges`` maps a node to its successors; pass a reversed graph to
+    compute "everything that can reach a seed" (the direction the
+    blocking/epoch-bump analyses need).
+    """
+    closed: set[Node] = set()
+    frontier: deque[Node] = deque(seeds)
+    while frontier:
+        node = frontier.popleft()
+        if node in closed:
+            continue
+        closed.add(node)
+        frontier.extend(edges.get(node, set()) - closed)
+    return closed
+
+
+def reachable(
+    starts: Iterable[Node],
+    successors: Callable[[Node], Iterable[Node]],
+    barrier: Optional[Callable[[Node], bool]] = None,
+) -> set[Node]:
+    """Nodes reachable from ``starts`` without passing *through* a barrier.
+
+    A barrier node is included in the result (it was reached) but its
+    successors are not explored from it — paths stop there.  With no
+    barrier this is plain forward reachability.
+    """
+    seen: set[Node] = set()
+    frontier: deque[Node] = deque(starts)
+    while frontier:
+        node = frontier.popleft()
+        if node in seen:
+            continue
+        seen.add(node)
+        if barrier is not None and barrier(node):
+            continue
+        for succ in successors(node):
+            if succ not in seen:
+                frontier.append(succ)
+    return seen

@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 from enum import Enum
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 
 class Severity(Enum):
@@ -57,7 +57,7 @@ class Finding:
             text += f"  [hint: {self.hint}]"
         return text
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         payload = asdict(self)
         payload["severity"] = self.severity.value
         return payload

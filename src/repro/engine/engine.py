@@ -32,7 +32,7 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.catalog.catalog import Database
 from repro.common.cancellation import CancellationToken
@@ -105,7 +105,7 @@ class EquivalenceReport:
         return [c for c in self.comparisons if not c.matches]
 
 
-def _observation_signature(executed: ExecutedQuery) -> list[tuple]:
+def _observation_signature(executed: ExecutedQuery) -> list[tuple[Any, ...]]:
     return [
         (obs.key, obs.mechanism, obs.answered, obs.estimate, obs.exact)
         for obs in executed.observations

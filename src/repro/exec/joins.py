@@ -396,7 +396,12 @@ class MergeJoin(Operator):
             # Materialise the outer (it is blocking anyway when fed by a
             # Sort) and complete the bit vector before touching the inner.
             outer_rows = list(self.outer.rows(ctx))
-            for row in outer_rows:
+            for position, row in enumerate(outer_rows):
+                if not position % 256:
+                    # The materialised pass charges hashes without pulling
+                    # from a (checkpointing) child, so it needs its own
+                    # cancellation boundary.
+                    ctx.checkpoint()
                 value = row[outer_pos]
                 if value is not None:
                     io.charge_hashes(1)

@@ -202,6 +202,10 @@ class IndexInListSeekFetch(_FetchResidualMixin, Operator):
         for value in self.values:
             for _key, rid, _payload in self.index.seek_equal(io, value):
                 page_id, row = self.table.fetch(io, rid)
+                if int(page_id) not in pages_seen:
+                    # First touch of a page is the cancellation boundary,
+                    # matching the one-checkpoint-per-page contract.
+                    ctx.checkpoint()
                 pages_seen.add(int(page_id))
                 io.charge_rows(1)
                 outcome = bound.evaluate(
@@ -314,6 +318,10 @@ class IndexIntersectionFetch(_FetchResidualMixin, Operator):
         pages_seen: set[int] = set()
         for rid in sorted_rids:
             page_id, row = self.table.fetch(io, rid)
+            if int(page_id) not in pages_seen:
+                # First touch of a page is the cancellation boundary,
+                # matching the one-checkpoint-per-page contract.
+                ctx.checkpoint()
             pages_seen.add(int(page_id))
             io.charge_rows(1)
             outcome = bound.evaluate(row, short_circuit=not self.monitor_full_eval)

@@ -133,7 +133,7 @@ class AdmissionController:
                 return
         self.in_flight -= 1
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, int]:
         return {
             "in_flight": self.in_flight,
             "max_in_flight": self.max_in_flight,

@@ -68,7 +68,7 @@ class TCPClient:
     async def __aenter__(self) -> "TCPClient":
         return await self.connect()
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.close()
 
     # ------------------------------------------------------------------

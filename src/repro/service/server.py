@@ -11,7 +11,7 @@ connection.
 from __future__ import annotations
 
 import asyncio
-from typing import Optional
+from typing import Any, Optional
 
 from repro.common.errors import ServiceError
 from repro.service.protocol import (
@@ -103,7 +103,7 @@ class QueryServer:
             # loop teardown (noisy CancelledError in 3.11's streams).
             writer.close()
 
-    async def _dispatch(self, line: bytes) -> dict:
+    async def _dispatch(self, line: bytes) -> dict[str, Any]:
         try:
             payload = decode_message(line)
         except ServiceError as exc:
@@ -133,6 +133,6 @@ class QueryServer:
         return response.to_dict()
 
     @staticmethod
-    async def _send(writer: asyncio.StreamWriter, payload: dict) -> None:
+    async def _send(writer: asyncio.StreamWriter, payload: dict[str, Any]) -> None:
         writer.write(encode_message(payload))
         await writer.drain()

@@ -55,6 +55,7 @@ from repro.common.errors import (
 )
 from repro.engine import Engine, WorkloadItem
 from repro.harness.methodology import default_requests
+from repro.lifecycle.runner import ExecutedQuery
 from repro.harness.timing import Stopwatch
 from repro.service.admission import AdmissionController
 from repro.service.protocol import (
@@ -178,34 +179,42 @@ class QueryService:
                 watch.elapsed_seconds * 1000,
                 watch,
             )
+        # From here the slot is held: everything up to the return must sit
+        # inside the try so the finally's idempotent release covers every
+        # path — a telemetry hiccup before the old try started would have
+        # leaked the slot and wedged admission capacity forever (F002).
         queue_wait_ms = watch.elapsed_seconds * 1000
-        if self._aborting:
-            # Granted in the race between shutdown(drain=False) and a
-            # running query's release: hand the slot back unused.
-            slot.release()
-            self.telemetry.count("rejected")
+        timer: Optional[asyncio.TimerHandle] = None
+        try:
+            if self._aborting:
+                # Granted in the race between shutdown(drain=False) and a
+                # running query's release: hand the slot back unused.
+                slot.release()
+                self.telemetry.count("rejected")
+                self.telemetry.gauge_set(
+                    "in_flight", self.admission.in_flight
+                )
+                self.telemetry.gauge_set(
+                    "queue_depth", self.admission.queue_depth
+                )
+                return self._finish(
+                    QueryResponse.failure(
+                        request.request_id,
+                        SERVICE_SHUTTING_DOWN,
+                        "service is shutting down; queued request aborted",
+                    ),
+                    queue_wait_ms,
+                    watch,
+                )
+            self.telemetry.count("admitted")
+            self.telemetry.observe("queue_wait_ms", queue_wait_ms)
             self.telemetry.gauge_set("in_flight", self.admission.in_flight)
             self.telemetry.gauge_set(
                 "queue_depth", self.admission.queue_depth
             )
-            return self._finish(
-                QueryResponse.failure(
-                    request.request_id,
-                    SERVICE_SHUTTING_DOWN,
-                    "service is shutting down; queued request aborted",
-                ),
-                queue_wait_ms,
-                watch,
-            )
-        self.telemetry.count("admitted")
-        self.telemetry.observe("queue_wait_ms", queue_wait_ms)
-        self.telemetry.gauge_set("in_flight", self.admission.in_flight)
-        self.telemetry.gauge_set("queue_depth", self.admission.queue_depth)
 
-        token = CancellationToken()
-        timer: Optional[asyncio.TimerHandle] = None
-        loop = asyncio.get_running_loop()
-        try:
+            token = CancellationToken()
+            loop = asyncio.get_running_loop()
             if request.deadline_ms is not None:
                 remaining_ms = request.deadline_ms - queue_wait_ms
                 if remaining_ms <= 0:
@@ -308,7 +317,7 @@ class QueryService:
 
     def _execute_blocking(
         self, request: QueryRequest, token: CancellationToken
-    ):
+    ) -> ExecutedQuery:
         """The thread-pool half: parse, plan, execute, (maybe) harvest."""
         query = parse_query(request.sql)
         monitor = (
@@ -372,6 +381,10 @@ class QueryService:
             for token in list(self._live_tokens):
                 token.cancel("shutdown: service stopping")
         await self._drain_event().wait()
-        self._pool.shutdown(wait=True)
+        # Post-drain teardown: every request has answered and the pool's
+        # workers are idle (or stopping at their next checkpoint), so
+        # these two blocking joins return promptly and nothing else runs
+        # on the loop that they could starve.
+        self._pool.shutdown(wait=True)  # lint: disable=C003
         if not self.engine.closed:
-            self.engine.shutdown(drain=True)
+            self.engine.shutdown(drain=True)  # lint: disable=C003

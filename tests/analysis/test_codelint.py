@@ -375,5 +375,6 @@ class TestMachinery:
             "R007",
             "R008",
             "R009",
+            "R010",
         }
         assert all(CODE_RULES[rule] for rule in CODE_RULES)

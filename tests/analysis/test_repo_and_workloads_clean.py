@@ -1,6 +1,7 @@
 """The permanent regression gates: the repo itself is lint-clean under
-R001–R005, the CLI agrees (strict exit 0, JSON well-formed), and every
-plan the optimizer produces for the seed workloads passes P001–P006."""
+the tier-2 rules and the tier-3 dataflow rules, the CLI agrees (strict
+exit 0, JSON well-formed), and every plan the optimizer produces for the
+seed workloads passes P001–P006."""
 
 from __future__ import annotations
 
@@ -11,6 +12,7 @@ import pytest
 
 from repro.analysis.cli import main as analysis_cli
 from repro.analysis.codelint import lint_paths
+from repro.analysis.dataflow import analyze_paths
 from repro.analysis.planlint import lint_plan
 from repro.optimizer.optimizer import Optimizer
 from repro.workloads.queries import join_workload, single_table_workload
@@ -33,6 +35,16 @@ class TestRepoIsClean:
     def test_cli_json_mode_emits_valid_json(self, capsys):
         assert analysis_cli(["--json", str(SRC_REPRO)]) == 0
         assert json.loads(capsys.readouterr().out) == []
+
+    def test_src_repro_has_no_dataflow_findings(self):
+        findings = analyze_paths([SRC_REPRO])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_cli_strict_dataflow_exits_zero_on_src(self, capsys):
+        # Also proves every inline C/F suppression in the tree still
+        # earns its keep: an unused one surfaces as R010 and fails here.
+        assert analysis_cli(["--strict", "--dataflow", str(SRC_REPRO)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
 
 
 class TestCliOnViolations:
