@@ -1,13 +1,16 @@
 """Record the execution-engine performance trajectory to ``BENCH_exec.json``.
 
-Runs the paper's harness under both execution modes and saves the
-numbers a future session (or CI artifact reader) needs to judge a perf
-regression at a glance:
+Runs the paper's harness under all three execution modes and appends a
+timestamped entry to the artifact's ``trajectory`` list, so the perf
+history across PRs is preserved (a legacy single-snapshot artifact is
+wrapped as the list's first entry).  Each entry holds the numbers a
+future session (or CI artifact reader) needs to judge a perf regression
+at a glance:
 
 * **fig6** — the single-table §V-B methodology, identical workload in
-  row and batch mode: wall-clock seconds per mode and the batch/row
-  wall-clock speedup (simulated results are mode-invariant, so only the
-  harness cost differs);
+  row, batch and columnar mode: wall-clock seconds per mode and the
+  per-mode/row wall-clock speedups (simulated results are
+  mode-invariant, so only the harness cost differs);
 * **fig7** — the monitoring-overhead distribution ``(T_mon - T) / T``
   from the same run (simulated; identical across modes up to float
   accumulation order);
@@ -41,7 +44,7 @@ except ModuleNotFoundError:
     import smoke_plancache  # type: ignore[no-redef]
 
 from repro.harness.figures import run_fig6_fig7
-from repro.harness.timing import Stopwatch
+from repro.harness.timing import Stopwatch, utc_now_iso
 from repro.optimizer import SingleTableQuery
 from repro.session import Session
 from repro.sql import Comparison, conjunction_of
@@ -58,11 +61,14 @@ FIG6_SEED = 42
 SCAN_ROWS = 60_000
 SCAN_REPEATS = 5
 
+#: Execution modes measured per trajectory entry (row is the baseline).
+MODES = ("row", "batch", "columnar")
 
-def _fig6_both_modes() -> dict:
+
+def _fig6_all_modes() -> dict:
     per_mode: dict[str, dict] = {}
     overheads: list[float] = []
-    for mode in ("row", "batch"):
+    for mode in MODES:
         watch = Stopwatch()
         result = run_fig6_fig7(
             num_rows=FIG6_ROWS,
@@ -79,15 +85,17 @@ def _fig6_both_modes() -> dict:
                 sum(result.speedups()) / len(result.speedups()), 4
             ),
         }
+    row_seconds = per_mode["row"]["wall_seconds"]
     return {
         "num_rows": FIG6_ROWS,
         "queries_per_column": FIG6_QUERIES_PER_COLUMN,
         "seed": FIG6_SEED,
-        "row": per_mode["row"],
-        "batch": per_mode["batch"],
+        **per_mode,
         "batch_wall_speedup": round(
-            per_mode["row"]["wall_seconds"] / per_mode["batch"]["wall_seconds"],
-            2,
+            row_seconds / per_mode["batch"]["wall_seconds"], 2
+        ),
+        "columnar_wall_speedup": round(
+            row_seconds / per_mode["columnar"]["wall_seconds"], 2
         ),
         "fig7_monitor_overhead_pct": {
             "max": round(100 * max(overheads), 3),
@@ -102,7 +110,7 @@ def _scan_throughput() -> dict:
         "t", conjunction_of(Comparison("c5", ">=", 0)), "padding"
     )
     out: dict[str, dict] = {}
-    for mode in ("row", "batch"):
+    for mode in MODES:
         session = Session(database)
         watch = Stopwatch()
         for _ in range(SCAN_REPEATS):
@@ -112,28 +120,66 @@ def _scan_throughput() -> dict:
             "wall_seconds": round(seconds, 3),
             "rows_per_sec": int(SCAN_ROWS * SCAN_REPEATS / seconds),
         }
-    out["batch_wall_speedup"] = round(
-        out["row"]["wall_seconds"] / out["batch"]["wall_seconds"], 2
+    speedups = {
+        f"{mode}_wall_speedup": round(
+            out["row"]["wall_seconds"] / out[mode]["wall_seconds"], 2
+        )
+        for mode in MODES[1:]
+    }
+    speedups["columnar_vs_batch_speedup"] = round(
+        out["batch"]["wall_seconds"] / out["columnar"]["wall_seconds"], 2
     )
-    return {"num_rows": SCAN_ROWS, "repeats": SCAN_REPEATS, **out}
+    return {"num_rows": SCAN_ROWS, "repeats": SCAN_REPEATS, **out, **speedups}
 
 
-def build_trajectory() -> dict:
+def build_entry() -> dict:
+    """One timestamped trajectory entry: the current perf snapshot."""
     return {
-        "benchmark": "execution-mode trajectory (row vs. page-at-a-time batch)",
-        "fig6": _fig6_both_modes(),
+        "recorded_at": utc_now_iso(),
+        "fig6": _fig6_all_modes(),
         "scan_throughput": _scan_throughput(),
         "plancache_smoke_violations": smoke_plancache.run_smoke(),
         "service_throughput": bench_service_throughput.run_bench(),
     }
 
 
+def _load_trajectory(output: Path) -> list[dict]:
+    """Previous entries from ``output``, wrapping a legacy snapshot.
+
+    Pre-trajectory artifacts were a single snapshot dict; they become the
+    list's first entry (minus the header key) so history starts from the
+    oldest recorded numbers.  Unreadable artifacts start a fresh list.
+    """
+    try:
+        existing = json.loads(output.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []
+    if not isinstance(existing, dict):
+        return []
+    if isinstance(existing.get("trajectory"), list):
+        return list(existing["trajectory"])
+    legacy = {key: value for key, value in existing.items() if key != "benchmark"}
+    return [legacy] if legacy else []
+
+
+def build_trajectory(output: Path = DEFAULT_OUTPUT) -> dict:
+    """The full artifact: prior entries (if any) plus a fresh one."""
+    entries = _load_trajectory(output)
+    entries.append(build_entry())
+    return {
+        "benchmark": (
+            "execution-mode trajectory (row vs. batch vs. columnar)"
+        ),
+        "trajectory": entries,
+    }
+
+
 def main(argv: list[str]) -> int:
     output = Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
-    trajectory = build_trajectory()
+    trajectory = build_trajectory(output)
     output.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
-    print(json.dumps(trajectory, indent=2))
-    print(f"wrote {output}")
+    print(json.dumps(trajectory["trajectory"][-1], indent=2))
+    print(f"wrote {output} ({len(trajectory['trajectory'])} trajectory entries)")
     return 0
 
 

@@ -9,11 +9,12 @@ whole loop on one query:
 3. compare the optimizer's estimated DPC with the monitored actual;
 4. inject the actual, re-optimize, and measure the speedup.
 
-Run:  python examples/quickstart.py [--exec-mode {row,batch}]
+Run:  python examples/quickstart.py [--exec-mode {row,batch,columnar}]
 
 ``--exec-mode batch`` drives the same plans through the page-at-a-time
-batch engine (compiled predicate kernels); every printed number is
-identical, the walk just completes faster.
+batch engine (compiled predicate kernels) and ``--exec-mode columnar``
+through whole-column vector kernels; every printed number is identical,
+the walk just completes faster.
 """
 
 import argparse
@@ -34,9 +35,10 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--exec-mode",
-        choices=["row", "batch"],
+        choices=["row", "batch", "columnar"],
         default="row",
-        help="row-at-a-time iterator (default) or page-at-a-time batches",
+        help="row-at-a-time iterator (default), page-at-a-time batches, "
+        "or column-vector execution",
     )
     args = parser.parse_args()
 

@@ -34,15 +34,26 @@ This module enforces them statically:
           bypassed
 ``R008``  no per-row ``charge_rows()`` / ``charge_rows(1)`` inside
           batch-mode operators (any function whose enclosing-function
-          stack contains ``batch`` — nested ``flush()`` closures
-          included): batch mode exists to amortize accounting, so charge
-          once per batch with ``charge_rows(len(rows))``
+          stack contains ``batch`` or ``columnar`` — nested ``flush()``
+          closures included): batch/columnar mode exists to amortize
+          accounting, so charge once per batch with
+          ``charge_rows(len(rows))``
 ``R009``  no ``asyncio.get_event_loop()`` and no bare
           ``threading.Thread`` outside the sanctioned concurrency sites
           (``service/``, ``engine/engine.py``, ``harness/timing.py``) —
           ad-hoc threads bypass the engine's drain/shutdown accounting
           and admission control, and ``get_event_loop()`` is deprecated
           outside a running loop (use ``asyncio.get_running_loop()``)
+``R011``  no per-row Python loops over column values inside vector
+          kernel bodies (``matches_vector`` / ``evaluate_columns``):
+          columnar kernels must stay whole-vector operations through
+          :mod:`repro.exec.vector` (whose pure-Python fallback is the
+          one sanctioned per-row site, waived by path); index loops via
+          ``range(...)`` — e.g. over conjunction *terms* — are fine
+``R012``  no magic batch-size literal ``1024`` under ``exec/`` or
+          ``sql/`` outside its definition site ``exec/batch.py`` — use
+          ``DEFAULT_BATCH_ROWS`` / ``ExecutionContext.batch_rows`` so
+          the exchange granularity stays centrally tunable
 ========  =====================================================================
 
 Suppress a finding inline with a trailing ``lint: disable=R003`` comment
@@ -71,6 +82,8 @@ CODE_RULES: dict[str, str] = {
     "R008": "no per-row charge_rows(1) inside batch-mode operators",
     "R009": "no get_event_loop()/bare Thread outside sanctioned concurrency sites",
     "R010": "no unused or unknown # lint: disable=... suppression comments",
+    "R011": "no per-row loops inside matches_vector/evaluate_columns kernels",
+    "R012": "no magic 1024 batch-size literal in exec//sql/ (DEFAULT_BATCH_ROWS)",
 }
 
 #: Per-rule path suffixes where the rule intentionally does not apply.
@@ -88,6 +101,11 @@ ALLOWED_PATHS: dict[str, tuple[str, ...]] = {
     # the service layer and the engine's concurrency harness are where
     # threads/event loops are supposed to live.
     "R009": ("service/", "engine/engine.py", "harness/timing.py"),
+    # the vector module IS the sanctioned pure-Python fallback: its
+    # per-row loops are the list-backend implementation itself.
+    "R011": ("exec/vector.py",),
+    # the one definition site of DEFAULT_BATCH_ROWS.
+    "R012": ("exec/batch.py",),
 }
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9, ]+)")
@@ -159,9 +177,13 @@ class _FileChecker(ast.NodeVisitor):
         self.file_label = file_label
         self.rules = set(rules)
         self.findings: list[Finding] = []
-        #: Enclosing function names, outermost first — lets R008 see that a
-        #: nested ``flush()`` closure still lives inside a ``batches()``.
+        #: Enclosing function names, outermost first — lets R008/R011 see
+        #: that a nested ``flush()`` closure still lives inside a
+        #: ``batches()`` or kernel body.
         self._function_stack: list[str] = []
+        #: R012 polices the exchange layer only: exec/ and sql/ files.
+        normalized = "/" + file_label.replace("\\", "/")
+        self._r012_in_scope = "/exec/" in normalized or "/sql/" in normalized
 
     def report(self, rule: str, node: ast.AST, message: str, hint: str = "") -> None:
         if rule not in self.rules:
@@ -264,7 +286,8 @@ class _FileChecker(ast.NodeVisitor):
                 "service's thread pool so drain/shutdown accounting holds",
             )
         elif leaf == "charge_rows" and any(
-            "batch" in name for name in self._function_stack
+            "batch" in name or "columnar" in name
+            for name in self._function_stack
         ):
             self._check_charge_rows(node, chain)
         elif leaf == "snapshot" and len(chain) >= 2 and "clock" in chain[-2]:
@@ -301,6 +324,66 @@ class _FileChecker(ast.NodeVisitor):
                 hint="accumulate the batch and charge once with "
                 "charge_rows(len(rows))",
             )
+
+    # -- R011: per-row loops inside vector kernel bodies ----------------
+    _VECTOR_KERNEL_NAMES = ("matches_vector", "evaluate_columns")
+
+    def _in_vector_kernel(self) -> bool:
+        return any(
+            name in self._VECTOR_KERNEL_NAMES for name in self._function_stack
+        )
+
+    @staticmethod
+    def _is_index_loop(iter_node: ast.AST) -> bool:
+        """``range(...)`` / ``enumerate(...)`` iterations index terms or
+        positions, not rows — those stay legal inside kernels."""
+        if not isinstance(iter_node, ast.Call):
+            return False
+        chain = _dotted(iter_node.func)
+        return chain is not None and chain[-1] in ("range", "enumerate")
+
+    def _check_vector_loop(self, node: ast.AST, iter_node: ast.AST) -> None:
+        if self._in_vector_kernel() and not self._is_index_loop(iter_node):
+            self.report(
+                "R011",
+                node,
+                "per-row Python loop inside vector kernel "
+                f"{'/'.join(self._function_stack)}",
+                hint="express the kernel as whole-vector operations via "
+                "repro.exec.vector (its pure-Python backend is the one "
+                "sanctioned per-row site)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_vector_loop(node, node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for generator in node.generators:  # type: ignore[attr-defined]
+            self._check_vector_loop(node, generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- R012: magic batch-size literal ---------------------------------
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if (
+            type(node.value) is int
+            and node.value == 1024
+            and self._r012_in_scope
+        ):
+            self.report(
+                "R012",
+                node,
+                "magic batch-size literal 1024",
+                hint="use repro.exec.batch.DEFAULT_BATCH_ROWS (or "
+                "ExecutionContext.batch_rows) so the exchange granularity "
+                "stays centrally tunable",
+            )
+        self.generic_visit(node)
 
     # -- R001 / R005: forbidden imports --------------------------------
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:

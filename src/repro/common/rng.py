@@ -10,10 +10,12 @@ from __future__ import annotations
 
 import hashlib
 import random
-
-import numpy as np
+from typing import TYPE_CHECKING
 
 from repro.common.hashing import mix64
+
+if TYPE_CHECKING:  # NumPy is optional at runtime (see repro.exec.vector).
+    import numpy as np
 
 
 def _stable_hash(text: str) -> int:
@@ -45,6 +47,13 @@ def make_random(root_seed: int, *names: object) -> random.Random:
     return random.Random(derive_seed(root_seed, *names))
 
 
-def make_numpy_rng(root_seed: int, *names: object) -> np.random.Generator:
-    """Return a numpy Generator seeded from the derived seed path."""
+def make_numpy_rng(root_seed: int, *names: object) -> "np.random.Generator":
+    """Return a numpy Generator seeded from the derived seed path.
+
+    Imports NumPy lazily so the pure-Python install (no NumPy) can still
+    import :mod:`repro.common`; only callers that actually need NumPy
+    sampling (synthetic data generation) pay the import.
+    """
+    import numpy as np
+
     return np.random.default_rng(derive_seed(root_seed, *names))

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from repro.exec import vector
 from repro.exec.base import ExecutionContext, Operator
 from repro.exec.batch import RowBatch
 from repro.exec.joins import _position_of
@@ -59,13 +60,19 @@ class CountAggregate(Operator):
         count = 0
         if position is None:
             for batch in self.child.batches(ctx):
-                io.charge_rows(len(batch.rows))
-                count += len(batch.rows)
+                io.charge_rows(len(batch))
+                count += len(batch)
         else:
             for batch in self.child.batches(ctx):
-                rows = batch.rows
-                io.charge_rows(len(rows))
-                count += sum(1 for row in rows if row[position] is not None)
+                io.charge_rows(len(batch))
+                if batch.is_columnar:
+                    # Typed vectors cannot hold NULL, so counting non-NULL
+                    # values is O(1) for them (see vector.count_notnull).
+                    count += vector.count_notnull(batch.column(position))
+                else:
+                    count += sum(
+                        1 for row in batch.rows if row[position] is not None
+                    )
         self.stats.actual_rows = 1
         yield RowBatch([(count,)])
 
@@ -109,11 +116,16 @@ class GroupByCountAggregate(Operator):
         groups: dict = {}
         get = groups.get
         for batch in self.child.batches(ctx):
-            rows = batch.rows
-            io.charge_rows(len(rows))
-            io.charge_hashes(len(rows))
-            for row in rows:
-                key = row[position]
+            num_rows = len(batch)
+            io.charge_rows(num_rows)
+            io.charge_hashes(num_rows)
+            if batch.is_columnar:
+                # Group keys come out as Python scalars (tolist), so the
+                # repr-ordered output below matches the row path exactly.
+                keys = vector.column_values(batch.column(position))
+            else:
+                keys = [row[position] for row in batch.rows]
+            for key in keys:
                 groups[key] = get(key, 0) + 1
         out = [(key, groups[key]) for key in sorted(groups, key=repr)]
         self.stats.actual_rows += len(out)

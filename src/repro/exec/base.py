@@ -32,6 +32,9 @@ class ExecutionContext:
     counts are exact attributions (no global clock, no snapshot deltas).
     ``batch_rows`` is the chunk size relational-engine operators use in
     batch mode (storage-engine scans batch per page regardless).
+    ``vectorized`` is set by the executor in columnar mode: operators
+    with a columnar drive emit column-backed batches, everything else
+    falls back to the batch path via the ``RowBatch.rows`` shim.
     ``cancellation`` is the run's cooperative-cancellation token (``None``
     for the overwhelmingly common uncancellable run); operators call
     :meth:`checkpoint` at page/probe boundaries.
@@ -41,6 +44,7 @@ class ExecutionContext:
     io: IOContext
     observations: list[PageCountObservation] = field(default_factory=list)
     batch_rows: int = DEFAULT_BATCH_ROWS
+    vectorized: bool = False
     cancellation: Optional[CancellationToken] = None
 
     def checkpoint(self) -> None:

@@ -8,19 +8,37 @@ batch per *page* (so monitor page boundaries stay aligned with exchange
 boundaries for free), relational-engine operators exchange fixed-size
 chunks (:data:`DEFAULT_BATCH_ROWS`).
 
-A batch is deliberately dumb: a list of row tuples plus the page id it
-came from (``None`` for RE chunks).  All per-term truth bookkeeping lives
-in :class:`~repro.sql.evaluator.BatchOutcome`, produced by the compiled
-predicate kernels, so batches themselves carry no selection vectors —
-operators emit batches of *surviving* rows only, exactly mirroring what
-the row iterator would have yielded.
+A batch carries one of two physical representations behind one logical
+interface:
+
+* **row-backed** — a list of row tuples, exactly as before;
+* **column-backed** — a tuple of column vectors (one per output column,
+  see :mod:`repro.exec.vector`) plus a row count.  Columnar scans build
+  these straight from page column caches with zero copying on all-pass
+  pages.
+
+Either way the logical content is the same ordered run of rows the row
+iterator would have yielded, which is what makes row ≡ batch ≡ columnar
+equivalence checkable row-for-row.  ``batch.rows`` is the ``to_rows()``
+shim: operators that have not been converted to columnar consumption
+(joins, sorts, group-by) read it and transparently materialize Python
+row tuples from the columns, caching the result.  All per-term truth
+bookkeeping lives in the evaluator outcomes
+(:class:`~repro.sql.evaluator.BatchOutcome`,
+:class:`~repro.sql.evaluator.VectorOutcome`), so batches themselves
+carry no selection vectors — operators emit batches of *surviving* rows
+only.
+
+Column vectors held by a batch are read-only by contract: all-pass pages
+hand out the page's cached column tuple without copying.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.common.types import PageId
+from repro.exec import vector
 
 #: Chunk size for relational-engine batches (SE scans batch per page).
 DEFAULT_BATCH_ROWS = 1024
@@ -30,28 +48,89 @@ class RowBatch:
     """An ordered run of output rows from one operator.
 
     ``page_id`` is set when the batch corresponds to one storage-engine
-    page (SE scans); relational-engine chunks leave it ``None``.  Rows are
-    in the exact order the row iterator would have yielded them, which is
-    what makes row-mode ≡ batch-mode equivalence checkable row-for-row.
+    page (SE scans); relational-engine chunks leave it ``None``.
+
+    Construct row-backed batches positionally (``RowBatch(rows, page_id)``,
+    unchanged from the list-of-tuples era) and column-backed batches via
+    :meth:`from_columns`.
     """
 
-    __slots__ = ("rows", "page_id")
+    __slots__ = ("_rows", "_columns", "_num_rows", "page_id")
 
     def __init__(
-        self, rows: list[tuple], page_id: Optional[PageId] = None
+        self,
+        rows: Optional[list[tuple]] = None,
+        page_id: Optional[PageId] = None,
+        *,
+        columns: Optional[tuple] = None,
+        num_rows: Optional[int] = None,
     ) -> None:
-        self.rows = rows
+        if rows is None and columns is None:
+            rows = []
+        self._rows = rows
+        self._columns = columns
         self.page_id = page_id
+        if num_rows is not None:
+            self._num_rows = num_rows
+        elif rows is not None:
+            self._num_rows = len(rows)
+        else:
+            assert columns is not None
+            self._num_rows = (
+                vector.column_length(columns[0]) if columns else 0
+            )
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Sequence,
+        page_id: Optional[PageId] = None,
+        num_rows: Optional[int] = None,
+    ) -> "RowBatch":
+        """Build a column-backed batch from column vectors."""
+        return cls(page_id=page_id, columns=tuple(columns), num_rows=num_rows)
+
+    @property
+    def is_columnar(self) -> bool:
+        """True when the batch holds column vectors (rows not materialized)."""
+        return self._columns is not None
+
+    @property
+    def rows(self) -> list[tuple]:
+        """Row tuples, materializing from columns on first access (the shim)."""
+        if self._rows is None:
+            self._rows = self.to_rows()
+        return self._rows
+
+    @property
+    def columns(self) -> tuple:
+        """Column vectors, transposing from rows on first access."""
+        if self._columns is None:
+            width = len(self._rows[0]) if self._rows else 0
+            self._columns = vector.columns_from_rows(self._rows, width)
+        return self._columns
+
+    def column(self, position: int):
+        """One column vector by output-column position."""
+        return self.columns[position]
+
+    def to_rows(self) -> list[tuple]:
+        """Materialize row tuples of Python scalars (no caching)."""
+        if self._rows is not None:
+            return self._rows
+        assert self._columns is not None
+        return vector.rows_from_columns(self._columns, self._num_rows)
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._num_rows
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
 
     def __repr__(self) -> str:
         origin = f" page={int(self.page_id)}" if self.page_id is not None else ""
-        return f"RowBatch({len(self.rows)} rows{origin})"
+        kind = "columnar" if self.is_columnar else "rows"
+        return f"RowBatch({self._num_rows} {kind}{origin})"
 
 
 def chunk_rows(

@@ -69,7 +69,7 @@ def _drive_checked(
     """
     rows: list[tuple] = []
     token.checkpoint()
-    if mode == "batch":
+    if mode != "row":  # batch and columnar share the batch exchange drive
         for batch in root.batches(ctx):
             token.checkpoint()
             rows.extend(batch.rows)
@@ -103,8 +103,11 @@ def execute(
     ``mode`` selects the drive style: ``"row"`` pulls the Volcano row
     iterator, ``"batch"`` pulls page-at-a-time
     :class:`~repro.exec.batch.RowBatch` exchange with compiled predicate
-    kernels.  Both produce identical rows, observations and read counts
-    (the equivalence harness in :mod:`repro.harness.equivalence` checks).
+    kernels, and ``"columnar"`` pulls the same batch exchange with
+    column-vector batches and whole-vector kernels (NumPy-backed when
+    available; see :mod:`repro.exec.vector`).  All three produce
+    identical rows, observations and read counts (the equivalence
+    harness in :mod:`repro.harness.equivalence` checks).
 
     ``cancellation`` opts the run into cooperative cancellation: the drive
     loop consults the token at page/batch boundaries and raises
@@ -112,16 +115,23 @@ def execute(
     The default ``None`` keeps the unchecked fast path bit-identical to a
     token-less run.
     """
-    if mode not in ("row", "batch"):
-        raise ValueError(f"unknown execution mode {mode!r}; expected row|batch")
+    if mode not in ("row", "batch", "columnar"):
+        raise ValueError(
+            f"unknown execution mode {mode!r}; expected row|batch|columnar"
+        )
     if io is None:
         io = database.new_io_context()
     if cold_cache and not io.isolated:
         database.cold_cache()
-    ctx = ExecutionContext(database=database, io=io, cancellation=cancellation)
+    ctx = ExecutionContext(
+        database=database,
+        io=io,
+        vectorized=(mode == "columnar"),
+        cancellation=cancellation,
+    )
     if cancellation is not None:
         rows = _drive_checked(root, ctx, mode, cancellation)
-    elif mode == "batch":
+    elif mode != "row":
         rows = [row for batch in root.batches(ctx) for row in batch.rows]
     else:
         rows = list(root.rows(ctx))

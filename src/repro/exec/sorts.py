@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 from typing import Iterator
 
+from repro.exec import vector
 from repro.exec.base import ExecutionContext, Operator
 from repro.exec.batch import RowBatch
 from repro.exec.joins import _position_of
@@ -101,6 +102,28 @@ class Filter(Operator):
         io = ctx.io
         stats = self.stats
         for batch in self.child.batches(ctx):
+            if batch.is_columnar:
+                columns = batch.columns
+                num_rows = len(batch)
+                outcome = compiled.evaluate_columns(
+                    columns, num_rows, short_circuit=True
+                )
+                io.charge_predicates(outcome.evaluations)
+                stats.predicate_evaluations += outcome.evaluations
+                selected = vector.mask_count(outcome.passed)
+                stats.actual_rows += selected
+                if not selected:
+                    continue
+                if selected == num_rows:
+                    yield batch
+                else:
+                    filtered = tuple(
+                        vector.take(column, outcome.passed) for column in columns
+                    )
+                    yield RowBatch.from_columns(
+                        filtered, batch.page_id, num_rows=selected
+                    )
+                continue
             rows = batch.rows
             outcome = compiled.evaluate_batch(rows, short_circuit=True)
             io.charge_predicates(outcome.evaluations)

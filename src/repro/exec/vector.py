@@ -1,0 +1,297 @@
+"""Column-vector backend: NumPy-accelerated with a pure-Python fallback.
+
+This is the single seam between the columnar execution mode and NumPy.
+Everything above it (predicates, compiled kernels, monitors, operators)
+manipulates *columns* and *masks* as opaque values through the functions
+here, so the simulator remains runnable on a bare Python install: when
+NumPy is absent (or the Python backend is forced for testing), columns
+are plain lists and masks are lists of bools.
+
+Representation contract:
+
+* A **column** is either a 1-D ``numpy.ndarray`` of a primitive dtype
+  (bool/int/uint/float/str) or a plain Python list.  Columns holding SQL
+  NULL (``None``) or mixed/object values always stay lists — NumPy's
+  object arrays would silently change comparison semantics, and typed
+  arrays cannot represent NULL at all.  This gives the NULL invariant
+  for free: an ndarray column *never* contains NULL.
+* A **mask** is either a 1-D bool ndarray or a list of bools, aligned
+  with a column.  Functions accept mixed representations (one term of a
+  conjunction may have fallen back to the Python path).
+* Columns and masks are treated as immutable by every consumer; page
+  column caches and zero-copy batch hand-offs rely on this.
+
+Values extracted from columns (``column_values``/``rows_from_columns``)
+are always *Python* scalars — NumPy scalar types must never leak into
+row tuples, IO counters or observation details, where ``repr`` is part
+of the equivalence fingerprint.
+
+The per-row loops in this module are the sanctioned pure-Python
+fallback (codelint R011 exempts this file).
+"""
+
+from __future__ import annotations
+
+import operator
+from contextlib import contextmanager
+from itertools import compress
+from typing import Any, Callable, Iterator, Sequence, Union
+
+try:  # NumPy is an optional accelerator, never a requirement.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the import-blocked leg
+    _np = None  # type: ignore[assignment]
+
+#: True when NumPy imported successfully (the backend may still be forced
+#: to pure Python via :func:`use_python_backend`).
+HAVE_NUMPY = _np is not None
+
+#: Dtype kinds a column array may have.  Anything else (object, datetime,
+#: void...) falls back to a list column.
+_PRIMITIVE_KINDS = "biufUS"
+
+_force_python = False
+
+Column = Union["_np.ndarray", list]  # type: ignore[name-defined]
+Mask = Union["_np.ndarray", list]  # type: ignore[name-defined]
+
+_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    "=": operator.eq,
+    ">=": operator.ge,
+    ">": operator.gt,
+    "!=": operator.ne,
+}
+
+
+def backend_name() -> str:
+    """Name of the backend new columns will use: ``numpy`` or ``python``."""
+    return "python" if (_np is None or _force_python) else "numpy"
+
+
+@contextmanager
+def use_python_backend() -> Iterator[None]:
+    """Force list-backed columns inside the context (for fallback tests)."""
+    global _force_python
+    saved = _force_python
+    _force_python = True
+    try:
+        yield
+    finally:
+        _force_python = saved
+
+
+def _is_array(value: Any) -> bool:
+    return _np is not None and isinstance(value, _np.ndarray)
+
+
+def make_column(values: Sequence) -> Column:
+    """Build a column from scalar values (one table column of one page).
+
+    NumPy backend: returns a typed ndarray when the values are homogeneous
+    primitives; NULL-bearing or object-valued columns stay Python lists so
+    comparison semantics are untouched.  Python backend: always a list.
+    """
+    if _np is None or _force_python:
+        return values if isinstance(values, list) else list(values)
+    arr = _np.asarray(values)
+    if arr.ndim != 1 or arr.dtype.kind not in _PRIMITIVE_KINDS:
+        return values if isinstance(values, list) else list(values)
+    return arr
+
+
+def make_scan_column(values: list) -> Column:
+    """Build a *file-level* scan column from one table column's values.
+
+    Unlike :func:`make_column`, only numeric NULL-free columns become
+    ndarrays: converting a long string column (``numpy.asarray`` on tens
+    of thousands of Python strs) costs more than every comparison it
+    could ever accelerate, so strings stay lists and take the Python
+    kernels.  The caller passes an owned list; it is returned as-is on
+    the fallback paths.
+    """
+    if _np is None or _force_python:
+        return values
+    first = next((value for value in values if value is not None), None)
+    if isinstance(first, bool) or not isinstance(first, (int, float)):
+        return values
+    arr = _np.asarray(values)
+    if arr.ndim != 1 or arr.dtype.kind not in "iuf":
+        return values  # NULL-bearing or mixed: object dtype, stay a list
+    return arr
+
+
+class SlicedColumns:
+    """Zero-copy view of a contiguous row range of file-level columns.
+
+    Behaves like the tuple-of-columns the columnar drives consume
+    (``len`` is the column count, ``[i]``/iteration yield per-column
+    vectors), but materializes each column slice on access — ndarray
+    slices are views, so handing a 73-row page or a 1024-row chunk out
+    of a file-wide vector allocates nothing on the NumPy backend.
+    """
+
+    __slots__ = ("_source", "_start", "_stop")
+
+    def __init__(self, source: Sequence, start: int, stop: int) -> None:
+        self._source = source
+        self._start = start
+        self._stop = stop
+
+    def __len__(self) -> int:
+        return len(self._source)
+
+    def __bool__(self) -> bool:
+        return len(self._source) > 0
+
+    def __getitem__(self, position: int) -> Column:
+        return self._source[position][self._start : self._stop]
+
+    def __iter__(self) -> Iterator[Column]:
+        start, stop = self._start, self._stop
+        for column in self._source:
+            yield column[start:stop]
+
+
+def columns_from_rows(rows: Sequence[tuple], num_columns: int) -> tuple:
+    """Transpose row tuples into a tuple of columns."""
+    if not rows:
+        return tuple(make_column([]) for _ in range(num_columns))
+    return tuple(make_column(list(col)) for col in zip(*rows))
+
+
+def rows_from_columns(columns: Sequence[Column], num_rows: int) -> list[tuple]:
+    """Transpose columns back into row tuples of Python scalars."""
+    if not columns:
+        return [() for _ in range(num_rows)]
+    return list(zip(*(column_values(column) for column in columns)))
+
+
+def column_length(column: Column) -> int:
+    return len(column)
+
+
+def column_values(column: Column) -> list:
+    """The column as a list of Python scalars (ndarray ``tolist`` path)."""
+    if _is_array(column):
+        return column.tolist()
+    return column
+
+
+def slice_column(column: Column, start: int, stop: int) -> Column:
+    """Contiguous sub-column (ndarray slices are zero-copy views)."""
+    return column[start:stop]
+
+
+def take(column: Column, mask: Mask) -> Column:
+    """Rows of ``column`` where ``mask`` is true, preserving order."""
+    if _is_array(column):
+        if _is_array(mask):
+            return column[mask]
+        return column[_np.asarray(mask, dtype=bool)]
+    if _is_array(mask):
+        mask = mask.tolist()
+    return [value for value, keep in zip(column, mask) if keep]
+
+
+def compress_values(values: Sequence, mask: Mask) -> Iterator:
+    """Iterate items of a plain sequence selected by a mask."""
+    return compress(values, mask)
+
+
+def count_notnull(column: Column) -> int:
+    """Number of non-NULL values (O(1) for typed arrays — no NULLs)."""
+    if _is_array(column):
+        return len(column)
+    return sum(1 for value in column if value is not None)
+
+
+# --- predicate kernels ---------------------------------------------------
+
+def compare_mask(column: Column, op: str, bound: Any) -> Mask:
+    """``column <op> bound`` as a mask; NULL never matches."""
+    fn = _OPS[op]
+    if _is_array(column):
+        try:
+            result = fn(column, bound)
+        except TypeError:
+            result = None
+        if _is_array(result):
+            return result
+        column = column.tolist()
+    return [value is not None and fn(value, bound) for value in column]
+
+
+def between_mask(column: Column, low: Any, high: Any) -> Mask:
+    """``low <= column <= high`` as a mask; NULL never matches."""
+    if _is_array(column):
+        try:
+            result = (column >= low) & (column <= high)
+        except TypeError:
+            result = None
+        if _is_array(result):
+            return result
+        column = column.tolist()
+    return [value is not None and low <= value <= high for value in column]
+
+
+def isin_mask(column: Column, value_set: frozenset) -> Mask:
+    """``column IN value_set`` as a mask; NULL never matches."""
+    if _is_array(column):
+        try:
+            result = _np.isin(column, list(value_set))
+        except (TypeError, ValueError):
+            result = None
+        if _is_array(result):
+            return result
+        column = column.tolist()
+    return [value is not None and value in value_set for value in column]
+
+
+# --- mask algebra --------------------------------------------------------
+
+def ones_mask(num_rows: int) -> Mask:
+    if _np is not None and not _force_python:
+        return _np.ones(num_rows, dtype=bool)
+    return [True] * num_rows
+
+
+def zeros_mask(num_rows: int) -> Mask:
+    if _np is not None and not _force_python:
+        return _np.zeros(num_rows, dtype=bool)
+    return [False] * num_rows
+
+
+def mask_and(left: Mask, right: Mask) -> Mask:
+    if _is_array(left):
+        if not _is_array(right):
+            right = _np.asarray(right, dtype=bool)
+        return left & right
+    if _is_array(right):
+        return _np.asarray(left, dtype=bool) & right
+    return [a and b for a, b in zip(left, right)]
+
+
+def mask_any(mask: Mask) -> bool:
+    if _is_array(mask):
+        return bool(mask.any())
+    return any(mask)
+
+
+def mask_all(mask: Mask) -> bool:
+    if _is_array(mask):
+        return bool(mask.all())
+    return all(mask)
+
+
+def mask_count(mask: Mask) -> int:
+    if _is_array(mask):
+        return int(mask.sum())
+    return sum(mask)
+
+
+def mask_values(mask: Mask) -> list[bool]:
+    if _is_array(mask):
+        return mask.tolist()
+    return mask

@@ -1,10 +1,12 @@
-"""Row-mode ≡ batch-mode equivalence harness.
+"""Row ≡ batch ≡ columnar equivalence harness.
 
 The batch execution path (page-at-a-time :class:`~repro.exec.batch.RowBatch`
-exchange + compiled predicate kernels) is a pure performance optimization:
-it must be observationally identical to the Volcano row iterator.  This
-module proves it per query, by running the same physical plan under both
-modes and diffing everything the paper's machinery depends on:
+exchange + compiled predicate kernels) and the columnar path (column-vector
+batches + whole-vector kernels, :mod:`repro.exec.vector`) are pure
+performance optimizations: each must be observationally identical to the
+Volcano row iterator.  This module proves it per query, by running the
+same physical plan under all three modes and diffing everything the
+paper's machinery depends on:
 
 * result rows (values *and* order) and output columns,
 * every :class:`~repro.core.requests.PageCountObservation` — key,
@@ -16,7 +18,8 @@ modes and diffing everything the paper's machinery depends on:
 
 then absorbs the monitored run's observations, re-optimizes, and checks
 the improved plan's unmonitored run the same way — i.e. the *entire*
-§V-B methodology pipeline is mode-invariant.  Simulated ``cpu_ms`` is
+§V-B methodology pipeline is mode-invariant.  Row mode is the reference:
+batch and columnar are each diffed against it.  Simulated ``cpu_ms`` is
 deliberately excluded: batched charging accumulates the same totals in
 fewer float additions, so the float may differ in the last ulp while
 every integer counter is identical.
@@ -52,13 +55,17 @@ def observation_fingerprint(observation: PageCountObservation) -> tuple:
 
 
 def _diff_plan_stats(
-    row_stats: OperatorStats, batch_stats: OperatorStats, path: str, out: list[str]
+    row_stats: OperatorStats,
+    batch_stats: OperatorStats,
+    path: str,
+    out: list[str],
+    mode: str = "batch",
 ) -> None:
     """Recursively compare the per-operator counters of the two runs."""
     label = f"{path}/{row_stats.operator}"
     if row_stats.operator != batch_stats.operator:
         out.append(
-            f"{label}: operator mismatch ({batch_stats.operator} in batch mode)"
+            f"{label}: operator mismatch ({batch_stats.operator} in {mode} mode)"
         )
         return
     for attribute in ("actual_rows", "pages_touched", "predicate_evaluations"):
@@ -66,34 +73,38 @@ def _diff_plan_stats(
         batch_value = getattr(batch_stats, attribute)
         if row_value != batch_value:
             out.append(
-                f"{label}: {attribute} row={row_value} batch={batch_value}"
+                f"{label}: {attribute} row={row_value} {mode}={batch_value}"
             )
     if len(row_stats.children) != len(batch_stats.children):
         out.append(
             f"{label}: child count row={len(row_stats.children)} "
-            f"batch={len(batch_stats.children)}"
+            f"{mode}={len(batch_stats.children)}"
         )
         return
     for index, (row_child, batch_child) in enumerate(
         zip(row_stats.children, batch_stats.children)
     ):
-        _diff_plan_stats(row_child, batch_child, f"{label}[{index}]", out)
+        _diff_plan_stats(row_child, batch_child, f"{label}[{index}]", out, mode)
 
 
 def diff_results(
-    row_result: QueryResult, batch_result: QueryResult, context: str = ""
+    row_result: QueryResult,
+    batch_result: QueryResult,
+    context: str = "",
+    mode: str = "batch",
 ) -> list[str]:
-    """Every observable difference between a row-mode and batch-mode run."""
+    """Every observable difference between a row-mode run and a run in
+    ``mode`` (batch or columnar)."""
     prefix = f"{context}: " if context else ""
     mismatches: list[str] = []
     if row_result.columns != batch_result.columns:
         mismatches.append(
-            f"{prefix}columns row={row_result.columns} batch={batch_result.columns}"
+            f"{prefix}columns row={row_result.columns} {mode}={batch_result.columns}"
         )
     if row_result.rows != batch_result.rows:
         mismatches.append(
             f"{prefix}result rows differ "
-            f"(row={len(row_result.rows)} rows, batch={len(batch_result.rows)} rows"
+            f"(row={len(row_result.rows)} rows, {mode}={len(batch_result.rows)} rows"
             + (
                 ""
                 if len(row_result.rows) != len(batch_result.rows)
@@ -112,23 +123,27 @@ def diff_results(
         batch_value = getattr(batch_stats, attribute)
         if row_value != batch_value:
             mismatches.append(
-                f"{prefix}{attribute} row={row_value} batch={batch_value}"
+                f"{prefix}{attribute} row={row_value} {mode}={batch_value}"
             )
     row_obs = [observation_fingerprint(o) for o in row_stats.observations]
     batch_obs = [observation_fingerprint(o) for o in batch_stats.observations]
     if row_obs != batch_obs:
         mismatches.append(
-            f"{prefix}observations differ: row={row_obs} batch={batch_obs}"
+            f"{prefix}observations differ: row={row_obs} {mode}={batch_obs}"
         )
     plan_mismatches: list[str] = []
-    _diff_plan_stats(row_stats.root, batch_stats.root, "", plan_mismatches)
+    _diff_plan_stats(row_stats.root, batch_stats.root, "", plan_mismatches, mode)
     mismatches.extend(prefix + m for m in plan_mismatches)
     return mismatches
 
 
+#: The execution modes the harness proves equivalent (row is the reference).
+EQUIVALENCE_MODES = ("row", "batch", "columnar")
+
+
 @dataclass
 class QueryEquivalence:
-    """One query's row-vs-batch comparison."""
+    """One query's row-vs-batch-vs-columnar comparison."""
 
     label: str
     mismatches: list[str] = field(default_factory=list)
@@ -140,7 +155,7 @@ class QueryEquivalence:
 
 @dataclass
 class EquivalenceReport:
-    """Workload-level row≡batch verdict."""
+    """Workload-level row≡batch≡columnar verdict."""
 
     queries: list[QueryEquivalence] = field(default_factory=list)
 
@@ -153,7 +168,7 @@ class EquivalenceReport:
 
     def render(self) -> str:
         lines = [
-            f"row≡batch equivalence: {len(self.queries)} queries, "
+            f"row≡batch≡columnar equivalence: {len(self.queries)} queries, "
             f"{len(self.failures())} mismatched"
         ]
         for entry in self.queries:
@@ -172,12 +187,13 @@ def compare_query(
     monitor_config: Optional[MonitorConfig] = None,
     base_injections: Optional[InjectionSet] = None,
 ) -> QueryEquivalence:
-    """Run one generated query through §V-B in both modes and diff.
+    """Run one generated query through §V-B in all three modes and diff.
 
     Covers the monitored run of the accurate-cardinality plan P *and* the
     unmonitored run of the feedback-improved plan P' (built from the
-    row-mode observations; the diff has already proven batch produced the
-    same ones).  Monitor state is rebuilt per mode — bundles are stateful.
+    row-mode observations; the diff has already proven the other modes
+    produced the same ones).  Monitor state is rebuilt per mode — bundles
+    are stateful.
     """
     monitor_config = (
         monitor_config if monitor_config is not None else MonitorConfig()
@@ -194,18 +210,22 @@ def compare_query(
     plan = build_optimizer(database, injections=injections).optimize(query)
 
     monitored_results = {}
-    for mode in ("row", "batch"):
+    for mode in EQUIVALENCE_MODES:
         build = build_executable(
             plan, database, list(request_list), monitor_config
         )
         monitored_results[mode] = execute(
             build.root, database, cold_cache=True, mode=mode
         )
-    entry.mismatches.extend(
-        diff_results(
-            monitored_results["row"], monitored_results["batch"], "monitored P"
+    for mode in EQUIVALENCE_MODES[1:]:
+        entry.mismatches.extend(
+            diff_results(
+                monitored_results["row"],
+                monitored_results[mode],
+                "monitored P",
+                mode,
+            )
         )
-    )
 
     corrected = injections.copy()
     corrected.absorb_observations(
@@ -213,16 +233,20 @@ def compare_query(
     )
     improved_plan = build_optimizer(database, injections=corrected).optimize(query)
     improved_results = {}
-    for mode in ("row", "batch"):
+    for mode in EQUIVALENCE_MODES:
         build = build_executable(improved_plan, database)
         improved_results[mode] = execute(
             build.root, database, cold_cache=True, mode=mode
         )
-    entry.mismatches.extend(
-        diff_results(
-            improved_results["row"], improved_results["batch"], "unmonitored P'"
+    for mode in EQUIVALENCE_MODES[1:]:
+        entry.mismatches.extend(
+            diff_results(
+                improved_results["row"],
+                improved_results[mode],
+                "unmonitored P'",
+                mode,
+            )
         )
-    )
     return entry
 
 
@@ -232,7 +256,7 @@ def compare_workload(
     monitor_config: Optional[MonitorConfig] = None,
     base_injections: Optional[InjectionSet] = None,
 ) -> EquivalenceReport:
-    """Prove row≡batch for every query of a workload."""
+    """Prove row≡batch≡columnar for every query of a workload."""
     return EquivalenceReport(
         queries=[
             compare_query(

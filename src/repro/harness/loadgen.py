@@ -69,9 +69,10 @@ class LoadSpec:
         if self.passes <= 0:
             raise ValueError(f"passes must be positive, got {self.passes}")
         # Fail fast at spec time rather than per-request inside the loop.
-        if self.exec_mode not in ("row", "batch"):
+        if self.exec_mode not in ("row", "batch", "columnar"):
             raise ValueError(
-                f"exec_mode must be 'row' or 'batch', got {self.exec_mode!r}"
+                f"exec_mode must be 'row', 'batch' or 'columnar', "
+                f"got {self.exec_mode!r}"
             )
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ValueError(

@@ -20,6 +20,18 @@ def wall_clock_seconds() -> float:
     return time.time()
 
 
+def utc_now_iso() -> str:
+    """Current UTC time as an ISO-8601 string (``2026-08-08T12:00:00Z``).
+
+    Used to stamp benchmark-trajectory entries; lives here so the R005
+    host-clock ban stays a single-module waiver.
+    """
+    import datetime
+
+    now = datetime.datetime.now(datetime.timezone.utc)
+    return now.replace(microsecond=0).isoformat().replace("+00:00", "Z")
+
+
 @dataclass
 class Stopwatch:
     """Measure a wall-clock duration: ``Stopwatch()`` … ``.elapsed_seconds``."""

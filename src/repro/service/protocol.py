@@ -44,7 +44,7 @@ ERROR_CODES = (
     INTERNAL_ERROR,
 )
 
-_EXEC_MODES = ("row", "batch")
+_EXEC_MODES = ("row", "batch", "columnar")
 
 
 @dataclass(frozen=True)

@@ -20,6 +20,17 @@ at once, selection-vector style — term *i* runs only on the rows every
 earlier term passed, so the per-term truth vectors and the total number of
 term evaluations are exactly what the row-at-a-time loop would have
 produced.  The column-oriented result is a :class:`BatchOutcome`.
+
+Columnar mode adds the third: :meth:`CompiledConjunction.evaluate_columns`
+runs each term's :meth:`~repro.sql.predicates.AtomicPredicate.matches_vector`
+over a whole column vector, producing selection *bitmasks*
+(:class:`VectorOutcome`).  Masks are computed full-width (that is what
+makes them fast), but short-circuit semantics are preserved by masking:
+term *i*'s witness mask is ANDed with the rows alive after terms
+``0..i-1``, a term reached by no alive row is not evaluated at all, and
+``evaluations`` charges each term only for the rows the row-at-a-time
+loop would have evaluated it on — so monitor observations and Fig. 7/9
+overhead accounting stay bit-identical across all three modes.
 """
 
 from __future__ import annotations
@@ -29,6 +40,18 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.common.errors import ExpressionError
 from repro.sql.predicates import AtomicPredicate, Conjunction
+
+_vector_module = None
+
+
+def _vec():
+    """Lazily bind :mod:`repro.exec.vector` (avoids the sql <-> exec cycle)."""
+    global _vector_module
+    if _vector_module is None:
+        from repro.exec import vector
+
+        _vector_module = vector
+    return _vector_module
 
 
 @dataclass(slots=True)
@@ -102,6 +125,48 @@ class BatchOutcome:
         ]
 
 
+class VectorOutcome:
+    """Result of evaluating a conjunction over one page of column vectors.
+
+    Mask-oriented mirror of :class:`BatchOutcome`: ``truth[i]`` is term
+    *i*'s **witness mask** — true exactly on the rows where the term was
+    evaluated *and* held — or ``None`` when the term was evaluated on no
+    row at all (whole-batch short-circuit).  A mask cannot distinguish
+    "evaluated false" from "skipped" per row, but no consumer needs to:
+    monitors only ask which rows *witness* a term (``is True`` in the
+    batch path), and row output only needs ``passed``.  ``passed`` is the
+    evaluated prefix's truth per row and ``evaluations`` counts term
+    evaluations exactly as the row-at-a-time loop would have.
+    """
+
+    __slots__ = ("passed", "truth", "evaluations", "num_rows")
+
+    def __init__(
+        self,
+        passed,
+        truth: list,
+        evaluations: int,
+        num_rows: int,
+    ) -> None:
+        self.passed = passed
+        self.truth = truth
+        self.evaluations = evaluations
+        self.num_rows = num_rows
+
+    def prefix_passed(self, num_terms: int):
+        """Witness mask of the first ``num_terms`` terms (full-eval mode)."""
+        vec = _vec()
+        if num_terms == 0:
+            return vec.ones_mask(self.num_rows)
+        masks = self.truth[:num_terms]
+        if any(mask is None for mask in masks):
+            return vec.zeros_mask(self.num_rows)
+        result = masks[0]
+        for mask in masks[1:]:
+            result = vec.mask_and(result, mask)
+        return result
+
+
 class CompiledConjunction:
     """Per-term kernels for page-at-a-time conjunction evaluation.
 
@@ -114,7 +179,7 @@ class CompiledConjunction:
     count all match the interpreted per-row path exactly.
     """
 
-    __slots__ = ("conjunction", "_positions", "_kernels")
+    __slots__ = ("conjunction", "_positions", "_kernels", "_vector_kernels")
 
     def __init__(
         self,
@@ -128,6 +193,10 @@ class CompiledConjunction:
             self._specialize(position, term)
             for position, term in zip(positions, terms)
         )
+        self._vector_kernels = tuple(
+            self._specialize_vector(position, term)
+            for position, term in zip(positions, terms)
+        )
 
     @staticmethod
     def _specialize(
@@ -137,6 +206,15 @@ class CompiledConjunction:
 
         def kernel(rows: list[tuple]) -> list[bool]:
             return matches_batch([row[position] for row in rows])
+
+        return kernel
+
+    @staticmethod
+    def _specialize_vector(position: int, term: AtomicPredicate) -> Callable:
+        matches_vector = term.matches_vector
+
+        def kernel(columns: Sequence):
+            return matches_vector(columns[position])
 
         return kernel
 
@@ -212,6 +290,71 @@ class CompiledConjunction:
                 truth[i] = column_sparse
                 alive = next_alive
         return BatchOutcome(passed, truth, evaluations, num_rows)
+
+    def evaluate_columns(
+        self,
+        columns: Sequence,
+        num_rows: int,
+        num_terms: Optional[int] = None,
+        short_circuit: bool = True,
+    ) -> VectorOutcome:
+        """Evaluate the first ``num_terms`` terms over column vectors.
+
+        The columnar mirror of :meth:`evaluate_batch`: each term becomes
+        one whole-vector compare producing a bitmask.  Witness masks,
+        whole-batch short-circuit skips (``truth[i] is None``) and the
+        evaluation count match the row-at-a-time loop exactly; see
+        :class:`VectorOutcome` for why per-row skip positions need not be
+        represented.
+        """
+        vec = _vec()
+        total = len(self._kernels)
+        if num_terms is None:
+            num_terms = total
+        if not 0 <= num_terms <= total:
+            raise ExpressionError(
+                f"prefix of {num_terms} terms out of range for "
+                f"{total}-term conjunction"
+            )
+        truth: list = [None] * total
+        evaluations = 0
+
+        if not short_circuit:
+            passed = None
+            for i in range(num_terms):
+                mask = self._vector_kernels[i](columns)
+                truth[i] = mask
+                evaluations += num_rows
+                passed = mask if passed is None else vec.mask_and(passed, mask)
+            if passed is None:
+                passed = vec.ones_mask(num_rows)
+            return VectorOutcome(passed, truth, evaluations, num_rows)
+
+        # Masked short-circuit: ``alive`` is the mask of rows every term so
+        # far passed; ``None`` means "all rows" (fast common case).  A term
+        # is charged only for the rows alive when it ran, and a term with
+        # no alive rows left is not evaluated at all — exactly mirroring
+        # the selection-vector path above.
+        alive = None
+        alive_count = num_rows
+        for i in range(num_terms):
+            if alive is not None and alive_count == 0:
+                break  # every row short-circuited: later terms unevaluated
+            mask = self._vector_kernels[i](columns)
+            if alive is None:
+                evaluations += num_rows
+                truth[i] = mask
+                if not vec.mask_all(mask):
+                    alive = mask
+                    alive_count = vec.mask_count(mask)
+            else:
+                evaluations += alive_count
+                witness = vec.mask_and(alive, mask)
+                truth[i] = witness
+                alive = witness
+                alive_count = vec.mask_count(witness)
+        passed = alive if alive is not None else vec.ones_mask(num_rows)
+        return VectorOutcome(passed, truth, evaluations, num_rows)
 
 
 class BoundConjunction:

@@ -34,6 +34,23 @@ _OPS: dict[str, Callable[[Any, Any], bool]] = {
     "!=": operator.ne,
 }
 
+_vector_module = None
+
+
+def _vec():
+    """Lazily bind :mod:`repro.exec.vector`.
+
+    A top-level import would pull in ``repro.exec.__init__`` (which
+    imports operators, which import this module) while predicates is
+    still half-initialized; deferring to first use breaks the cycle.
+    """
+    global _vector_module
+    if _vector_module is None:
+        from repro.exec import vector
+
+        _vector_module = vector
+    return _vector_module
+
 
 class AtomicPredicate(ABC):
     """A single-column predicate evaluable on one row."""
@@ -58,6 +75,19 @@ class AtomicPredicate(ABC):
         collapse exactly.
         """
         return [self.matches(v) for v in values]
+
+    def matches_vector(self, column):
+        """Whole-column :meth:`matches` producing a selection mask.
+
+        ``column`` is a column vector (see :mod:`repro.exec.vector`);
+        the result is a mask aligned with it.  Subclasses map onto a
+        single backend kernel; this default routes through
+        :meth:`matches_batch` so any atomic predicate is columnar-safe.
+        Like the batch path, overrides must preserve the
+        NULL-never-matches collapse exactly.
+        """
+        vec = _vec()
+        return self.matches_batch(vec.column_values(column))
 
     @abstractmethod
     def key(self) -> str:
@@ -99,6 +129,9 @@ class Comparison(AtomicPredicate):
         op, bound = _OPS[self.op], self.value
         return [v is not None and op(v, bound) for v in values]
 
+    def matches_vector(self, column):
+        return _vec().compare_mask(column, self.op, self.value)
+
     def key(self) -> str:
         return f"{self.column} {self.op} {self.value!r}"
 
@@ -132,6 +165,9 @@ class Between(AtomicPredicate):
         low, high = self.low, self.high
         return [v is not None and low <= v <= high for v in values]
 
+    def matches_vector(self, column):
+        return _vec().between_mask(column, self.low, self.high)
+
     def key(self) -> str:
         return f"{self.column} BETWEEN {self.low!r} AND {self.high!r}"
 
@@ -160,6 +196,9 @@ class InList(AtomicPredicate):
     def matches_batch(self, values: Sequence[Any]) -> list[bool]:
         value_set = self._value_set
         return [v is not None and v in value_set for v in values]
+
+    def matches_vector(self, column):
+        return _vec().isin_mask(column, self._value_set)
 
     def key(self) -> str:
         rendered = ", ".join(repr(v) for v in sorted(self.values, key=repr))

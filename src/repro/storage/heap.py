@@ -20,6 +20,65 @@ from repro.storage.buffer import BufferPool
 from repro.storage.page import Page, rows_per_page
 
 
+class FileColumns:
+    """Lazily materialized file-level column vectors over a page list.
+
+    Columnar scans used to transpose (and cache) each 73-row page
+    separately, which meant one NumPy kernel dispatch per page — too
+    little work to amortize the call overhead.  This cache instead holds
+    one file-wide vector per *touched* column (predicates on two columns
+    materialize two vectors, never the whole table) plus the running
+    page-row offsets, and hands out zero-copy
+    :class:`~repro.exec.vector.SlicedColumns` views for any contiguous
+    page run.  Validity is checked by :meth:`DataFile.file_columns`
+    against the append-only row count and the active vector backend.
+    """
+
+    __slots__ = ("backend", "num_rows", "_pages", "_offsets", "_columns")
+
+    def __init__(self, pages: list[Page], backend: str) -> None:
+        self.backend = backend
+        offsets = [0]
+        for page in pages:
+            offsets.append(offsets[-1] + page.num_rows)
+        self._pages = pages
+        self._offsets = offsets
+        self.num_rows = offsets[-1]
+        width = len(pages[0].rows_list()[0]) if self.num_rows else 0
+        self._columns: list = [None] * width
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __getitem__(self, position: int):
+        column = self._columns[position]
+        if column is None:
+            # Imported lazily: storage must stay importable without
+            # touching the exec package (which imports storage back).
+            from repro.exec import vector
+
+            values = [
+                row[position] for page in self._pages for row in page.rows_list()
+            ]
+            column = vector.make_scan_column(values)
+            self._columns[position] = column
+        return column
+
+    def page_offset(self, page_id: int) -> int:
+        """Row offset of ``page_id``'s first row within the file."""
+        return self._offsets[page_id]
+
+    def page_slice(self, page_id: int) -> "Any":
+        """One page's rows as a zero-copy columns view."""
+        return self.slice_rows(self._offsets[page_id], self._offsets[page_id + 1])
+
+    def slice_rows(self, start: int, stop: int) -> "Any":
+        """An arbitrary contiguous row range as a zero-copy columns view."""
+        from repro.exec import vector
+
+        return vector.SlicedColumns(self, start, stop)
+
+
 class DataFile:
     """A sequence of pages holding full rows of one table."""
 
@@ -37,6 +96,7 @@ class DataFile:
         full_capacity = rows_per_page(row_width_bytes)
         self.page_capacity = max(1, int(full_capacity * fill_factor))
         self._pages: list[Page] = []
+        self._file_columns: Optional[FileColumns] = None
 
     # ------------------------------------------------------------------
     # Load path (no I/O charges: loading happens "offline")
@@ -97,6 +157,89 @@ class DataFile:
             page = self._pages[page_id]
             self.buffer_pool.access(self.file_id, page.page_id, io, sequential=True)
             yield page.page_id, page
+
+    def file_columns(self) -> FileColumns:
+        """The file-level column cache, rebuilt when stale.
+
+        Staleness is cheap to detect because files are append-only: the
+        row count strictly grows under :meth:`append_row`, so ``(backend,
+        num_rows)`` identifies the loaded snapshot.  The vectors
+        themselves materialize lazily, per touched column.
+        """
+        # Imported lazily: storage must stay importable without touching
+        # the exec package (which imports storage back).
+        from repro.exec import vector
+
+        cached = self._file_columns
+        backend = vector.backend_name()
+        if (
+            cached is not None
+            and cached.backend == backend
+            and cached.num_rows == self.num_rows
+        ):
+            return cached
+        cached = FileColumns(self._pages, backend)
+        self._file_columns = cached
+        return cached
+
+    def scan_page_columns(
+        self, io: IOContext, start_page: int = 0, end_page: Optional[int] = None
+    ) -> Iterator[tuple[PageId, Any, int]]:
+        """Columnar scan: ``(page_id, columns_view, num_rows)`` per page.
+
+        Same page order and sequential I/O charging as :meth:`scan_pages`;
+        the columns are zero-copy per-page views of the file-level cache
+        (:meth:`file_columns`), so repeated scans of an immutable table
+        pay the row->column conversion once per touched column.
+        """
+        columns = self.file_columns()
+        for page_id, page in self.scan_pages(io, start_page, end_page):
+            yield page_id, columns.page_slice(page_id), page.num_rows
+
+    def scan_column_chunks(
+        self,
+        io: IOContext,
+        rows_per_chunk: int,
+        start_page: int = 0,
+        end_page: Optional[int] = None,
+    ) -> Iterator[tuple[PageId, int, Any, int]]:
+        """Columnar scan in multi-page chunks:
+        ``(first_page_id, page_count, columns_view, num_rows)``.
+
+        Groups contiguous pages until a chunk reaches ``rows_per_chunk``
+        rows, so one whole-vector kernel evaluation covers many simulated
+        pages — the granularity at which NumPy dispatch overhead
+        amortizes.  Page order and per-page sequential I/O charging are
+        exactly those of :meth:`scan_pages`; only callers whose other
+        accounting is additive across pages (unmonitored scans) may use
+        chunks, since monitors are page-granular.
+        """
+        columns = self.file_columns()
+        chunk_start: Optional[PageId] = None
+        chunk_rows = 0
+        chunk_pages = 0
+        for page_id, page in self.scan_pages(io, start_page, end_page):
+            if chunk_start is None:
+                chunk_start = page_id
+            chunk_rows += page.num_rows
+            chunk_pages += 1
+            if chunk_rows >= rows_per_chunk:
+                offset = columns.page_offset(chunk_start)
+                yield (
+                    chunk_start,
+                    chunk_pages,
+                    columns.slice_rows(offset, offset + chunk_rows),
+                    chunk_rows,
+                )
+                chunk_start, chunk_rows, chunk_pages = None, 0, 0
+        if chunk_start is not None:
+            offset = columns.page_offset(chunk_start)
+            yield (
+                chunk_start,
+                chunk_pages,
+                columns.slice_rows(offset, offset + chunk_rows),
+                chunk_rows,
+            )
 
     def scan_rows(self, io: IOContext) -> Iterator[tuple[PageId, int, tuple]]:
         """Full scan yielding ``(page_id, slot, row)`` in grouped page order.

@@ -25,7 +25,10 @@ import datetime
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-import numpy as np
+try:  # Synthetic data generation needs NumPy; the engine itself
+    import numpy as np  # does not (see repro.exec.vector).
+except ImportError:  # pragma: no cover - no-NumPy installs
+    np = None  # type: ignore[assignment]
 
 from repro.catalog.catalog import Database
 from repro.catalog.schema import ColumnDef, IndexDef, TableSchema

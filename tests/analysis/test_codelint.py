@@ -278,6 +278,12 @@ class TestR008:
     def test_silent_at_module_level(self):
         assert "R008" not in rules_fired("io.charge_rows(1)\n")
 
+    def test_fires_in_columnar_functions(self):
+        assert "R008" in rules_fired(
+            "def _scan_pages_columnar(self, ctx):\n"
+            "    ctx.io.charge_rows(1)\n"
+        )
+
 
 # ----------------------------------------------------------------------
 # R009 — concurrency primitives stay in sanctioned sites
@@ -330,6 +336,92 @@ class TestR009:
 
 
 # ----------------------------------------------------------------------
+# R011 — vector kernels stay whole-vector
+# ----------------------------------------------------------------------
+class TestR011:
+    def test_fires_on_for_loop_in_matches_vector(self):
+        assert "R011" in rules_fired(
+            "class C:\n"
+            "    def matches_vector(self, column):\n"
+            "        out = []\n"
+            "        for value in column:\n"
+            "            out.append(value > 3)\n"
+            "        return out\n",
+            "src/repro/sql/predicates.py",
+        )
+
+    def test_fires_on_comprehension_in_evaluate_columns(self):
+        assert "R011" in rules_fired(
+            "def evaluate_columns(self, columns, num_rows):\n"
+            "    return [v is not None for v in columns[0]]\n",
+            "src/repro/sql/evaluator.py",
+        )
+
+    def test_fires_inside_nested_closure(self):
+        assert "R011" in rules_fired(
+            "def matches_vector(self, column):\n"
+            "    def kernel():\n"
+            "        return [v > 0 for v in column]\n"
+            "    return kernel()\n",
+            "src/repro/exec/scans.py",
+        )
+
+    def test_silent_on_range_index_loop(self):
+        """Per-term index loops are not per-row loops."""
+        assert "R011" not in rules_fired(
+            "def evaluate_columns(self, columns, num_rows):\n"
+            "    for i in range(len(self._kernels)):\n"
+            "        pass\n",
+            "src/repro/sql/evaluator.py",
+        )
+
+    def test_silent_outside_kernel_functions(self):
+        assert "R011" not in rules_fired(
+            "def observe_column(self, column):\n"
+            "    return [v for v in column]\n",
+            "src/repro/core/monitors.py",
+        )
+
+    def test_waived_in_vector_backend(self):
+        """exec/vector.py IS the sanctioned pure-Python fallback."""
+        assert "R011" not in rules_fired(
+            "def matches_vector(column):\n"
+            "    return [v > 0 for v in column]\n",
+            "src/repro/exec/vector.py",
+        )
+
+
+# ----------------------------------------------------------------------
+# R012 — batch size comes from DEFAULT_BATCH_ROWS
+# ----------------------------------------------------------------------
+class TestR012:
+    def test_fires_on_magic_literal_in_exec(self):
+        assert "R012" in rules_fired(
+            "chunk = 1024\n", "src/repro/exec/scans.py"
+        )
+
+    def test_fires_in_sql(self):
+        assert "R012" in rules_fired(
+            "LIMIT = 1024\n", "src/repro/sql/evaluator.py"
+        )
+
+    def test_waived_at_definition_site(self):
+        assert "R012" not in rules_fired(
+            "DEFAULT_BATCH_ROWS = 1024\n", "src/repro/exec/batch.py"
+        )
+
+    def test_silent_outside_exchange_layer(self):
+        assert "R012" not in rules_fired(
+            "floor = max(1024, rows)\n", "src/repro/core/planner.py"
+        )
+
+    def test_silent_on_other_numbers(self):
+        assert "R012" not in rules_fired(
+            "chunk = 512\n", "src/repro/exec/scans.py"
+        )
+
+
+# ----------------------------------------------------------------------
 # Shared machinery
 # ----------------------------------------------------------------------
 class TestMachinery:
@@ -376,5 +468,7 @@ class TestMachinery:
             "R008",
             "R009",
             "R010",
+            "R011",
+            "R012",
         }
         assert all(CODE_RULES[rule] for rule in CODE_RULES)

@@ -1,10 +1,11 @@
-"""Row-mode ≡ batch-mode equivalence on real workload queries.
+"""Row ≡ batch ≡ columnar equivalence on real workload queries.
 
-The batch execution path is a performance optimization only: these
-tests drive the full §V-B pipeline (monitored P, feedback, unmonitored
-P') through :func:`repro.harness.compare_workload` and require that
-every observable — result rows, observations, read counters, and the
-per-operator stats tree — is identical between the two modes.
+The batch and columnar execution paths are performance optimizations
+only: these tests drive the full §V-B pipeline (monitored P, feedback,
+unmonitored P') through :func:`repro.harness.compare_workload` and
+require that every observable — result rows, observations, read
+counters, and the per-operator stats tree — is identical across all
+three modes.
 """
 
 from __future__ import annotations
@@ -56,6 +57,24 @@ def test_join_workload_row_batch_equivalent(equivalence_db):
     assert report.ok, report.render()
 
 
+def test_single_table_workload_equivalent_python_backend(equivalence_db):
+    """The three-way proof must also hold on the pure-Python vector
+    backend (list columns / list masks, no NumPy kernels)."""
+    from repro.exec import vector
+
+    workload = single_table_workload(
+        equivalence_db,
+        "t",
+        ["c2", "c5"],
+        queries_per_column=2,
+        selectivity_range=(0.01, 0.10),
+        seed=11,
+    )
+    with vector.use_python_backend():
+        report = compare_workload(equivalence_db, workload)
+    assert report.ok, report.render()
+
+
 def test_equivalence_report_renders_per_query(equivalence_db):
     workload = single_table_workload(
         equivalence_db,
@@ -66,6 +85,6 @@ def test_equivalence_report_renders_per_query(equivalence_db):
     )
     report = compare_workload(equivalence_db, workload)
     rendered = report.render()
-    assert "row≡batch equivalence: 1 queries, 0 mismatched" in rendered
+    assert "row≡batch≡columnar equivalence: 1 queries, 0 mismatched" in rendered
     assert "OK" in rendered
     assert not report.failures()

@@ -1,0 +1,251 @@
+"""RowBatch representation edge cases and vector backend fallbacks.
+
+Covers the columnar batch contract directly: empty batches, the final
+partial page of a scan, all-rows-filtered batches, row↔column
+round-trips, and the pure-Python backend (both forced via
+``use_python_backend`` and with the NumPy import genuinely blocked in a
+subprocess).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exec import vector
+from repro.exec.batch import DEFAULT_BATCH_ROWS, RowBatch
+from repro.exec.executor import execute
+from repro.exec.scans import SeqScan
+from repro.sql.evaluator import BoundConjunction
+from repro.sql.predicates import Comparison, conjunction_of
+
+from tests.conftest import make_tiny_table
+
+
+BACKENDS = ["numpy", "python"] if vector.HAVE_NUMPY else ["python"]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    """Run the test under each available vector backend."""
+    if request.param == "python":
+        with vector.use_python_backend():
+            assert vector.backend_name() == "python"
+            yield "python"
+    else:
+        assert vector.backend_name() == "numpy"
+        yield "numpy"
+
+
+# ---------------------------------------------------------------------------
+# Construction and round-trips
+# ---------------------------------------------------------------------------
+
+
+def test_empty_row_batch():
+    batch = RowBatch([])
+    assert len(batch) == 0
+    assert not batch.is_columnar
+    assert batch.to_rows() == []
+    assert list(batch) == []
+
+
+def test_empty_columnar_batch(backend):
+    batch = RowBatch.from_columns((), num_rows=0)
+    assert len(batch) == 0
+    assert batch.is_columnar
+    assert batch.to_rows() == []
+
+
+def test_from_columns_round_trip(backend):
+    rows = [(1, "a", 1.5), (2, "b", 2.5), (3, None, 3.5)]
+    columns = vector.columns_from_rows(rows, 3)
+    batch = RowBatch.from_columns(columns, page_id=7)
+    assert batch.is_columnar
+    assert len(batch) == 3
+    assert batch.page_id == 7
+    assert batch.to_rows() == rows
+    # The rows shim caches: second access is the same materialization.
+    assert batch.rows is batch.rows
+
+
+def test_round_trip_values_are_python_scalars(backend):
+    rows = [(1, 2.5), (3, 4.5)]
+    columns = vector.columns_from_rows(rows, 2)
+    back = vector.rows_from_columns(columns, 2)
+    for row in back:
+        for value in row:
+            assert type(value) in (int, float, str, bool, type(None))
+    assert back == rows
+
+
+def test_row_backed_batch_exposes_columns(backend):
+    rows = [(1, "x"), (2, "y")]
+    batch = RowBatch(rows)
+    assert not batch.is_columnar
+    assert vector.column_values(batch.column(0)) == [1, 2]
+    assert vector.column_values(batch.column(1)) == ["x", "y"]
+
+
+def test_null_bearing_column_stays_list(backend):
+    columns = vector.columns_from_rows([(1, None), (2, 5)], 2)
+    assert isinstance(columns[1], list)
+    assert vector.count_notnull(columns[1]) == 1
+
+
+def test_zero_width_rows_from_columns():
+    assert vector.rows_from_columns((), 3) == [(), (), ()]
+
+
+def test_default_batch_rows_constant():
+    assert DEFAULT_BATCH_ROWS == 1024
+
+
+# ---------------------------------------------------------------------------
+# Kernels: masks and filtering
+# ---------------------------------------------------------------------------
+
+
+def test_all_rows_filtered_batch(backend):
+    rows = [(i,) for i in range(10)]
+    columns = vector.columns_from_rows(rows, 1)
+    mask = vector.compare_mask(columns[0], ">", 100)
+    assert vector.mask_count(mask) == 0
+    assert not vector.mask_any(mask)
+    filtered = vector.take(columns[0], mask)
+    assert vector.column_length(filtered) == 0
+    empty = RowBatch.from_columns((filtered,), num_rows=0)
+    assert empty.to_rows() == []
+
+
+def test_null_collapses_to_false_in_kernels(backend):
+    column = vector.make_column([1, None, 3])
+    mask = vector.compare_mask(column, ">=", 0)
+    assert vector.mask_values(mask) == [True, False, True]
+    mask = vector.between_mask(column, 0, 10)
+    assert vector.mask_values(mask) == [True, False, True]
+    mask = vector.isin_mask(column, {1, 3, None})
+    assert vector.mask_values(mask) == [True, False, True]
+
+
+def test_mask_and_mixes_representations(backend):
+    np_ish = vector.make_column([1, 2, 3, 4])
+    mask_a = vector.compare_mask(np_ish, ">", 1)  # backend mask
+    mask_b = [True, True, False, True]  # plain list mask
+    combined = vector.mask_and(mask_a, mask_b)
+    assert vector.mask_values(combined) == [False, True, False, True]
+    combined = vector.mask_and(mask_b, mask_a)
+    assert vector.mask_values(combined) == [False, True, False, True]
+
+
+def test_evaluate_columns_matches_evaluate_batch(backend):
+    rows = [(i, (i * 37) % 50) for i in range(200)]
+    columns = vector.columns_from_rows(rows, 2)
+    compiled = BoundConjunction(
+        conjunction_of(Comparison("k", "<", 120), Comparison("v", ">=", 10)),
+        ("k", "v"),
+    ).compile()
+    for short_circuit in (True, False):
+        row_outcome = compiled.evaluate_batch(rows, short_circuit=short_circuit)
+        col_outcome = compiled.evaluate_columns(
+            columns, len(rows), short_circuit=short_circuit
+        )
+        assert vector.mask_values(col_outcome.passed) == row_outcome.passed
+        assert col_outcome.evaluations == row_outcome.evaluations
+        for row_truth, col_truth in zip(row_outcome.truth, col_outcome.truth):
+            if col_truth is None:
+                assert all(t is not True for t in row_truth)
+            else:
+                witnesses = vector.mask_values(col_truth)
+                for row_value, witness in zip(row_truth, witnesses):
+                    assert witness == (row_value is True)
+
+
+# ---------------------------------------------------------------------------
+# Final partial page through a real scan
+# ---------------------------------------------------------------------------
+
+
+def test_columnar_scan_final_partial_page(backend):
+    database, table, rows = make_tiny_table(num_rows=500)
+    per_page = table.data_file.page_capacity
+    assert len(rows) % per_page != 0, "need a final partial page"
+    result = execute(
+        SeqScan(table, conjunction_of(Comparison("k", ">=", 0))),
+        database,
+        mode="columnar",
+    )
+    assert len(result.rows) == len(rows)
+    assert result.rows[-1] == rows[-1]
+
+
+def test_columnar_scan_matches_row_scan(backend):
+    database, table, rows = make_tiny_table(num_rows=500)
+    conj = conjunction_of(Comparison("v", "<", 100), Comparison("k", ">=", 37))
+    expected = execute(SeqScan(table, conj), database, mode="row")
+    actual = execute(SeqScan(table, conj), database, mode="columnar")
+    assert actual.rows == expected.rows
+    assert actual.runstats.logical_reads == expected.runstats.logical_reads
+    assert (
+        actual.runstats.root.predicate_evaluations
+        == expected.runstats.root.predicate_evaluations
+    )
+
+
+# ---------------------------------------------------------------------------
+# NumPy genuinely absent (not merely forced off)
+# ---------------------------------------------------------------------------
+
+_NO_NUMPY_SCRIPT = """
+import sys
+
+class _BlockNumpy:
+    def find_module(self, name, path=None):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("numpy blocked for fallback test")
+
+sys.meta_path.insert(0, _BlockNumpy())
+
+from repro.exec import vector
+
+assert not vector.HAVE_NUMPY
+assert vector.backend_name() == "python"
+
+from tests.conftest import make_tiny_table
+from repro.exec.executor import execute
+from repro.exec.scans import SeqScan
+from repro.sql.predicates import Comparison, conjunction_of
+
+database, table, rows = make_tiny_table(num_rows=500)
+conj = conjunction_of(Comparison("v", "<", 100), Comparison("k", ">=", 37))
+results = {
+    mode: execute(SeqScan(table, conj), database, mode=mode)
+    for mode in ("row", "batch", "columnar")
+}
+reference = results["row"]
+for mode in ("batch", "columnar"):
+    assert results[mode].rows == reference.rows, mode
+    assert (
+        results[mode].runstats.logical_reads
+        == reference.runstats.logical_reads
+    ), mode
+print("NO_NUMPY_OK")
+"""
+
+
+def test_columnar_without_numpy_installed():
+    """Run the columnar path in a subprocess where numpy cannot import."""
+    repo_root = Path(__file__).resolve().parents[2]
+    result = subprocess.run(
+        [sys.executable, "-c", _NO_NUMPY_SCRIPT],
+        capture_output=True,
+        text=True,
+        cwd=repo_root,
+        env={"PYTHONPATH": f"{repo_root / 'src'}:{repo_root}", "PATH": "/usr/bin:/bin"},
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "NO_NUMPY_OK" in result.stdout

@@ -12,6 +12,8 @@ length.  The evaluation counts are the Fig. 7/9 overhead currency, so
 
 from __future__ import annotations
 
+import contextlib
+
 import pytest
 
 from repro.common.errors import ExpressionError
@@ -85,6 +87,67 @@ def test_randomized_conjunctions_match_interpreted_path(trial):
             _assert_batch_matches_rows(
                 bound, compiled, rows, num_terms, short_circuit
             )
+
+
+def _assert_columns_match_batch(
+    compiled: CompiledConjunction,
+    rows: list[tuple],
+    num_terms: int,
+    short_circuit: bool,
+) -> None:
+    from repro.exec import vector
+
+    columns = vector.columns_from_rows(rows, len(COLUMNS))
+    batch = compiled.evaluate_batch(
+        rows, num_terms=num_terms, short_circuit=short_circuit
+    )
+    outcome = compiled.evaluate_columns(
+        columns, len(rows), num_terms=num_terms, short_circuit=short_circuit
+    )
+    assert outcome.num_rows == batch.num_rows
+    assert vector.mask_values(outcome.passed) == batch.passed
+    assert outcome.evaluations == batch.evaluations
+    # Per-term witness masks: True exactly where the row path recorded an
+    # evaluated-and-held term; a None mask means no row evaluated it.
+    for term, mask in enumerate(outcome.truth):
+        row_truth = [batch.truth_row(r)[term] for r in range(len(rows))]
+        if mask is None:
+            assert all(t is not True for t in row_truth)
+        else:
+            witnesses = vector.mask_values(mask)
+            assert witnesses == [t is True for t in row_truth]
+    # Derived pass masks agree for every prefix length.
+    for prefix in range(num_terms + 1):
+        prefix_mask = outcome.prefix_passed(prefix)
+        expected = [
+            all(batch.truth_row(r)[t] is True for t in range(prefix))
+            for r in range(len(rows))
+        ]
+        assert vector.mask_values(prefix_mask) == expected
+
+
+@pytest.mark.parametrize("trial", range(25))
+@pytest.mark.parametrize("backend", ["numpy", "python"])
+def test_randomized_conjunctions_columnar_matches_batch(trial, backend):
+    from repro.exec import vector
+
+    if backend == "numpy" and not vector.HAVE_NUMPY:
+        pytest.skip("NumPy unavailable")
+    rng = make_random(trial, "columnar-kernels")
+    conjunction = _random_conjunction(rng)
+    compiled = BoundConjunction(conjunction, COLUMNS).compile()
+    rows = _random_rows(rng, rng.randrange(0, 60))
+    forced = (
+        vector.use_python_backend()
+        if backend == "python"
+        else contextlib.nullcontext()
+    )
+    with forced:
+        for short_circuit in (True, False):
+            for num_terms in range(len(conjunction.terms) + 1):
+                _assert_columns_match_batch(
+                    compiled, rows, num_terms, short_circuit
+                )
 
 
 def test_compile_is_cached():
