@@ -38,10 +38,11 @@ from pathlib import Path
 
 try:  # repo-root import (pytest); falls back for direct script runs,
     # where sys.path[0] is benchmarks/ itself.
-    from benchmarks import bench_service_throughput, smoke_plancache
+    from benchmarks import bench_service_throughput, smoke_plancache, smoke_shard
 except ModuleNotFoundError:
     import bench_service_throughput  # type: ignore[no-redef]
     import smoke_plancache  # type: ignore[no-redef]
+    import smoke_shard  # type: ignore[no-redef]
 
 from repro.harness.figures import run_fig6_fig7
 from repro.harness.timing import Stopwatch, utc_now_iso
@@ -132,12 +133,26 @@ def _scan_throughput() -> dict:
     return {"num_rows": SCAN_ROWS, "repeats": SCAN_REPEATS, **out, **speedups}
 
 
+def _sharded_throughput() -> dict:
+    """Simulated scatter-gather scan speedup at the smoke's shard count."""
+    serial_ms, sharded_ms, speedup = smoke_shard.scan_speedup()
+    return {
+        "shards": smoke_shard.SHARDS,
+        "num_rows": smoke_shard.SCAN_ROWS,
+        "queries": len(smoke_shard.SCAN_PREDICATES),
+        "serial_sim_ms": round(serial_ms, 2),
+        "sharded_sim_ms": round(sharded_ms, 2),
+        "sim_scan_speedup": round(speedup, 2),
+    }
+
+
 def build_entry() -> dict:
     """One timestamped trajectory entry: the current perf snapshot."""
     return {
         "recorded_at": utc_now_iso(),
         "fig6": _fig6_all_modes(),
         "scan_throughput": _scan_throughput(),
+        "sharded": _sharded_throughput(),
         "plancache_smoke_violations": smoke_plancache.run_smoke(),
         "service_throughput": bench_service_throughput.run_bench(),
     }

@@ -10,11 +10,16 @@ whole loop on one query:
 4. inject the actual, re-optimize, and measure the speedup.
 
 Run:  python examples/quickstart.py [--exec-mode {row,batch,columnar}]
+                                    [--shards N]
 
 ``--exec-mode batch`` drives the same plans through the page-at-a-time
 batch engine (compiled predicate kernels) and ``--exec-mode columnar``
 through whole-column vector kernels; every printed number is identical,
-the walk just completes faster.
+the walk just completes faster.  ``--shards 4`` runs the same loop over
+a scatter-gather deployment: the table range-partitions across 4 shard
+engines, the monitored DPC actual arrives as the *sum* of disjoint
+per-shard page counts (still exact — same printed value), and the
+feedback harvest merges atomically through the shard coordinator.
 """
 
 import argparse
@@ -40,6 +45,12 @@ def main() -> None:
         help="row-at-a-time iterator (default), page-at-a-time batches, "
         "or column-vector execution",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run the loop over an N-shard scatter-gather deployment",
+    )
     args = parser.parse_args()
 
     print("Building synthetic database (50k rows, correlation spectrum C2..C5)...")
@@ -51,15 +62,47 @@ def main() -> None:
     # correlated with the table's clustering key C1.
     predicate = conjunction_of(Comparison("c2", "<", 1_500))
     query = SingleTableQuery(table="t", predicate=predicate, count_column="padding")
-    session = Session(database)
+
+    coordinator = None
+    if args.shards > 1:
+        from repro.shard import ShardCoordinator
+
+        print(f"Partitioning across {args.shards} range shards...\n")
+        coordinator = ShardCoordinator(database, num_shards=args.shards)
+        session = coordinator.session()
+    else:
+        session = Session(database)
+
+    def run(requests=(), use_feedback=False, remember=False):
+        """One execution — direct, or scatter-gathered when sharded."""
+        if coordinator is None:
+            return session.run(
+                query,
+                requests=list(requests),
+                use_feedback=use_feedback,
+                exec_mode=args.exec_mode,
+            )
+        from repro.engine import WorkloadItem
+
+        return coordinator.execute(
+            WorkloadItem(
+                query=query,
+                requests=tuple(requests),
+                exec_mode=args.exec_mode,
+                use_feedback=use_feedback,
+                remember=remember,
+            ),
+            session=session,
+        )
 
     print(f"Query: {query.describe()}")
     print(f"True DPC(t, {predicate.key()}) = {exact_dpc(table, predicate)} "
           f"of {table.num_pages} pages\n")
 
     # --- 1+2: optimize with the analytical model, run with monitoring ----
+    # (the sharded run harvests its merged feedback right here, atomically)
     request = AccessPathRequest("t", predicate)
-    first = session.run(query, requests=[request], exec_mode=args.exec_mode)
+    first = run(requests=[request], remember=True)
     print("--- first execution (analytical page counts) ---")
     print(first.plan.render())
     print(first.result.runstats.render())
@@ -77,10 +120,9 @@ def main() -> None:
     print("(the analytical model assumes C2 is uncorrelated with the clustering)\n")
 
     # --- 4: feed back and re-optimize --------------------------------------
-    session.remember(first)
-    second = session.run(
-        query, requests=[], use_feedback=True, exec_mode=args.exec_mode
-    )
+    if coordinator is None:
+        session.remember(first)
+    second = run(use_feedback=True)
     print("--- second execution (page counts from execution feedback) ---")
     print(second.plan.render())
     speedup = (first.elapsed_ms - second.elapsed_ms) / first.elapsed_ms

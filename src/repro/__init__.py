@@ -39,6 +39,7 @@ from repro.optimizer import (
     SingleTableQuery,
 )
 from repro.session import ExecutedQuery, Session
+from repro.shard import ShardCoordinator, ShardedFeedbackStore
 from repro.sql import (
     Between,
     Comparison,
@@ -74,6 +75,8 @@ __all__ = [
     "PlanHint",
     "QueryLifecycle",
     "Session",
+    "ShardCoordinator",
+    "ShardedFeedbackStore",
     "SingleTableQuery",
     "SqlType",
     "TableSchema",

@@ -49,6 +49,13 @@ def _add_figures(subparsers) -> None:
         help="execution drive for fig6/fig8 (results identical, batch is "
         "faster); the other figure drivers are mode-agnostic",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run fig6 over an N-shard scatter-gather deployment "
+        "(same plan transitions, merged-makespan times)",
+    )
 
 
 def _add_query_command(subparsers, name: str, help_text: str) -> None:
@@ -87,6 +94,7 @@ def _cmd_figures(args) -> int:
             queries_per_column=6,
             seed=args.seed,
             exec_mode=args.exec_mode,
+            shards=args.shards,
         ),
         "fig8": lambda: run_fig8(
             num_rows=args.rows,
@@ -242,17 +250,34 @@ def _add_serve(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--max-in-flight", type=int, default=8)
     parser.add_argument("--max-queue-depth", type=int, default=32)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve from an N-shard scatter-gather deployment",
+    )
+
+
+def _build_engine(database, shards: int):
+    """An Engine, or the Engine-shaped ShardCoordinator when sharded."""
+    from repro.engine import Engine
+
+    if shards > 1:
+        from repro.shard import ShardCoordinator
+
+        print(f"partitioning into {shards} range shards...", file=sys.stderr)
+        return ShardCoordinator(database, num_shards=shards)
+    return Engine(database)
 
 
 def _cmd_serve(args) -> int:
     import asyncio
 
-    from repro.engine import Engine
     from repro.service import QueryServer, QueryService
 
     database = _build_synthetic(args)
     service = QueryService(
-        Engine(database),
+        _build_engine(database, args.shards),
         max_in_flight=args.max_in_flight,
         max_queue_depth=args.max_queue_depth,
     )
@@ -298,6 +323,13 @@ def _add_loadgen(subparsers) -> None:
         metavar="HOST:PORT",
         help="target a running `serve` instead of an in-process service",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="drive an in-process N-shard deployment (serial diff then "
+        "compares rows only; see diff_against_serial)",
+    )
 
 
 def _cmd_loadgen(args) -> int:
@@ -329,11 +361,11 @@ def _cmd_loadgen(args) -> int:
         print(report.render())
         return 1 if report.leaked else 0
 
-    from repro.engine import Engine, WorkloadItem
+    from repro.engine import WorkloadItem
     from repro.service import QueryService
 
     database = _build_synthetic(args)
-    engine = Engine(database)
+    engine = _build_engine(database, args.shards)
     if args.warm:
         for item in workload_items(database, DEFAULT_WORKLOAD_SQL):
             engine.execute(
@@ -355,7 +387,9 @@ def _cmd_loadgen(args) -> int:
     report = asyncio.run(run())
     print(report.render())
     if not args.warm:
-        diffs = diff_against_serial(database, report)
+        diffs = diff_against_serial(
+            database, report, rows_only=args.shards > 1
+        )
         print(f"equivalence diffs vs serial replay: {len(diffs)}")
         for diff in diffs[:5]:
             print(f"  {diff}")

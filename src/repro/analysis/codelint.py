@@ -54,6 +54,13 @@ This module enforces them statically:
           ``sql/`` outside its definition site ``exec/batch.py`` — use
           ``DEFAULT_BATCH_ROWS`` / ``ExecutionContext.batch_rows`` so
           the exchange granularity stays centrally tunable
+``R013``  shard workers stay inside their own handle: under ``shard/``,
+          any function whose enclosing-function stack contains
+          ``worker`` must not read the shard registries (``engines``,
+          ``shard_databases``, ``feedback_stores``, ...), reach a
+          ``.feedback`` store, harvest feedback (``record_*``) or mint
+          accounting contexts — cross-shard state flows only through
+          the coordinator's gather/merge interfaces
 ========  =====================================================================
 
 Suppress a finding inline with a trailing ``lint: disable=R003`` comment
@@ -84,6 +91,7 @@ CODE_RULES: dict[str, str] = {
     "R010": "no unused or unknown # lint: disable=... suppression comments",
     "R011": "no per-row loops inside matches_vector/evaluate_columns kernels",
     "R012": "no magic 1024 batch-size literal in exec//sql/ (DEFAULT_BATCH_ROWS)",
+    "R013": "shard workers touch only their own handle (no cross-shard state)",
 }
 
 #: Per-rule path suffixes where the rule intentionally does not apply.
@@ -98,9 +106,15 @@ ALLOWED_PATHS: dict[str, tuple[str, ...]] = {
     # diagnostics builds throwaway what-if optimizers over injected stores;
     # routing it through the lifecycle would cycle core -> lifecycle -> core.
     "R007": ("lifecycle/plan.py", "core/diagnostics.py"),
-    # the service layer and the engine's concurrency harness are where
-    # threads/event loops are supposed to live.
-    "R009": ("service/", "engine/engine.py", "harness/timing.py"),
+    # the service layer, the engine's concurrency harness and the shard
+    # coordinator's fan-out are where threads/event loops are supposed to
+    # live (the coordinator joins every worker under dataflow rule F002).
+    "R009": (
+        "service/",
+        "engine/engine.py",
+        "harness/timing.py",
+        "shard/coordinator.py",
+    ),
     # the vector module IS the sanctioned pure-Python fallback: its
     # per-row loops are the list-backend implementation itself.
     "R011": ("exec/vector.py",),
@@ -150,6 +164,35 @@ _FLOAT_NAME_RE = re.compile(
     r"overhead|speedup)($|_)|(^|_)estimated?_"
 )
 
+#: Names that hold the coordinator's per-shard registries (R013): a
+#: worker reading any of these can reach a *sibling's* engine or store.
+_SHARD_REGISTRY_NAMES = frozenset(
+    {
+        "engines",
+        "shards",
+        "shard_engines",
+        "shard_databases",
+        "stores",
+        "shard_stores",
+        "feedback_stores",
+    }
+)
+
+#: Calls a shard worker must not make (R013): feedback harvesting and
+#: accounting-context creation belong to the coordinator's merge path.
+_SHARD_FORBIDDEN_CALLS = frozenset(
+    {
+        "record_run",
+        "record_shard_runs",
+        "record_shard_observations",
+        "record_shard_cardinality",
+        "record_observations",
+        "record_cardinality",
+        "new_io_context",
+        "IOContext",
+    }
+)
+
 
 def _dotted(node: ast.AST) -> Optional[tuple[str, ...]]:
     """``a.b.c`` -> ``("a", "b", "c")``; None for non-name chains."""
@@ -184,6 +227,8 @@ class _FileChecker(ast.NodeVisitor):
         #: R012 polices the exchange layer only: exec/ and sql/ files.
         normalized = "/" + file_label.replace("\\", "/")
         self._r012_in_scope = "/exec/" in normalized or "/sql/" in normalized
+        #: R013 polices shard-local code only: files under shard/.
+        self._r013_in_scope = "/shard/" in normalized
 
     def report(self, rule: str, node: ast.AST, message: str, hint: str = "") -> None:
         if rule not in self.rules:
@@ -199,11 +244,49 @@ class _FileChecker(ast.NodeVisitor):
             )
         )
 
+    # -- R013: shard-worker isolation -----------------------------------
+    def _in_shard_worker(self) -> bool:
+        return self._r013_in_scope and any(
+            "worker" in name for name in self._function_stack
+        )
+
+    def _check_shard_worker_call(
+        self, node: ast.Call, chain: tuple[str, ...]
+    ) -> None:
+        if chain[-1] in _SHARD_FORBIDDEN_CALLS:
+            self.report(
+                "R013",
+                node,
+                f"shard worker {'/'.join(self._function_stack)} calls "
+                f"{'.'.join(chain)}()",
+                hint="workers execute their own handle's plan and nothing "
+                "else; feedback harvests and accounting contexts belong to "
+                "the coordinator's gather/merge path",
+            )
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if (
+            isinstance(node.ctx, ast.Load)
+            and node.id in _SHARD_REGISTRY_NAMES
+            and self._in_shard_worker()
+        ):
+            self.report(
+                "R013",
+                node,
+                f"shard worker {'/'.join(self._function_stack)} reads the "
+                f"shard registry {node.id!r}",
+                hint="a worker may only touch its own handle; cross-shard "
+                "state flows through the coordinator's merge interfaces",
+            )
+        self.generic_visit(node)
+
     # -- R001 / R002 / R005: forbidden calls ---------------------------
     def visit_Call(self, node: ast.Call) -> None:
         chain = _dotted(node.func)
         if chain is not None:
             self._check_call_chain(node, chain)
+            if self._in_shard_worker():
+                self._check_shard_worker_call(node, chain)
         self.generic_visit(node)
 
     def _check_call_chain(self, node: ast.Call, chain: tuple[str, ...]) -> None:
@@ -436,6 +519,7 @@ class _FileChecker(ast.NodeVisitor):
         self.generic_visit(node)
 
     # -- R006: global clock attribute access ---------------------------
+    # -- R013: shard workers reaching a feedback store ------------------
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if node.attr == "clock":
             owner = _dotted(node.value)
@@ -447,6 +531,15 @@ class _FileChecker(ast.NodeVisitor):
                     hint="thread the execution's IOContext "
                     "(repro.storage.accounting) to here and charge it",
                 )
+        elif node.attr == "feedback" and self._in_shard_worker():
+            self.report(
+                "R013",
+                node,
+                f"shard worker {'/'.join(self._function_stack)} reaches a "
+                "feedback store (.feedback)",
+                hint="per-shard observations flow back through the worker's "
+                "result; the coordinator merges and harvests them",
+            )
         self.generic_visit(node)
 
     # -- R003: float equality ------------------------------------------

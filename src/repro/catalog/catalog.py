@@ -16,7 +16,7 @@ from typing import Any, Optional, Sequence
 
 from repro.common.errors import CatalogError
 from repro.common.types import FileId
-from repro.catalog.schema import IndexDef, TableSchema
+from repro.catalog.schema import IndexDef, PartitionSpec, TableSchema
 from repro.storage.accounting import IOContext
 from repro.storage.buffer import BufferPool
 from repro.storage.clustered import ClusteredFile
@@ -38,6 +38,11 @@ class Database:
         self.disk_params = disk_params or DiskParameters()
         self.buffer_pool = BufferPool(capacity_pages=buffer_pool_pages)
         self.tables: dict[str, Table] = {}
+        #: Both set by :func:`repro.shard.partition.partition_database` on
+        #: the shard-local databases it builds; ``None`` on an unsharded
+        #: (or coordinator-global) database.
+        self.partition_spec: Optional[PartitionSpec] = None
+        self.shard_index: Optional[int] = None
         self._next_file_id = 0
 
     def new_io_context(self, isolated: bool = False) -> IOContext:

@@ -10,7 +10,7 @@ optionally with included columns (making them covering for some queries).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from repro.common.errors import SchemaError
 from repro.sql.types import SqlType
@@ -104,6 +104,66 @@ class TableSchema:
     def __repr__(self) -> str:
         cols = ", ".join(f"{c.name} {c.sql_type.value}" for c in self.columns)
         return f"TableSchema({self.table_name}: {cols})"
+
+
+#: Partitioning strategies the catalog understands.  ``range`` carves the
+#: table into contiguous runs of whole pages in clustering-key order (the
+#: layout under which per-shard page counts sum exactly to the global
+#: ones); ``hash`` scatters rows by a deterministic hash of the
+#: partitioning column (balanced, but shard pages no longer correspond
+#: 1:1 to global pages).
+PARTITION_STRATEGIES = ("range", "hash")
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """How a database is split across shards.
+
+    ``column`` names the partitioning column; ``None`` defaults to the
+    table's clustering key (or its first column for a heap).  One spec
+    applies database-wide so every table of a shard lives on the same
+    shard boundary discipline.
+    """
+
+    num_shards: int
+    strategy: str = "range"
+    column: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise SchemaError(
+                f"partition spec needs >= 1 shard, got {self.num_shards}"
+            )
+        if self.strategy not in PARTITION_STRATEGIES:
+            raise SchemaError(
+                f"unknown partition strategy {self.strategy!r}; "
+                f"expected one of {PARTITION_STRATEGIES}"
+            )
+
+
+@dataclass(frozen=True)
+class TablePartition:
+    """One shard's slice of a partitioned table.
+
+    For ``range`` partitioning the slice is a contiguous run of whole
+    global pages: ``page_offset`` is the global page id of the shard's
+    first local page and ``row_offset`` the global row position of its
+    first row, so ``global_page = page_offset + local_page`` maps shard
+    accounting back onto the unsharded layout.  Hash partitioning has no
+    such correspondence; both offsets are ``None`` there.
+    """
+
+    spec: PartitionSpec
+    shard_index: int
+    page_offset: Optional[int] = None
+    row_offset: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.shard_index < self.spec.num_shards:
+            raise SchemaError(
+                f"shard index {self.shard_index} outside "
+                f"[0, {self.spec.num_shards})"
+            )
 
 
 @dataclass(frozen=True)

@@ -41,6 +41,11 @@ class IndexError_(StorageError):
     """
 
 
+class ShardError(ReproError):
+    """A sharded-deployment operation failed (partitioning, scatter-gather,
+    or per-shard feedback merge)."""
+
+
 class ExecutionError(ReproError):
     """A runtime operator failed while executing a plan."""
 

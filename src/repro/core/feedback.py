@@ -37,7 +37,7 @@ import re
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.common.errors import FeedbackError
 from repro.core.requests import PageCountObservation, PageCountRequest
@@ -65,6 +65,67 @@ def _request_table(request: PageCountRequest) -> str:
     if table is not None:
         return str(table)
     return str(request.inner_table)  # type: ignore[union-attr]
+
+
+def merge_page_count_observations(
+    per_shard: Sequence[Sequence[PageCountObservation]],
+) -> list[PageCountObservation]:
+    """Combine per-shard observations of one execution into global ones.
+
+    Each shard monitors only its own disjoint slice of every table, so
+    the global distinct page count for a key is the **sum** of the
+    shards' counts — no page can be charged twice because no page exists
+    on two shards.  Merging rules, per key:
+
+    * ``estimate`` sums the answering shards' estimates;
+    * ``exact`` holds only when *every* shard answered exactly — a key
+      some shard could not answer yields a partial sum, and partial
+      coverage never claims exactness;
+    * ``mechanism``/``request`` come from the first answering shard (the
+      plan is identical on every shard, so mechanisms agree);
+    * a key no shard answered stays a single unanswerable observation.
+
+    Key order follows first appearance across shards in shard order, so
+    merged fingerprints are deterministic.
+    """
+    num_shards = len(per_shard)
+    grouped: dict[str, list[PageCountObservation]] = {}
+    for shard_observations in per_shard:
+        for observation in shard_observations:
+            grouped.setdefault(observation.key, []).append(observation)
+    merged: list[PageCountObservation] = []
+    for key, group in grouped.items():
+        answered = [
+            obs for obs in group if obs.answered and obs.estimate is not None
+        ]
+        if not answered:
+            merged.append(
+                PageCountObservation.unanswerable(
+                    group[0].request, group[0].reason
+                )
+            )
+            continue
+        first = answered[0]
+        merged.append(
+            PageCountObservation(
+                request=first.request,
+                mechanism=first.mechanism,
+                estimate=sum(obs.estimate for obs in answered),  # type: ignore[misc]
+                exact=(
+                    len(answered) == num_shards
+                    and all(obs.exact for obs in answered)
+                ),
+                answered=True,
+                details={
+                    "shards": num_shards,
+                    "shards_answered": len(answered),
+                    "per_shard_estimates": tuple(
+                        obs.estimate for obs in answered
+                    ),
+                },
+            )
+        )
+    return merged
 
 
 @dataclass

@@ -45,6 +45,7 @@ from repro.optimizer.hints import PlanHint
 from repro.optimizer.injection import InjectionSet
 from repro.optimizer.optimizer import Query
 from repro.optimizer.pagecount_model import AnalyticalPageCountModel
+from repro.optimizer.plans import PlanNode
 from repro.session import ExecutedQuery, Session
 
 
@@ -248,6 +249,41 @@ class Engine:
                 io=self.database.new_io_context(isolated=True),
                 remember=item.remember,
                 exec_mode=item.exec_mode,
+                cancellation=cancellation,
+            )
+        finally:
+            self._end_execution()
+
+    def execute_plan(
+        self,
+        query: Query,
+        plan: PlanNode,
+        requests: Sequence[PageCountRequest] = (),
+        exec_mode: str = "row",
+        session: Optional[Session] = None,
+        cancellation: Optional[CancellationToken] = None,
+    ) -> ExecutedQuery:
+        """Run an already-optimized plan under lifecycle accounting.
+
+        The scatter-gather deployment plans **once** at the coordinator
+        and fans the same plan node out; shard engines must execute it
+        without re-optimizing (their local statistics would re-derive a
+        different plan and break shard↔shard comparability).  Like
+        :meth:`execute`, the run is registered with the engine lifecycle
+        (shutdown drains it, post-shutdown calls raise
+        :class:`~repro.common.errors.EngineError`) and charges an
+        isolated accounting context.  Feedback is **not** harvested here
+        — the coordinator merges per-shard run statistics itself.
+        """
+        session = session if session is not None else self.session()
+        self._begin_execution()
+        try:
+            return session.run_plan(
+                query,
+                plan,
+                requests=list(requests),
+                io=self.database.new_io_context(isolated=True),
+                exec_mode=exec_mode,
                 cancellation=cancellation,
             )
         finally:

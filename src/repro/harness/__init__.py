@@ -4,6 +4,8 @@ from repro.harness.equivalence import (
     EquivalenceReport,
     QueryEquivalence,
     compare_query,
+    compare_sharded_query,
+    compare_sharded_workload,
     compare_workload,
 )
 from repro.harness.figures import (
@@ -24,7 +26,9 @@ from repro.harness.methodology import (
     EvaluationOutcome,
     default_requests,
     evaluate_query,
+    evaluate_query_sharded,
     evaluate_workload,
+    evaluate_workload_sharded,
 )
 from repro.harness.reporting import format_table, percent, summarize
 
@@ -34,6 +38,8 @@ __all__ = [
     "EvaluationOutcome",
     "QueryEquivalence",
     "compare_query",
+    "compare_sharded_query",
+    "compare_sharded_workload",
     "compare_workload",
     "JoinFigureResult",
     "PageSamplingResult",
@@ -42,7 +48,9 @@ __all__ = [
     "TableOneResult",
     "default_requests",
     "evaluate_query",
+    "evaluate_query_sharded",
     "evaluate_workload",
+    "evaluate_workload_sharded",
     "format_table",
     "percent",
     "run_fig10",

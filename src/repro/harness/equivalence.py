@@ -28,17 +28,22 @@ every integer counter is identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.catalog.catalog import Database
+from repro.core.feedback import FeedbackStore
 from repro.core.planner import MonitorConfig, build_executable
 from repro.core.requests import PageCountObservation, PageCountRequest
 from repro.exec.executor import QueryResult, execute
-from repro.exec.runstats import OperatorStats
+from repro.exec.runstats import OperatorStats, RunStats
 from repro.harness.methodology import default_requests
 from repro.lifecycle.plan import build_optimizer
 from repro.optimizer.injection import InjectionSet
+from repro.shard.feedback import ShardedFeedbackStore
 from repro.workloads.queries import GeneratedQuery
+
+if TYPE_CHECKING:
+    from repro.shard.coordinator import ShardCoordinator
 
 
 def observation_fingerprint(observation: PageCountObservation) -> tuple:
@@ -155,9 +160,10 @@ class QueryEquivalence:
 
 @dataclass
 class EquivalenceReport:
-    """Workload-level row≡batch≡columnar verdict."""
+    """Workload-level equivalence verdict (mode- or deployment-level)."""
 
     queries: list[QueryEquivalence] = field(default_factory=list)
+    title: str = "row≡batch≡columnar equivalence"
 
     @property
     def ok(self) -> bool:
@@ -168,7 +174,7 @@ class EquivalenceReport:
 
     def render(self) -> str:
         lines = [
-            f"row≡batch≡columnar equivalence: {len(self.queries)} queries, "
+            f"{self.title}: {len(self.queries)} queries, "
             f"{len(self.failures())} mismatched"
         ]
         for entry in self.queries:
@@ -267,4 +273,335 @@ def compare_workload(
             )
             for generated in workload
         ]
+    )
+
+
+# ----------------------------------------------------------------------
+# Serial ≡ sharded
+# ----------------------------------------------------------------------
+#: Relative tolerance for merged *inexact* estimates (DPSAMPLE at a
+#: fraction < 1, LINEAR_COUNTING).  Sampling every k-th page of N shard
+#: files is not the same page set as every k-th page of one global file,
+#: and ``-m·ln(V/m)`` is not additive, so inexact mechanisms are only
+#: required to agree statistically.  Exact mechanisms must match to the
+#: bit — run the sharded harness at ``dpsample_fraction=1.0`` for a
+#: fully bit-exact proof.
+SHARD_INEXACT_RTOL = 0.10
+
+
+def _diff_sharded_observations(
+    serial: Sequence[PageCountObservation],
+    merged: Sequence[PageCountObservation],
+    context: str,
+    out: list[str],
+) -> None:
+    """Diff serial observations against the coordinator's merged ones.
+
+    The mechanism ``details`` are deliberately excluded from the merged
+    fingerprint: a merged observation's details describe the *fan-out*
+    (per-shard estimates, shard counts), not a single file's sampled
+    pages.  Everything the optimizer consumes — key, mechanism,
+    answered/reason, exactness, and the estimate itself — must agree.
+    """
+    serial_keys = [obs.key for obs in serial]
+    merged_keys = [obs.key for obs in merged]
+    if serial_keys != merged_keys:
+        out.append(
+            f"{context}: observation keys serial={serial_keys} "
+            f"sharded={merged_keys}"
+        )
+        return
+    for serial_obs, merged_obs in zip(serial, merged):
+        label = f"{context}: {serial_obs.key}"
+        if serial_obs.answered != merged_obs.answered:
+            out.append(
+                f"{label}: answered serial={serial_obs.answered} "
+                f"sharded={merged_obs.answered}"
+            )
+            continue
+        if not serial_obs.answered:
+            if serial_obs.reason != merged_obs.reason:
+                out.append(
+                    f"{label}: unanswerable reason serial="
+                    f"{serial_obs.reason!r} sharded={merged_obs.reason!r}"
+                )
+            continue
+        if serial_obs.mechanism != merged_obs.mechanism:
+            out.append(
+                f"{label}: mechanism serial={serial_obs.mechanism.value} "
+                f"sharded={merged_obs.mechanism.value}"
+            )
+        if serial_obs.exact and not merged_obs.exact:
+            out.append(
+                f"{label}: serial observation exact but merged is not "
+                f"(partial shard coverage?)"
+            )
+        if serial_obs.exact and merged_obs.exact:
+            if serial_obs.estimate != merged_obs.estimate:
+                out.append(
+                    f"{label}: exact estimate serial={serial_obs.estimate} "
+                    f"sharded={merged_obs.estimate}"
+                )
+        elif not _within_rtol(
+            serial_obs.estimate, merged_obs.estimate, SHARD_INEXACT_RTOL
+        ):
+            out.append(
+                f"{label}: inexact estimate serial={serial_obs.estimate} "
+                f"sharded={merged_obs.estimate} beyond "
+                f"rtol={SHARD_INEXACT_RTOL}"
+            )
+
+
+def _within_rtol(
+    serial: Optional[float], sharded: Optional[float], rtol: float
+) -> bool:
+    if serial is None or sharded is None:
+        return serial == sharded
+    scale = max(abs(serial), abs(sharded), 1.0)
+    return abs(serial - sharded) <= rtol * scale
+
+
+def _diff_merged_feedback(
+    serial_observations: Sequence[PageCountObservation],
+    shard_runstats: Sequence[RunStats],
+    context: str,
+    out: list[str],
+) -> None:
+    """Prove the ShardedFeedbackStore merge equals a single-store harvest.
+
+    Fresh stores on both sides: the serial observations land in one
+    :class:`FeedbackStore`; the per-shard run statistics land in a
+    :class:`ShardedFeedbackStore` through its atomic batch path.  The
+    merged per-key records (summed page counts / exactness guard) must
+    reproduce the single-store truth, and both sides must agree on
+    whether the harvest moved the epoch at all.
+    """
+    serial_store = FeedbackStore()
+    serial_store.record_observations(list(serial_observations))
+    sharded_store = ShardedFeedbackStore(
+        [FeedbackStore() for _ in shard_runstats]
+    )
+    sharded_store.record_shard_runs(list(shard_runstats))
+    serial_keys = serial_store.keys()
+    sharded_keys = sharded_store.keys()
+    if serial_keys != sharded_keys:
+        out.append(
+            f"{context}: feedback keys serial={serial_keys} "
+            f"sharded={sharded_keys}"
+        )
+        return
+    if bool(serial_store.epoch) != bool(sharded_store.epoch):
+        out.append(
+            f"{context}: harvest no-op disagreement — serial epoch="
+            f"{serial_store.epoch} sharded epoch={sharded_store.epoch}"
+        )
+    for key in serial_keys:
+        serial_record = serial_store.record(key)
+        merged_record = sharded_store.record(key)
+        if serial_record is None or merged_record is None:
+            out.append(f"{context}: {key}: record missing on one side")
+            continue
+        if serial_record.page_count_exact and merged_record.page_count_exact:
+            if serial_record.page_count != merged_record.page_count:
+                out.append(
+                    f"{context}: {key}: exact merged page count "
+                    f"serial={serial_record.page_count} "
+                    f"sharded={merged_record.page_count}"
+                )
+        elif serial_record.page_count_exact and not merged_record.page_count_exact:
+            out.append(
+                f"{context}: {key}: serial feedback exact but merged "
+                "record is not"
+            )
+        elif not _within_rtol(
+            serial_record.page_count,
+            merged_record.page_count,
+            SHARD_INEXACT_RTOL,
+        ):
+            out.append(
+                f"{context}: {key}: merged page count "
+                f"serial={serial_record.page_count} "
+                f"sharded={merged_record.page_count} beyond "
+                f"rtol={SHARD_INEXACT_RTOL}"
+            )
+
+
+def compare_sharded_query(
+    database: Database,
+    coordinator: "ShardCoordinator",
+    generated: GeneratedQuery,
+    requests: Optional[Sequence[PageCountRequest]] = None,
+    monitor_config: Optional[MonitorConfig] = None,
+    base_injections: Optional[InjectionSet] = None,
+    exec_mode: str = "row",
+) -> QueryEquivalence:
+    """Run one query serially and scatter-gathered, and diff everything.
+
+    Mirrors :func:`compare_query`'s §V-B walk with the deployment as the
+    varying axis instead of the execution mode:
+
+    1. the accurate-cardinality plan P runs monitored on the single
+       global database (the reference) and through
+       :meth:`~repro.shard.coordinator.ShardCoordinator.run_plan`; result
+       rows and columns must be bit-identical, and the merged
+       observations must match the serial ones (exact mechanisms to the
+       bit, inexact within :data:`SHARD_INEXACT_RTOL`);
+    2. the per-shard run statistics feed a fresh
+       :class:`~repro.shard.feedback.ShardedFeedbackStore` whose merged
+       records must equal a fresh single :class:`FeedbackStore` fed the
+       serial observations — the no-double-charging proof;
+    3. both sides absorb their own observations, re-optimize, and the
+       improved plans P' must render identically; P' then runs
+       unmonitored both ways and the rows must again be bit-identical.
+
+    Raw physical read counts are *not* compared: N shard B-trees have
+    their own heights and fill patterns, so per-shard I/O legitimately
+    differs from one global file's.  What the paper's loop consumes —
+    rows, observations, merged feedback, and the resulting plan choice —
+    is what must be invariant.
+    """
+    monitor_config = (
+        monitor_config if monitor_config is not None else MonitorConfig()
+    )
+    injections = generated.injections(base_injections)
+    query = generated.query
+    request_list = (
+        list(requests)
+        if requests is not None
+        else default_requests(database, query)
+    )
+    entry = QueryEquivalence(label=generated.label)
+
+    plan = build_optimizer(database, injections=injections).optimize(query)
+
+    serial_build = build_executable(
+        plan, database, list(request_list), monitor_config
+    )
+    serial_result = execute(
+        serial_build.root, database, cold_cache=True, mode=exec_mode
+    )
+    # The shard engines run through the lifecycle, which appends the
+    # unanswerable leftovers to the runstats; mirror that here so both
+    # observation lists cover the full request set.
+    serial_observations = (
+        list(serial_result.runstats.observations) + serial_build.unanswerable
+    )
+
+    sharded = coordinator.run_plan(
+        query, plan, requests=request_list, exec_mode=exec_mode
+    )
+    merged_result = sharded.result
+    if serial_result.columns != merged_result.columns:
+        entry.mismatches.append(
+            f"monitored P: columns serial={serial_result.columns} "
+            f"sharded={merged_result.columns}"
+        )
+    if serial_result.rows != merged_result.rows:
+        entry.mismatches.append(
+            f"monitored P: result rows differ "
+            f"(serial={len(serial_result.rows)} rows, "
+            f"sharded={len(merged_result.rows)} rows"
+            + (
+                ""
+                if len(serial_result.rows) != len(merged_result.rows)
+                else ", same length but different content/order"
+            )
+            + ")"
+        )
+    _diff_sharded_observations(
+        serial_observations,
+        list(merged_result.runstats.observations),
+        "monitored P",
+        entry.mismatches,
+    )
+    _diff_merged_feedback(
+        serial_observations,
+        [run.result.runstats for run in sharded.shard_results],
+        "feedback merge",
+        entry.mismatches,
+    )
+
+    serial_corrected = injections.copy()
+    serial_corrected.absorb_observations(serial_observations)
+    serial_improved = build_optimizer(
+        database, injections=serial_corrected
+    ).optimize(query)
+    sharded_corrected = injections.copy()
+    sharded_corrected.absorb_observations(
+        list(merged_result.runstats.observations)
+    )
+    sharded_improved = build_optimizer(
+        database, injections=sharded_corrected
+    ).optimize(query)
+    if serial_improved.render() != sharded_improved.render():
+        entry.mismatches.append(
+            "improved plan P' diverged: serial feedback chose "
+            f"{serial_improved.render()!r}, merged shard feedback chose "
+            f"{sharded_improved.render()!r}"
+        )
+    else:
+        improved_build = build_executable(serial_improved, database)
+        serial_prime = execute(
+            improved_build.root, database, cold_cache=True, mode=exec_mode
+        )
+        sharded_prime = coordinator.run_plan(
+            query, serial_improved, exec_mode=exec_mode
+        )
+        if serial_prime.rows != sharded_prime.result.rows:
+            entry.mismatches.append(
+                f"unmonitored P': result rows differ "
+                f"(serial={len(serial_prime.rows)} rows, "
+                f"sharded={len(sharded_prime.result.rows)} rows)"
+            )
+    return entry
+
+
+def compare_sharded_workload(
+    database: Database,
+    workload: Sequence[GeneratedQuery],
+    num_shards: int = 4,
+    strategy: str = "range",
+    monitor_config: Optional[MonitorConfig] = None,
+    base_injections: Optional[InjectionSet] = None,
+    exec_mode: str = "row",
+) -> EquivalenceReport:
+    """Prove serial≡sharded for every query of a workload.
+
+    Builds one :class:`~repro.shard.coordinator.ShardCoordinator` over a
+    fresh partitioning of ``database`` and reuses it across the workload
+    (the shard files, like the global one, persist between queries).
+    Defaults to ``dpsample_fraction=1.0`` so every DPSAMPLE observation
+    is exact and the whole proof is bit-level; pass an explicit
+    ``monitor_config`` to exercise tolerance-checked sampling instead.
+    """
+    from repro.shard.coordinator import ShardCoordinator
+
+    monitor_config = (
+        monitor_config
+        if monitor_config is not None
+        else MonitorConfig(dpsample_fraction=1.0)
+    )
+    coordinator = ShardCoordinator(
+        database,
+        num_shards=num_shards,
+        strategy=strategy,
+        monitor_config=monitor_config,
+    )
+    try:
+        queries = [
+            compare_sharded_query(
+                database,
+                coordinator,
+                generated,
+                monitor_config=monitor_config,
+                base_injections=base_injections,
+                exec_mode=exec_mode,
+            )
+            for generated in workload
+        ]
+    finally:
+        coordinator.shutdown()
+    return EquivalenceReport(
+        queries=queries,
+        title=f"serial≡sharded equivalence ({num_shards} shards, {strategy})",
     )

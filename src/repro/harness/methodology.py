@@ -18,7 +18,7 @@ identical times, so step 5 reuses T when the plan did not change.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.catalog.catalog import Database
 from repro.core.planner import MonitorConfig, build_executable
@@ -35,6 +35,9 @@ from repro.optimizer.optimizer import JoinQuery, Query, SingleTableQuery
 from repro.optimizer.plans import PlanNode
 from repro.sql.predicates import Conjunction
 from repro.workloads.queries import GeneratedQuery
+
+if TYPE_CHECKING:
+    from repro.shard.coordinator import ShardCoordinator
 
 
 def default_requests(database: Database, query: Query) -> list[PageCountRequest]:
@@ -211,6 +214,90 @@ def evaluate_workload(
             database,
             generated,
             monitor_config=monitor_config,
+            base_injections=base_injections,
+            exec_mode=exec_mode,
+        )
+        for generated in workload
+    ]
+
+
+def evaluate_query_sharded(
+    coordinator: "ShardCoordinator",
+    generated: GeneratedQuery,
+    requests: Optional[Sequence[PageCountRequest]] = None,
+    base_injections: Optional[InjectionSet] = None,
+    exec_mode: str = "row",
+) -> EvaluationOutcome:
+    """Run §V-B against a sharded deployment instead of a single engine.
+
+    The same six steps, with every execution scatter-gathered through
+    :meth:`~repro.shard.coordinator.ShardCoordinator.run_plan`: planning
+    still happens once against the *global* catalog, T / T_monitored /
+    T' are the merged makespans (slowest shard + merge), and step 4
+    absorbs the *merged* observations — summed disjoint per-shard page
+    counts, so an exact DPC feeds the re-optimization exactly as in the
+    serial run.  Monitoring configuration comes from the coordinator
+    (its shard engines attach monitors shard-side).
+    """
+    database = coordinator.database
+    injections = generated.injections(base_injections)
+    query = generated.query
+    request_list = (
+        list(requests)
+        if requests is not None
+        else default_requests(database, query)
+    )
+
+    # 1. Plan P under accurate cardinalities (once, at the coordinator).
+    original_plan = build_optimizer(database, injections=injections).optimize(query)
+
+    # 2. T: plan P fanned out, no monitoring.
+    time_original = coordinator.run_plan(
+        query, original_plan, exec_mode=exec_mode
+    ).result.runstats.elapsed_ms
+
+    # 3. Monitored scatter-gather run of P; observations arrive merged.
+    monitored = coordinator.run_plan(
+        query, original_plan, requests=request_list, exec_mode=exec_mode
+    )
+    observations = list(monitored.result.runstats.observations)
+
+    # 4. Re-optimize with the merged feedback injected.
+    corrected = injections.copy()
+    corrected.absorb_observations(observations)
+    improved_plan = build_optimizer(database, injections=corrected).optimize(query)
+
+    # 5./6. T' (identical plan -> identical deterministic makespan).
+    if improved_plan.signature() == original_plan.signature():
+        time_improved = time_original
+    else:
+        time_improved = coordinator.run_plan(
+            query, improved_plan, exec_mode=exec_mode
+        ).result.runstats.elapsed_ms
+
+    return EvaluationOutcome(
+        generated=generated,
+        original_plan=original_plan,
+        improved_plan=improved_plan,
+        time_original_ms=time_original,
+        time_monitored_ms=monitored.result.runstats.elapsed_ms,
+        time_improved_ms=time_improved,
+        observations=observations,
+        requests=request_list,
+    )
+
+
+def evaluate_workload_sharded(
+    coordinator: "ShardCoordinator",
+    workload: Sequence[GeneratedQuery],
+    base_injections: Optional[InjectionSet] = None,
+    exec_mode: str = "row",
+) -> list[EvaluationOutcome]:
+    """Evaluate a workload through one sharded deployment."""
+    return [
+        evaluate_query_sharded(
+            coordinator,
+            generated,
             base_injections=base_injections,
             exec_mode=exec_mode,
         )

@@ -1,0 +1,29 @@
+"""Horizontal sharding: partition-aware storage + scatter-gather execution.
+
+* :mod:`repro.shard.partition` — split a database into N shard-local
+  databases (page-aligned range runs, or hash scatter) with the
+  partitioning recorded as catalog metadata;
+* :mod:`repro.shard.coordinator` — the Engine-compatible
+  :class:`ShardCoordinator`: plan once, fan out, gather, merge;
+* :mod:`repro.shard.feedback` — the :class:`ShardedFeedbackStore`
+  merging per-shard DPC/cardinality actuals into one optimizer view
+  under a single atomically-advancing epoch.
+"""
+
+from repro.shard.coordinator import ShardCoordinator, ShardedExecutedQuery
+from repro.shard.feedback import MergedFeedbackRecord, ShardedFeedbackStore
+from repro.shard.partition import (
+    check_page_alignment,
+    hash_to_shard,
+    partition_database,
+)
+
+__all__ = [
+    "MergedFeedbackRecord",
+    "ShardCoordinator",
+    "ShardedExecutedQuery",
+    "ShardedFeedbackStore",
+    "check_page_alignment",
+    "hash_to_shard",
+    "partition_database",
+]

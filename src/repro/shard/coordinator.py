@@ -1,0 +1,439 @@
+"""Scatter-gather execution over N shard-local engines.
+
+:class:`ShardCoordinator` is an :class:`~repro.engine.Engine`-shaped
+front end for a sharded deployment.  It keeps the *global* database for
+planning and splits its rows across N independent shard engines
+(:func:`repro.shard.partition.partition_database`); one query then runs
+as:
+
+1. **canonicalize + optimize once** — the coordinator's planning session
+   plans against the global catalog (global statistics, merged feedback
+   injections) through the shared
+   :class:`~repro.lifecycle.PlanCache`, so a repeated query costs one
+   cached plan resolution no matter how many shards execute it;
+2. **scatter** — the same plan node fans out to every shard engine,
+   which rebinds it *by table/index name* (shard catalogs clone the
+   global schema) and executes it concurrently under its own isolated
+   accounting context via :meth:`~repro.engine.Engine.execute_plan` —
+   no per-shard re-optimization, ever;
+3. **gather** — every fanned-out execution *settles* (joins, or is
+   cancelled via the shared token when a sibling fails) on all normal
+   and exceptional paths before the coordinator proceeds (dataflow rule
+   F002 audits exactly this);
+4. **merge** — per-shard row streams recombine through the exec-layer
+   gather operators (:mod:`repro.exec.merge`), per-shard observations
+   merge by summing disjoint page counts
+   (:func:`repro.core.feedback.merge_page_count_observations`), and —
+   when the item asks to remember — per-shard run statistics land in the
+   :class:`~repro.shard.feedback.ShardedFeedbackStore` as one atomic,
+   single-epoch-bump harvest.
+
+Shard workers are deliberately blinkered: a worker receives *its own*
+handle (engine, plan, token, result slot) and nothing else.  Cross-shard
+state — result rows, observations, feedback — flows only through the
+coordinator's merge interfaces (codelint rule R013 enforces this
+structurally for every worker in this package).
+
+Merged ``RunStats`` model the parallel deployment: integer I/O counters
+**sum** across shards (total work), while the simulated times take the
+**maximum** over shards (makespan — shards run concurrently), which is
+what the ≥3×-at-4-shards scan-throughput gate in
+``benchmarks/smoke_shard.py`` measures.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.catalog.catalog import Database
+from repro.catalog.schema import PartitionSpec
+from repro.common.cancellation import CancellationToken
+from repro.common.errors import EngineError, QueryCancelled, ShardError
+from repro.core.feedback import merge_page_count_observations
+from repro.core.planner import MonitorConfig
+from repro.core.requests import PageCountRequest
+from repro.engine.engine import Engine, WorkloadItem
+from repro.exec.executor import QueryResult, execute
+from repro.exec.merge import ShardStream, gather_for_plan
+from repro.exec.runstats import RunStats
+from repro.lifecycle.plancache import PlanCache
+from repro.lifecycle.runner import ExecutedQuery
+from repro.optimizer.injection import InjectionSet
+from repro.optimizer.optimizer import Query
+from repro.optimizer.pagecount_model import AnalyticalPageCountModel
+from repro.optimizer.plans import PlanNode
+from repro.session import Session
+from repro.shard.feedback import ShardedFeedbackStore
+from repro.shard.partition import partition_database
+
+
+@dataclass
+class ShardedExecutedQuery(ExecutedQuery):
+    """A merged execution result plus the per-shard executions behind it."""
+
+    shard_results: list[ExecutedQuery] = field(default_factory=list)
+
+
+@dataclass
+class _ShardHandle:
+    """Everything one shard worker may touch: its own slice of the fan-out."""
+
+    shard_index: int
+    engine: Engine
+    query: Query
+    plan: PlanNode
+    requests: tuple[PageCountRequest, ...]
+    exec_mode: str
+    token: CancellationToken
+    thread: Optional[threading.Thread] = None
+    result: Optional[ExecutedQuery] = None
+    error: Optional[BaseException] = None
+
+
+def _shard_worker(handle: _ShardHandle) -> None:
+    """Execute the fanned-out plan on this worker's own shard engine.
+
+    On failure the worker cancels the fan-out's shared token so sibling
+    shards stop at their next page/batch boundary instead of completing
+    doomed work; the coordinator re-raises the root cause after every
+    shard has settled.
+    """
+    try:
+        handle.result = handle.engine.execute_plan(
+            handle.query,
+            handle.plan,
+            requests=handle.requests,
+            exec_mode=handle.exec_mode,
+            cancellation=handle.token,
+        )
+    except BaseException as exc:  # re-raised by the coordinator's gather
+        handle.error = exc
+        handle.token.cancel(f"shard {handle.shard_index} failed: {exc}")
+
+
+class ShardCoordinator:
+    """Engine-compatible scatter-gather front end over shard engines."""
+
+    def __init__(
+        self,
+        database: Database,
+        num_shards: int = 4,
+        strategy: str = "range",
+        partition_column: Optional[str] = None,
+        partition_seed: int = 0,
+        monitor_config: Optional[MonitorConfig] = None,
+        page_count_model: Optional[AnalyticalPageCountModel] = None,
+        plan_cache: Optional[PlanCache] = None,
+        use_plan_cache: bool = True,
+    ) -> None:
+        spec = PartitionSpec(
+            num_shards=num_shards, strategy=strategy, column=partition_column
+        )
+        self.database = database
+        self.spec = spec
+        self.shard_databases = partition_database(
+            database, spec, seed=partition_seed
+        )
+        self.monitor_config = (
+            monitor_config if monitor_config is not None else MonitorConfig()
+        )
+        self.page_count_model = page_count_model
+        #: One cache at the coordinator: the planning session resolves a
+        #: repeated query once and every shard executes the cached plan —
+        #: the "shard-local plan reuse" is this shared resolution.
+        self.plan_cache: Optional[PlanCache] = (
+            plan_cache
+            if plan_cache is not None
+            else (PlanCache() if use_plan_cache else None)
+        )
+        #: Shard engines never optimize (plans arrive pre-built), so they
+        #: carry no plan cache of their own.
+        self.engines = [
+            Engine(
+                shard_db,
+                monitor_config=self.monitor_config,
+                page_count_model=self.page_count_model,
+                use_plan_cache=False,
+            )
+            for shard_db in self.shard_databases
+        ]
+        self.feedback = ShardedFeedbackStore(
+            [engine.feedback for engine in self.engines]
+        )
+        self._feedback_lock = threading.Lock()
+        self._state = threading.Condition()
+        self._closed = False
+        self._active = 0
+
+    # ------------------------------------------------------------------
+    # Engine-facade lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.engines)
+
+    @property
+    def closed(self) -> bool:
+        with self._state:
+            return self._closed
+
+    @property
+    def active_executions(self) -> int:
+        with self._state:
+            return self._active
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> bool:
+        """Stop admitting work, drain in-flight fan-outs, cascade to shards."""
+        with self._state:
+            self._closed = True
+            drained = (
+                self._state.wait_for(lambda: self._active == 0, timeout=timeout)
+                if drain
+                else self._active == 0
+            )
+        for engine in self.engines:
+            drained = engine.shutdown(drain=drain, timeout=timeout) and drained
+        return drained
+
+    def _begin_execution(self) -> None:
+        with self._state:
+            if self._closed:
+                raise EngineError(
+                    "coordinator is shut down; execute() rejected "
+                    f"({self._active} fan-out(s) still draining)"
+                )
+            self._active += 1
+
+    def _end_execution(self) -> None:
+        with self._state:
+            self._active -= 1
+            self._state.notify_all()
+
+    # ------------------------------------------------------------------
+    # Planning (once, at the coordinator, against the global catalog)
+    # ------------------------------------------------------------------
+    def session(self, injections: Optional[InjectionSet] = None) -> Session:
+        """A planning session over the global database + merged feedback."""
+        with self._state:
+            if self._closed:
+                raise EngineError("coordinator is shut down; session() rejected")
+        return Session(
+            database=self.database,
+            feedback=self.feedback,  # type: ignore[arg-type]
+            injections=(
+                injections.copy() if injections is not None else InjectionSet()
+            ),
+            monitor_config=self.monitor_config,
+            page_count_model=self.page_count_model,
+            feedback_lock=self._feedback_lock,
+            plan_cache=self.plan_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # Scatter / gather
+    # ------------------------------------------------------------------
+    def _scatter(
+        self,
+        query: Query,
+        plan: PlanNode,
+        item: WorkloadItem,
+        token: CancellationToken,
+    ) -> list[_ShardHandle]:
+        """Fan the plan out: one worker thread per shard, all started."""
+        handles = [
+            _ShardHandle(
+                shard_index=index,
+                engine=engine,
+                query=query,
+                plan=plan,
+                requests=tuple(item.requests),
+                exec_mode=item.exec_mode,
+                token=token,
+            )
+            for index, engine in enumerate(self.engines)
+        ]
+        for handle in handles:
+            thread = threading.Thread(
+                target=_shard_worker,
+                args=(handle,),
+                name=f"shard-worker-{handle.shard_index}",
+            )
+            handle.thread = thread
+            thread.start()
+        return handles
+
+    def _gather(self, handles: Sequence[_ShardHandle]) -> list[ExecutedQuery]:
+        """Settle every fanned-out execution, then surface the root cause.
+
+        Every shard thread is joined unconditionally (a failing shard has
+        already cancelled the shared token, so siblings stop at their
+        next checkpoint rather than running to completion).  If any shard
+        failed, the first *non-cancellation* error is re-raised — the
+        cancellations it triggered are collateral, not the cause.
+        """
+        try:
+            for handle in handles:
+                if handle.thread is not None:
+                    handle.thread.join()
+        finally:
+            # Joining never raises in practice; the finally guards the
+            # invariant that no code path leaves a live worker behind.
+            still_alive = [
+                h.shard_index
+                for h in handles
+                if h.thread is not None and h.thread.is_alive()
+            ]
+            if still_alive:
+                raise ShardError(
+                    f"shard worker(s) {still_alive} failed to settle"
+                )
+        errors = [h.error for h in handles if h.error is not None]
+        if errors:
+            for error in errors:
+                if not isinstance(error, QueryCancelled):
+                    raise error
+            raise errors[0]
+        results: list[ExecutedQuery] = []
+        for handle in handles:
+            if handle.result is None:
+                raise ShardError(
+                    f"shard {handle.shard_index} returned no result and no "
+                    "error; refusing to merge a partial fan-out"
+                )
+            results.append(handle.result)
+        return results
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+    def _merge(
+        self,
+        plan: PlanNode,
+        item: WorkloadItem,
+        shard_runs: Sequence[ExecutedQuery],
+    ) -> QueryResult:
+        streams = [
+            ShardStream(
+                shard_index=index,
+                rows=run.result.rows,
+                columns=run.result.columns,
+                shard_root_stats=run.result.runstats.root,
+            )
+            for index, run in enumerate(shard_runs)
+        ]
+        gather = gather_for_plan(plan, streams, self.database)
+        merged = execute(
+            gather,
+            self.database,
+            io=self.database.new_io_context(isolated=True),
+            mode=item.exec_mode,
+        )
+        shard_stats = [run.result.runstats for run in shard_runs]
+        merged_observations = merge_page_count_observations(
+            [stats.observations for stats in shard_stats]
+        )
+        runstats = RunStats(
+            root=merged.runstats.root,
+            # Makespan of the parallel fan-out: shards execute
+            # concurrently, so the deployment's simulated time is the
+            # slowest shard's (plus the free merge pass).
+            elapsed_ms=max(s.elapsed_ms for s in shard_stats)
+            + merged.runstats.elapsed_ms,
+            io_ms=max(s.io_ms for s in shard_stats),
+            cpu_ms=max(s.cpu_ms for s in shard_stats),
+            random_reads=sum(s.random_reads for s in shard_stats),
+            sequential_reads=sum(s.sequential_reads for s in shard_stats),
+            logical_reads=sum(s.logical_reads for s in shard_stats),
+            pool_hits=sum(s.pool_hits for s in shard_stats),
+            execution_mode=item.exec_mode,
+            observations=merged_observations,
+        )
+        return QueryResult(
+            rows=merged.rows, runstats=runstats, columns=merged.columns
+        )
+
+    # ------------------------------------------------------------------
+    # The Engine-compatible execution entry points
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        item: WorkloadItem,
+        session: Optional[Session] = None,
+        cancellation: Optional[CancellationToken] = None,
+    ) -> ShardedExecutedQuery:
+        """Plan once, scatter, gather, merge — one sharded execution."""
+        session = session if session is not None else self.session()
+        self._begin_execution()
+        try:
+            plan = session.optimize(
+                item.query, use_feedback=item.use_feedback, hint=item.hint
+            )
+            trace = session.last_trace
+            executed = self.run_plan(
+                item.query,
+                plan,
+                requests=item.requests,
+                exec_mode=item.exec_mode,
+                cancellation=cancellation,
+            )
+            if item.remember:
+                self.feedback.record_shard_runs(
+                    [run.result.runstats for run in executed.shard_results]
+                )
+            executed.trace = trace
+            return executed
+        finally:
+            self._end_execution()
+
+    def run_plan(
+        self,
+        query: Query,
+        plan: PlanNode,
+        requests: Sequence[PageCountRequest] = (),
+        exec_mode: str = "row",
+        cancellation: Optional[CancellationToken] = None,
+    ) -> ShardedExecutedQuery:
+        """Scatter an already-optimized plan, gather, and merge.
+
+        The lower half of :meth:`execute`; the methodology harness uses
+        it directly because §V-B's steps hand the coordinator explicit
+        plans (P, then P').  Feedback is *not* harvested here.
+        """
+        token = (
+            cancellation if cancellation is not None else CancellationToken()
+        )
+        item = WorkloadItem(
+            query=query,
+            requests=tuple(requests),
+            exec_mode=exec_mode,
+        )
+        handles = self._scatter(query, plan, item, token)
+        shard_runs = self._gather(handles)
+        result = self._merge(plan, item, shard_runs)
+        return ShardedExecutedQuery(
+            query=query,
+            plan=plan,
+            result=result,
+            shard_results=list(shard_runs),
+        )
+
+    def run_serial(self, items: Sequence[WorkloadItem]) -> list[ExecutedQuery]:
+        """Execute a workload one item at a time through one session."""
+        session = self.session()
+        return [self.execute(item, session=session) for item in items]
+
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """Coordinator health: shard shape, merged feedback, plan cache."""
+        lines = [
+            f"shards: {self.num_shards} ({self.spec.strategy} partitioning)",
+            f"feedback: {len(self.feedback)} merged record(s), "
+            f"epoch={self.feedback.epoch}",
+        ]
+        if self.plan_cache is None:
+            lines.append("plan-cache: disabled")
+        else:
+            lines.append(self.plan_cache.stats.render())
+        return "\n".join(lines)

@@ -1,0 +1,284 @@
+"""The shard-aware feedback view: N per-shard stores, one optimizer truth.
+
+Each shard's :class:`~repro.engine.Engine` harvests execution feedback
+into its own :class:`~repro.core.feedback.FeedbackStore` — those stores
+only ever see observations taken on that shard's pages.
+:class:`ShardedFeedbackStore` wraps all of them behind the exact
+epoch/injection protocol the planner, plan cache and service already
+speak, so the coordinator's planning session consumes *merged global*
+actuals without any caller knowing the deployment is sharded:
+
+* the **global epoch** lives here, not on the per-shard stores: one
+  scatter-gather harvest (:meth:`record_shard_runs`) ingests every
+  shard's run statistics and advances the epoch exactly once, atomically
+  — concurrent harvests serialize under one lock, and a harvest in which
+  no shard stored anything is a complete no-op (no epoch movement, no
+  cache invalidation), mirroring the single-store contract;
+* :meth:`to_injections` lowers **summed** page counts: shards hold
+  disjoint page sets, so the global distinct page count for a key is the
+  sum of the shards' counts (see ``docs/paper_mapping.md`` on why this
+  never double-charges a page); cardinalities merge the same way;
+* a key only *some* shards reported yields the partial sum but is never
+  marked exact — partial coverage cannot vouch for pages it never saw.
+
+Per-shard writes that bypass the batch path
+(:meth:`record_shard_cardinality`, :meth:`record_shard_observations`)
+also route through the coordinator store so the epoch stays the single
+source of freshness truth.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.common.errors import ShardError
+from repro.core.feedback import FeedbackStore, table_of_key
+from repro.core.requests import PageCountObservation
+from repro.exec.runstats import RunStats
+from repro.optimizer.injection import InjectionSet
+
+
+@dataclass(frozen=True)
+class MergedFeedbackRecord:
+    """One key's merged view across every shard that reported it."""
+
+    key: str
+    page_count: Optional[float]
+    page_count_exact: bool
+    cardinality: Optional[float]
+    shards_reporting: int
+    mechanism: str = ""
+
+
+class ShardedFeedbackStore:
+    """Merged read view + atomic write path over N per-shard stores."""
+
+    def __init__(self, shard_stores: Sequence[FeedbackStore]) -> None:
+        if not shard_stores:
+            raise ShardError("a sharded feedback store needs >= 1 shard store")
+        self._stores = tuple(shard_stores)
+        self._lock = threading.RLock()
+        self._epoch = 0
+        self._table_epochs: dict[str, int] = {}
+        self._lowered: Optional[InjectionSet] = None
+        self._lowered_epoch = -1
+        self.lowering_builds = 0
+        self.lowering_reuses = 0
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._stores)
+
+    def shard_store(self, shard_index: int) -> FeedbackStore:
+        return self._stores[shard_index]
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            merged: set[str] = set()
+            for store in self._stores:
+                merged.update(store.keys())
+            return sorted(merged)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return any(key in store for store in self._stores)
+
+    # ------------------------------------------------------------------
+    # Epochs (the coordinator-global freshness truth)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        with self._lock:
+            return self._epoch
+
+    def table_epoch(self, table: str) -> int:
+        with self._lock:
+            return self._table_epochs.get(table, 0)
+
+    def table_epochs(self, tables: Iterable[str]) -> tuple[tuple[str, int], ...]:
+        with self._lock:
+            return tuple(
+                (table, self._table_epochs.get(table, 0))
+                for table in sorted(set(tables))
+            )
+
+    def _bump(self, tables: Iterable[str]) -> None:
+        """Advance the global epoch and re-tag ``tables`` (lock held)."""
+        self._epoch += 1
+        for table in tables:
+            if table is not None:
+                self._table_epochs[table] = self._epoch
+
+    # ------------------------------------------------------------------
+    # Ingest (one atomic batch per scatter-gather execution)
+    # ------------------------------------------------------------------
+    def record_shard_runs(
+        self, runstats_by_shard: Sequence[Optional[RunStats]]
+    ) -> int:
+        """Harvest one fanned-out execution's per-shard run statistics.
+
+        ``runstats_by_shard[i]`` belongs to shard ``i`` (``None`` for a
+        shard that produced nothing).  The whole batch is one atomic
+        write: per-shard stores ingest under the coordinator lock, and
+        the **global** epoch advances exactly once iff at least one shard
+        stored an answerable observation.  Returns the total number of
+        observations stored.
+        """
+        if len(runstats_by_shard) != self.num_shards:
+            raise ShardError(
+                f"expected runstats for {self.num_shards} shard(s), "
+                f"got {len(runstats_by_shard)}"
+            )
+        with self._lock:
+            stored_total = 0
+            tables: set[str] = set()
+            for store, runstats in zip(self._stores, runstats_by_shard):
+                if runstats is None:
+                    continue
+                stored = store.record_run(runstats)
+                stored_total += stored
+                if stored:
+                    tables.update(
+                        table
+                        for table in (
+                            table_of_key(obs.key)
+                            for obs in runstats.observations
+                            if obs.answered and obs.estimate is not None
+                        )
+                        if table is not None
+                    )
+            if stored_total:
+                self._bump(tables)
+            return stored_total
+
+    def record_shard_observations(
+        self,
+        shard_index: int,
+        observations: Iterable[PageCountObservation],
+    ) -> int:
+        """Ingest observations for one shard (out-of-band harvest path)."""
+        store = self._stores[shard_index]
+        batch = list(observations)
+        with self._lock:
+            stored = store.record_observations(batch)
+            if stored:
+                self._bump(
+                    table
+                    for table in (
+                        table_of_key(obs.key)
+                        for obs in batch
+                        if obs.answered and obs.estimate is not None
+                    )
+                    if table is not None
+                )
+            return stored
+
+    def record_shard_cardinality(
+        self, shard_index: int, key: str, rows: float
+    ) -> None:
+        """Record one shard's observed actual cardinality for ``key``.
+
+        Shards hold disjoint row sets, so the merged view sums these into
+        the global actual.
+        """
+        with self._lock:
+            self._stores[shard_index].record_cardinality(key, rows)
+            table = table_of_key(key)
+            self._bump([table] if table is not None else [])
+
+    # ------------------------------------------------------------------
+    # Merged read view
+    # ------------------------------------------------------------------
+    def merged_records(self) -> dict[str, MergedFeedbackRecord]:
+        """Per-key merge across shards: summed counts, guarded exactness."""
+        with self._lock:
+            merged: dict[str, MergedFeedbackRecord] = {}
+            for key in self.keys():
+                per_shard = [
+                    record
+                    for record in (store.record(key) for store in self._stores)
+                    if record is not None
+                ]
+                pages = [
+                    r.page_count for r in per_shard if r.page_count is not None
+                ]
+                cards = [
+                    r.cardinality for r in per_shard if r.cardinality is not None
+                ]
+                merged[key] = MergedFeedbackRecord(
+                    key=key,
+                    page_count=sum(pages) if pages else None,
+                    page_count_exact=(
+                        len(pages) == self.num_shards
+                        and all(
+                            r.page_count_exact
+                            for r in per_shard
+                            if r.page_count is not None
+                        )
+                    ),
+                    cardinality=sum(cards) if cards else None,
+                    shards_reporting=len(per_shard),
+                    mechanism=per_shard[0].mechanism if per_shard else "",
+                )
+            return merged
+
+    def record(self, key: str) -> Optional[MergedFeedbackRecord]:
+        return self.merged_records().get(key)
+
+    # ------------------------------------------------------------------
+    # Export (the protocol the planner and plan cache consume)
+    # ------------------------------------------------------------------
+    def _lowered_set(self) -> InjectionSet:
+        with self._lock:
+            if self._lowered is None or self._lowered_epoch != self._epoch:
+                lowered = InjectionSet()
+                for key, record in self.merged_records().items():
+                    if record.page_count is not None:
+                        lowered.inject_page_count_by_key(key, record.page_count)
+                self._lowered = lowered
+                self._lowered_epoch = self._epoch
+                self.lowering_builds += 1
+            else:
+                self.lowering_reuses += 1
+            return self._lowered
+
+    def to_injections(self, base: Optional[InjectionSet] = None) -> InjectionSet:
+        """Lower merged (summed) page counts into optimizer injections."""
+        lowered = self._lowered_set()
+        if base is None:
+            return lowered.copy()
+        base.merge_from(lowered)
+        return base
+
+    def snapshot_injections(
+        self,
+        base: Optional[InjectionSet] = None,
+        tables: Iterable[str] = (),
+    ) -> tuple[InjectionSet, tuple[tuple[str, int], ...]]:
+        """Atomically lower the merged view *and* read the freshness vector."""
+        with self._lock:
+            return self.to_injections(base), self.table_epochs(tables)
+
+    # ------------------------------------------------------------------
+    # Guard rails
+    # ------------------------------------------------------------------
+    def record_run(self, runstats: RunStats) -> int:
+        """Reject shard-blind harvests.
+
+        An un-attributed run statistic cannot be merged without knowing
+        *which* shard's pages it counted — silently picking one would
+        corrupt the summed view.  The coordinator harvests through
+        :meth:`record_shard_runs` instead.
+        """
+        raise ShardError(
+            "sharded feedback needs per-shard attribution; "
+            "use record_shard_runs (or record_shard_observations)"
+        )

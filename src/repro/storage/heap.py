@@ -93,6 +93,9 @@ class DataFile:
             raise StorageError(f"fill_factor must be in (0, 1], got {fill_factor}")
         self.file_id = file_id
         self.buffer_pool = buffer_pool
+        # Kept verbatim (not re-derived from page_capacity) so shard files
+        # rebuilt from a partitioned table reproduce the identical layout.
+        self.fill_factor = fill_factor
         full_capacity = rows_per_page(row_width_bytes)
         self.page_capacity = max(1, int(full_capacity * fill_factor))
         self._pages: list[Page] = []

@@ -13,7 +13,7 @@ from typing import Any, Iterator, Optional, Sequence
 
 from repro.common.errors import CatalogError, StorageError
 from repro.common.types import RID, FileId, PageId
-from repro.catalog.schema import IndexDef, TableSchema
+from repro.catalog.schema import IndexDef, TablePartition, TableSchema
 from repro.catalog.statistics import TableStatistics, build_statistics
 from repro.storage.accounting import IOContext
 from repro.storage.btree import BTreeIndex
@@ -36,6 +36,9 @@ class Table:
         self.clustered_index = clustered_index
         self.indexes: dict[str, BTreeIndex] = {}
         self.statistics: Optional[TableStatistics] = None
+        #: Set by :func:`repro.shard.partition.partition_database` on the
+        #: shard-local copies; ``None`` on an unsharded table.
+        self.partition: Optional[TablePartition] = None
         self._rids: list[RID] = []
         self._loaded = False
         self._stats_version = 0

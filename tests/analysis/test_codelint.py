@@ -334,6 +334,13 @@ class TestR009:
             "import threading\nlock = threading.Lock()\n"
         )
 
+    def test_allowed_inside_shard_coordinator(self):
+        """Scatter workers are bare joinable threads by design."""
+        violating = "import threading\nt = threading.Thread(target=w)\n"
+        assert "R009" not in rules_fired(
+            violating, "src/repro/shard/coordinator.py"
+        )
+
 
 # ----------------------------------------------------------------------
 # R011 — vector kernels stay whole-vector
@@ -422,6 +429,76 @@ class TestR012:
 
 
 # ----------------------------------------------------------------------
+# R013 — shard workers touch only their own handle
+# ----------------------------------------------------------------------
+class TestR013:
+    SHARD_PATH = "src/repro/shard/coordinator.py"
+
+    def test_fires_on_registry_read_in_worker(self):
+        assert "R013" in rules_fired(
+            "def _shard_worker(handle):\n"
+            "    peer = engines[0]\n",
+            self.SHARD_PATH,
+        )
+
+    def test_fires_on_feedback_attribute_in_worker(self):
+        assert "R013" in rules_fired(
+            "def _shard_worker(handle):\n"
+            "    handle.engine.feedback.keys()\n",
+            self.SHARD_PATH,
+        )
+
+    def test_fires_on_direct_harvest_call_in_worker(self):
+        assert "R013" in rules_fired(
+            "def _shard_worker(handle, stats):\n"
+            "    store.record_run(stats)\n",
+            self.SHARD_PATH,
+        )
+
+    def test_fires_on_fresh_io_context_in_worker(self):
+        assert "R013" in rules_fired(
+            "def _shard_worker(handle):\n"
+            "    io = handle.engine.database.new_io_context()\n",
+            self.SHARD_PATH,
+        )
+
+    def test_fires_inside_worker_closure(self):
+        assert "R013" in rules_fired(
+            "def _shard_worker(handle):\n"
+            "    def retry():\n"
+            "        return shard_stores[1]\n"
+            "    retry()\n",
+            self.SHARD_PATH,
+        )
+
+    def test_silent_on_own_handle(self):
+        clean = (
+            "def _shard_worker(handle):\n"
+            "    handle.result = handle.engine.execute_plan(\n"
+            "        handle.query, handle.plan, cancellation=handle.token\n"
+            "    )\n"
+        )
+        assert "R013" not in rules_fired(clean, self.SHARD_PATH)
+
+    def test_silent_in_coordinator_merge_code(self):
+        """The coordinator itself may cross shards — only workers may not."""
+        clean = (
+            "def _merge(self, shard_runs):\n"
+            "    return [e.feedback for e in self.engines]\n"
+        )
+        assert "R013" not in rules_fired(clean, self.SHARD_PATH)
+
+    def test_silent_outside_the_shard_package(self):
+        violating = (
+            "def pool_worker(task):\n"
+            "    return engines[0]\n"
+        )
+        assert "R013" not in rules_fired(
+            violating, "src/repro/service/service.py"
+        )
+
+
+# ----------------------------------------------------------------------
 # Shared machinery
 # ----------------------------------------------------------------------
 class TestMachinery:
@@ -470,5 +547,6 @@ class TestMachinery:
             "R010",
             "R011",
             "R012",
+            "R013",
         }
         assert all(CODE_RULES[rule] for rule in CODE_RULES)

@@ -338,6 +338,42 @@ class Service:
 """
         assert fired({"pkg/service/svc.py": source}, ["F002"]) == set()
 
+    def test_fires_when_a_fanout_can_escape_ungathered(self):
+        """Shard fan-out handles own live worker threads: an early
+        return between scatter and gather strands them."""
+        source = """
+class Coordinator:
+    def run_plan(self, query, plan):
+        handles = self._scatter(query, plan)
+        if self.closed:
+            return None
+        return self._gather(handles)
+"""
+        findings = findings_for({"pkg/shard/coordinator.py": source}, ["F002"])
+        assert {f.rule for f in findings} == {"F002"}
+        assert "shard fan-out" in findings[0].message
+
+    def test_fires_when_work_between_scatter_and_gather_can_raise(self):
+        source = """
+class Coordinator:
+    def run_plan(self, query, plan):
+        handles = self._scatter(query, plan)
+        self.telemetry.count("scattered")
+        return self._gather(handles)
+"""
+        assert fired({"pkg/shard/coordinator.py": source}, ["F002"]) == {
+            "F002"
+        }
+
+    def test_silent_when_every_path_gathers(self):
+        source = """
+class Coordinator:
+    def run_plan(self, query, plan):
+        handles = self._scatter(query, plan)
+        return self._gather(handles)
+"""
+        assert fired({"pkg/shard/coordinator.py": source}, ["F002"]) == set()
+
 
 # ----------------------------------------------------------------------
 # F003 — no epoch bump reachable after observing a cancellation

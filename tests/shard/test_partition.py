@@ -1,0 +1,102 @@
+"""Partitioning: page-aligned range runs, deterministic hash scatter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.schema import PartitionSpec, SchemaError
+from repro.common.errors import ShardError
+from repro.shard import check_page_alignment, hash_to_shard, partition_database
+from repro.workloads import build_synthetic_database
+
+
+@pytest.fixture(scope="module")
+def database():
+    return build_synthetic_database(num_rows=8_000, seed=11)
+
+
+class TestRangePartitioning:
+    def test_page_aligned_and_complete(self, database):
+        shards = partition_database(database, PartitionSpec(num_shards=4))
+        assert check_page_alignment(database, shards) == []
+
+    def test_rows_partition_without_loss_or_duplication(self, database):
+        shards = partition_database(database, PartitionSpec(num_shards=4))
+        total = sum(shard.table("t").num_rows for shard in shards)
+        assert total == database.table("t").num_rows
+        # Clustered key ranges are disjoint and ascending shard to shard:
+        # shard s's last c1 precedes shard s+1's first c1.
+        boundaries = []
+        for shard in shards:
+            table = shard.table("t")
+            rows = [
+                row
+                for page in table.all_page_ids()
+                for row in table.rows_on_page(page)
+            ]
+            keys = [row[0] for row in rows]
+            assert keys == sorted(keys)
+            boundaries.append((keys[0], keys[-1]))
+        for (_, last), (first, _) in zip(boundaries, boundaries[1:]):
+            assert last < first
+
+    def test_shard_metadata_recorded(self, database):
+        spec = PartitionSpec(num_shards=3)
+        shards = partition_database(database, spec)
+        for index, shard in enumerate(shards):
+            assert shard.shard_index == index
+            assert shard.partition_spec == spec
+            partition = shard.table("t").partition
+            assert partition is not None
+            assert partition.shard_index == index
+            assert partition.page_offset is not None
+
+    def test_fill_factor_preserved(self, database):
+        shards = partition_database(database, PartitionSpec(num_shards=4))
+        original = database.table("t").data_file
+        for shard in shards:
+            assert shard.table("t").data_file.fill_factor == original.fill_factor
+            assert (
+                shard.table("t").data_file.page_capacity
+                == original.page_capacity
+            )
+
+    def test_partitioning_a_shard_is_rejected(self, database):
+        shards = partition_database(database, PartitionSpec(num_shards=2))
+        with pytest.raises(ShardError):
+            partition_database(shards[0], PartitionSpec(num_shards=2))
+
+
+class TestHashPartitioning:
+    def test_deterministic(self):
+        first = [hash_to_shard(value, 4, seed=7) for value in range(100)]
+        second = [hash_to_shard(value, 4, seed=7) for value in range(100)]
+        assert first == second
+
+    def test_seed_changes_placement(self):
+        values = list(range(200))
+        a = [hash_to_shard(v, 4, seed=0) for v in values]
+        b = [hash_to_shard(v, 4, seed=1) for v in values]
+        assert a != b
+
+    def test_reasonably_balanced(self, database):
+        shards = partition_database(
+            database, PartitionSpec(num_shards=4, strategy="hash")
+        )
+        sizes = [shard.table("t").num_rows for shard in shards]
+        assert sum(sizes) == database.table("t").num_rows
+        assert min(sizes) > 0.5 * (sum(sizes) / len(sizes))
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ShardError):
+            hash_to_shard(1, 0)
+
+
+class TestSpecValidation:
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(SchemaError):
+            PartitionSpec(num_shards=2, strategy="round-robin")
+
+    def test_non_positive_shards_rejected(self):
+        with pytest.raises(SchemaError):
+            PartitionSpec(num_shards=0)
