@@ -6,6 +6,14 @@ digests (p50/p95/p99), queue-wait digests and QPS — the serving-layer
 view of the paper's claim: shared feedback plus the shared plan cache
 make the *tail* of a live workload faster as the service warms up.
 
+With ``--workers N`` the same sweep runs over the multi-process worker
+tier: one :class:`~repro.service.workers.WorkerPool` is spawned up front
+(workers rebuild the seeded database once) and re-bound to each width's
+fresh engine, so the spawn cost is paid once per bench, not per width.
+The coordinator keeps the one authoritative feedback store either way,
+which is why the cold-run equivalence diff is asserted identically in
+both modes.
+
 Each width also asserts the engine's serial≡concurrent equivalence
 (``Engine.equivalence_report``) and the service-level response diff
 against a fresh serial replay, so a throughput number is never reported
@@ -13,13 +21,15 @@ for a run that changed what the feedback loop observes.
 
 Non-gating; run directly::
 
-    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py [--workers N]
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import sys
+from typing import Optional
 
 from repro.engine import Engine, WorkloadItem
 from repro.harness.loadgen import (
@@ -30,7 +40,7 @@ from repro.harness.loadgen import (
     workload_items,
 )
 from repro.harness.reporting import format_table
-from repro.service import QueryService
+from repro.service import QueryService, WorkerPool, WorkerSpec
 from repro.workloads import build_synthetic_database
 
 #: Closed-loop widths to sweep.
@@ -46,7 +56,26 @@ NUM_ROWS = 20_000
 SEED = 1234
 
 
-async def _one_width(database, concurrency: int, warm: bool) -> dict:
+def _build_pool(workers: int) -> Optional[WorkerPool]:
+    """The bench's worker tier (``None`` for the in-process baseline)."""
+    if workers <= 0:
+        return None
+    spec = WorkerSpec(
+        "repro.workloads:build_synthetic_database",
+        {"num_rows": NUM_ROWS, "seed": SEED},
+    )
+    # The placeholder engine is replaced per width via rebind_engine.
+    database = build_synthetic_database(num_rows=NUM_ROWS, seed=SEED)
+    return WorkerPool(spec, num_workers=workers, engine=Engine(database))
+
+
+async def _one_width(
+    database,
+    concurrency: int,
+    warm: bool,
+    workers: int,
+    pool: Optional[WorkerPool],
+) -> dict:
     engine = Engine(database)
     if warm:
         for item in workload_items(database, DEFAULT_WORKLOAD_SQL):
@@ -55,15 +84,25 @@ async def _one_width(database, concurrency: int, warm: bool) -> dict:
                     query=item.query, requests=item.requests, remember=True
                 )
             )
+    if pool is not None:
+        pool.rebind_engine(engine)
+    # With a pool the admission width matches the worker count: admitted
+    # queries block on an idle worker anyway, so a wider window would
+    # only queue inside the pool instead of at admission.
+    max_in_flight = max(MAX_IN_FLIGHT, workers)
     service = QueryService(
         engine,
-        max_in_flight=MAX_IN_FLIGHT,
-        max_queue_depth=max(concurrency, MAX_IN_FLIGHT),
+        max_in_flight=max_in_flight,
+        max_queue_depth=max(concurrency, max_in_flight),
+        worker_pool=pool,
     )
     report = await run_closed_loop(
         service,
         LoadSpec(concurrency=concurrency, passes=PASSES, use_feedback=warm),
     )
+    # The pool outlives each width (spawn cost is paid once per bench):
+    # detach it before shutdown so only the service-side state drains.
+    service.worker_pool = None
     await service.shutdown()
     if report.leaked is not None:
         raise RuntimeError(f"admission slot leak: {report.leaked}")
@@ -78,6 +117,8 @@ async def _one_width(database, concurrency: int, warm: bool) -> dict:
     return {
         "concurrency": concurrency,
         "mode": "warm" if warm else "cold",
+        "workers": workers,
+        "max_in_flight": max_in_flight,
         "qps": round(report.qps, 1),
         "p50_ms": round(latency["p50"], 3),
         "p95_ms": round(latency["p95"], 3),
@@ -88,7 +129,7 @@ async def _one_width(database, concurrency: int, warm: bool) -> dict:
     }
 
 
-def run_bench() -> dict:
+def run_bench(workers: int = 0) -> dict:
     database = build_synthetic_database(num_rows=NUM_ROWS, seed=SEED)
 
     engine_report = Engine(database).equivalence_report(
@@ -102,28 +143,45 @@ def run_bench() -> dict:
             "benchmark a service whose engine is not serial-equivalent"
         )
 
-    sweeps = []
-    for concurrency in CONCURRENCIES:
-        for warm in (False, True):
-            sweeps.append(
-                asyncio.run(_one_width(database, concurrency, warm))
-            )
+    pool = _build_pool(workers)
+    try:
+        sweeps = []
+        for concurrency in CONCURRENCIES:
+            for warm in (False, True):
+                sweeps.append(
+                    asyncio.run(
+                        _one_width(database, concurrency, warm, workers, pool)
+                    )
+                )
+    finally:
+        if pool is not None:
+            pool.shutdown()
     return {
         "benchmark": "service closed-loop throughput (Fig. 6 workload)",
         "num_rows": NUM_ROWS,
         "seed": SEED,
         "max_in_flight": MAX_IN_FLIGHT,
         "passes": PASSES,
+        "workers": workers,
         "sweeps": sweeps,
     }
 
 
 def main() -> int:
-    result = run_bench()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = in-process execution)",
+    )
+    args = parser.parse_args()
+    result = run_bench(workers=args.workers)
     rows = [
         [
             s["concurrency"],
             s["mode"],
+            s["workers"],
             s["qps"],
             s["p50_ms"],
             s["p95_ms"],
@@ -134,7 +192,8 @@ def main() -> int:
     ]
     print(
         format_table(
-            ["clients", "mode", "qps", "p50", "p95", "p99", "queue p99"],
+            ["clients", "mode", "workers", "qps", "p50", "p95", "p99",
+             "queue p99"],
             rows,
         )
     )

@@ -256,6 +256,14 @@ def _add_serve(subparsers) -> None:
         default=1,
         help="serve from an N-shard scatter-gather deployment",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="execute on N worker processes (each rebuilds the seeded "
+        "database; feedback stays centralized in the coordinator); "
+        "0 = in-process execution",
+    )
 
 
 def _build_engine(database, shards: int):
@@ -270,16 +278,48 @@ def _build_engine(database, shards: int):
     return Engine(database)
 
 
+def _build_worker_pool(args, engine):
+    """A WorkerPool for ``--workers N``, or ``None`` when disabled.
+
+    Workers rebuild the same synthetic database the coordinator holds
+    (same factory, same kwargs), which is what keeps the equivalence
+    diff at zero.  Mutually exclusive with ``--shards``: the worker tier
+    harvests into one authoritative engine-owned feedback store, which
+    the scatter-gather coordinator replaces with its own merge path.
+    """
+    workers = getattr(args, "workers", 0)
+    if workers <= 0:
+        return None
+    if getattr(args, "shards", 1) > 1:
+        raise SystemExit(
+            "--workers and --shards are mutually exclusive; pick one "
+            "scaling axis"
+        )
+    from repro.service import WorkerPool, WorkerSpec
+
+    print(f"spawning {workers} worker process(es)...", file=sys.stderr)
+    return WorkerPool(
+        WorkerSpec(
+            "repro.workloads:build_synthetic_database",
+            {"num_rows": args.rows, "seed": args.seed, "with_copy": True},
+        ),
+        num_workers=workers,
+        engine=engine,
+    )
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
     from repro.service import QueryServer, QueryService
 
     database = _build_synthetic(args)
+    engine = _build_engine(database, args.shards)
     service = QueryService(
-        _build_engine(database, args.shards),
+        engine,
         max_in_flight=args.max_in_flight,
         max_queue_depth=args.max_queue_depth,
+        worker_pool=_build_worker_pool(args, engine),
     )
     server = QueryServer(service, host=args.host, port=args.port)
 
@@ -330,6 +370,13 @@ def _add_loadgen(subparsers) -> None:
         help="drive an in-process N-shard deployment (serial diff then "
         "compares rows only; see diff_against_serial)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="execute on N worker processes behind the admission "
+        "controller (in-process service only); 0 = single process",
+    )
 
 
 def _cmd_loadgen(args) -> int:
@@ -374,18 +421,26 @@ def _cmd_loadgen(args) -> int:
                 )
             )
 
+    worker_pool = _build_worker_pool(args, engine)
+
     async def run():
         service = QueryService(
             engine,
             max_in_flight=args.max_in_flight,
             max_queue_depth=max(args.clients, args.max_in_flight),
+            worker_pool=worker_pool,
         )
         report = await run_closed_loop(service, spec)
+        stats = await service.stats()
         await service.shutdown()
-        return report
+        return report, stats
 
-    report = asyncio.run(run())
+    report, stats = asyncio.run(run())
     print(report.render())
+    if stats.get("workers") is not None:
+        from repro.harness.reporting import format_worker_table
+
+        print(format_worker_table(stats["workers"]))
     if not args.warm:
         diffs = diff_against_serial(
             database, report, rows_only=args.shards > 1

@@ -61,6 +61,14 @@ This module enforces them statically:
           ``.feedback`` store, harvest feedback (``record_*``) or mint
           accounting contexts — cross-shard state flows only through
           the coordinator's gather/merge interfaces
+``R014``  worker-child modules (``service/worker_main.py``,
+          ``service/marshal.py`` — everything a spawned worker process
+          imports) never touch the coordinator's authority: no
+          ``.plan_cache`` access, no ``repro.lifecycle`` /
+          ``PlanCache`` imports, and no feedback-store mutation
+          (``record_*`` / ``harvest_observations``) — a worker's
+          observations travel back only through the marshalling
+          protocol, and the coordinator applies them
 ========  =====================================================================
 
 Suppress a finding inline with a trailing ``lint: disable=R003`` comment
@@ -92,6 +100,8 @@ CODE_RULES: dict[str, str] = {
     "R011": "no per-row loops inside matches_vector/evaluate_columns kernels",
     "R012": "no magic 1024 batch-size literal in exec//sql/ (DEFAULT_BATCH_ROWS)",
     "R013": "shard workers touch only their own handle (no cross-shard state)",
+    "R014": "worker-child modules never touch the coordinator's "
+    "PlanCache/FeedbackStore",
 }
 
 #: Per-rule path suffixes where the rule intentionally does not apply.
@@ -194,6 +204,26 @@ _SHARD_FORBIDDEN_CALLS = frozenset(
 )
 
 
+#: Modules a spawned worker child imports (R014): the process-boundary
+#: side of the multi-process tier.  The coordinator's PlanCache and
+#: FeedbackStore live in the parent; a child touching either would
+#: silently mutate a *replica* nobody observes — or worse, smuggle live
+#: objects across the pipe.
+_WORKER_CHILD_MODULES = ("service/worker_main.py", "service/marshal.py")
+
+#: Feedback-store mutation entry points a worker child must not call
+#: (R014): harvests happen coordinator-side, from marshalled batches.
+_WORKER_CHILD_FORBIDDEN_CALLS = frozenset(
+    {
+        "record_run",
+        "record_observations",
+        "record_cardinality",
+        "record_shard_runs",
+        "harvest_observations",
+    }
+)
+
+
 def _dotted(node: ast.AST) -> Optional[tuple[str, ...]]:
     """``a.b.c`` -> ``("a", "b", "c")``; None for non-name chains."""
     parts: list[str] = []
@@ -229,6 +259,11 @@ class _FileChecker(ast.NodeVisitor):
         self._r012_in_scope = "/exec/" in normalized or "/sql/" in normalized
         #: R013 polices shard-local code only: files under shard/.
         self._r013_in_scope = "/shard/" in normalized
+        #: R014 polices the modules a spawned worker child imports.
+        self._r014_in_scope = any(
+            normalized.endswith("/" + module)
+            for module in _WORKER_CHILD_MODULES
+        )
 
     def report(self, rule: str, node: ast.AST, message: str, hint: str = "") -> None:
         if rule not in self.rules:
@@ -280,6 +315,21 @@ class _FileChecker(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
+    # -- R014: worker-child modules stay off coordinator authority ------
+    def _check_worker_child_call(
+        self, node: ast.Call, chain: tuple[str, ...]
+    ) -> None:
+        if chain[-1] in _WORKER_CHILD_FORBIDDEN_CALLS:
+            self.report(
+                "R014",
+                node,
+                f"worker-child module mutates a feedback store: "
+                f"{'.'.join(chain)}()",
+                hint="workers execute with remember=False; observations "
+                "travel back through marshal_observations and the "
+                "coordinator applies the batch (Engine.harvest_observations)",
+            )
+
     # -- R001 / R002 / R005: forbidden calls ---------------------------
     def visit_Call(self, node: ast.Call) -> None:
         chain = _dotted(node.func)
@@ -287,6 +337,8 @@ class _FileChecker(ast.NodeVisitor):
             self._check_call_chain(node, chain)
             if self._in_shard_worker():
                 self._check_shard_worker_call(node, chain)
+            if self._r014_in_scope:
+                self._check_worker_child_call(node, chain)
         self.generic_visit(node)
 
     def _check_call_chain(self, node: ast.Call, chain: tuple[str, ...]) -> None:
@@ -516,6 +568,32 @@ class _FileChecker(ast.NodeVisitor):
                 "importing asyncio.get_event_loop",
                 hint="use asyncio.get_running_loop() inside coroutines",
             )
+        if self._r014_in_scope and (
+            module.startswith("repro.lifecycle") or "PlanCache" in names
+        ):
+            self.report(
+                "R014",
+                node,
+                f"worker-child module imports coordinator machinery "
+                f"from {module}",
+                hint="repro.lifecycle (PlanCache) is coordinator-side; "
+                "nothing a worker child imports may reach it",
+            )
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self._r014_in_scope:
+            for alias in node.names:
+                if alias.name.startswith("repro.lifecycle"):
+                    self.report(
+                        "R014",
+                        node,
+                        f"worker-child module imports coordinator machinery "
+                        f"{alias.name}",
+                        hint="repro.lifecycle (PlanCache) is "
+                        "coordinator-side; nothing a worker child imports "
+                        "may reach it",
+                    )
         self.generic_visit(node)
 
     # -- R006: global clock attribute access ---------------------------
@@ -539,6 +617,16 @@ class _FileChecker(ast.NodeVisitor):
                 "feedback store (.feedback)",
                 hint="per-shard observations flow back through the worker's "
                 "result; the coordinator merges and harvests them",
+            )
+        elif node.attr == "plan_cache" and self._r014_in_scope:
+            self.report(
+                "R014",
+                node,
+                "worker-child module reaches a plan cache (.plan_cache)",
+                hint="the coordinator owns the one authoritative PlanCache; "
+                "worker children optimize with their own engine's private "
+                "state and ship nothing back but rows, stats and marshalled "
+                "observations",
             )
         self.generic_visit(node)
 

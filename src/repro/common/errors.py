@@ -103,6 +103,32 @@ class AdmissionError(ServiceError):
     accepting).  Clients see this as ``SERVICE_OVERLOADED``."""
 
 
+class WorkerError(ServiceError):
+    """The multi-process worker tier violated its protocol (bad spec,
+    unexpected reply shape, pool misuse)."""
+
+
+class WorkerCrashed(WorkerError):
+    """A worker process died while a query was in flight on it.
+
+    The coordinator answers the affected request with the typed
+    ``WORKER_CRASHED`` error code, releases its admission slot and
+    respawns the worker; other in-flight requests are untouched."""
+
+
+class WorkerQueryError(WorkerError):
+    """A query failed *inside* a worker process for an ordinary reason
+    (bad request, execution error).  The worker classifies the failure
+    into the service's wire error-code vocabulary and the coordinator
+    relays ``code``/``message`` verbatim, so worker-side failures answer
+    bit-identically to in-process ones."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
 class AnalysisError(ReproError):
     """The static-analysis subsystem received invalid input."""
 

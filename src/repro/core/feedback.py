@@ -389,6 +389,17 @@ class FeedbackStore:
                 )
         return store
 
+    def snapshot_json(self) -> tuple[int, str]:
+        """Atomically read ``(epoch, to_json())`` under one lock hold.
+
+        The worker tier ships feedback replicas to child processes keyed
+        by the epoch they describe; reading the epoch and the payload in
+        two separate calls would race with concurrent harvests and tag a
+        newer payload with an older epoch (or vice versa).
+        """
+        with self._lock:
+            return self._epoch, self.to_json()
+
     def save(self, path: Union[str, Path]) -> None:
         """Write the store to ``path`` (a str or Path)."""
         Path(path).write_text(self.to_json(), encoding="utf-8")

@@ -39,7 +39,7 @@ from repro.common.cancellation import CancellationToken
 from repro.common.errors import EngineError
 from repro.core.feedback import FeedbackStore
 from repro.core.planner import MonitorConfig
-from repro.core.requests import PageCountRequest
+from repro.core.requests import PageCountObservation, PageCountRequest
 from repro.lifecycle.plancache import PlanCache
 from repro.optimizer.hints import PlanHint
 from repro.optimizer.injection import InjectionSet
@@ -416,6 +416,25 @@ class Engine:
                 )
             )
         return report
+
+    # ------------------------------------------------------------------
+    def harvest_observations(
+        self, observations: Sequence[PageCountObservation]
+    ) -> int:
+        """Apply one harvested observation batch to the shared store.
+
+        The coordinator-side entry point for feedback that was collected
+        *elsewhere* (a worker process) and travelled back over the
+        marshalling protocol: the whole batch lands atomically under the
+        engine's feedback write lock, advancing the epoch exactly once —
+        the same contract as
+        :meth:`repro.shard.ShardedFeedbackStore.record_shard_runs`.  A
+        batch with zero answerable observations is a complete no-op (no
+        epoch bump), so derived caches stay valid.  Returns how many
+        observations were stored.
+        """
+        with self._feedback_lock:
+            return self.feedback.record_observations(observations)
 
     # ------------------------------------------------------------------
     def report(self) -> str:

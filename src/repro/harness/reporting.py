@@ -90,6 +90,39 @@ def percentile(values: Sequence[float], q: float) -> float:
     return float(ordered[low] * (1 - fraction) + ordered[high] * fraction)
 
 
+def format_worker_table(workers_snapshot: dict) -> str:
+    """Render a ``WorkerPool.snapshot()`` as the stats endpoint's text.
+
+    One row per worker process (pid, alive/busy state, queries served,
+    respawn count, last-synced feedback epoch) under a pool-level
+    occupancy header — the human form of the per-worker gauges the
+    ``stats`` wire request carries.
+    """
+    header = (
+        f"workers: {workers_snapshot.get('num_workers', 0)} "
+        f"(busy {workers_snapshot.get('busy', 0)}, "
+        f"idle {workers_snapshot.get('idle', 0)}, "
+        f"restarts {workers_snapshot.get('restarts', 0)})"
+    )
+    rows = [
+        [
+            w.get("worker_id", "?"),
+            w.get("pid", "?"),
+            "yes" if w.get("alive") else "no",
+            "busy" if w.get("busy") else "idle",
+            w.get("queries_served", 0),
+            w.get("respawns", 0),
+            w.get("synced_epoch", -1),
+        ]
+        for w in workers_snapshot.get("workers", [])
+    ]
+    table = format_table(
+        ["worker", "pid", "alive", "state", "served", "respawns", "epoch"],
+        rows,
+    )
+    return f"{header}\n{table}"
+
+
 def latency_summary(values: Sequence[float]) -> dict[str, float]:
     """The serving-layer digest of a latency series: count, mean, tail."""
     if not values:

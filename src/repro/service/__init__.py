@@ -7,6 +7,11 @@ control, deadlines, telemetry, graceful shutdown) and
 
 from repro.service.admission import AdmissionController, AdmissionSlot
 from repro.service.client import InProcessClient, TCPClient
+from repro.service.marshal import (
+    WorkerSpec,
+    marshal_observations,
+    unmarshal_observations,
+)
 from repro.service.protocol import (
     BAD_REQUEST,
     DEADLINE_EXCEEDED,
@@ -15,19 +20,21 @@ from repro.service.protocol import (
     QUERY_ERROR,
     SERVICE_OVERLOADED,
     SERVICE_SHUTTING_DOWN,
+    WORKER_CRASHED,
     QueryRequest,
     QueryResponse,
     decode_message,
     encode_message,
 )
 from repro.service.server import QueryServer
-from repro.service.service import QueryService
+from repro.service.service import ExecutionOutcome, QueryService
 from repro.service.telemetry import (
     STANDARD_COUNTERS,
     STANDARD_GAUGES,
     STANDARD_HISTOGRAMS,
     ServiceTelemetry,
 )
+from repro.service.workers import WorkerOutcome, WorkerPool
 
 __all__ = [
     "AdmissionController",
@@ -35,6 +42,7 @@ __all__ = [
     "BAD_REQUEST",
     "DEADLINE_EXCEEDED",
     "ERROR_CODES",
+    "ExecutionOutcome",
     "INTERNAL_ERROR",
     "InProcessClient",
     "QUERY_ERROR",
@@ -49,6 +57,12 @@ __all__ = [
     "STANDARD_HISTOGRAMS",
     "ServiceTelemetry",
     "TCPClient",
+    "WORKER_CRASHED",
+    "WorkerOutcome",
+    "WorkerPool",
+    "WorkerSpec",
     "decode_message",
     "encode_message",
+    "marshal_observations",
+    "unmarshal_observations",
 ]

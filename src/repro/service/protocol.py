@@ -34,6 +34,8 @@ DEADLINE_EXCEEDED = "DEADLINE_EXCEEDED"
 BAD_REQUEST = "BAD_REQUEST"
 QUERY_ERROR = "QUERY_ERROR"
 INTERNAL_ERROR = "INTERNAL_ERROR"
+#: A worker process died while this request was in flight on it.
+WORKER_CRASHED = "WORKER_CRASHED"
 
 ERROR_CODES = (
     SERVICE_OVERLOADED,
@@ -42,6 +44,7 @@ ERROR_CODES = (
     BAD_REQUEST,
     QUERY_ERROR,
     INTERNAL_ERROR,
+    WORKER_CRASHED,
 )
 
 _EXEC_MODES = ("row", "batch", "columnar")

@@ -45,6 +45,8 @@ import asyncio
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Optional
 
+from dataclasses import dataclass
+
 from repro.common.cancellation import CancellationToken
 from repro.common.errors import (
     AdmissionError,
@@ -52,10 +54,11 @@ from repro.common.errors import (
     ReproError,
     ExpressionError,
     ServiceError,
+    WorkerCrashed,
+    WorkerQueryError,
 )
 from repro.engine import Engine, WorkloadItem
 from repro.harness.methodology import default_requests
-from repro.lifecycle.runner import ExecutedQuery
 from repro.harness.timing import Stopwatch
 from repro.service.admission import AdmissionController
 from repro.service.protocol import (
@@ -65,11 +68,27 @@ from repro.service.protocol import (
     QUERY_ERROR,
     SERVICE_OVERLOADED,
     SERVICE_SHUTTING_DOWN,
+    WORKER_CRASHED,
     QueryRequest,
     QueryResponse,
 )
 from repro.service.telemetry import ServiceTelemetry
+from repro.service.workers import WorkerPool
 from repro.sql import parse_query
+
+
+@dataclass
+class ExecutionOutcome:
+    """One executed request, uniform across the two execution paths.
+
+    The in-process path converts its :class:`ExecutedQuery`; the worker
+    path's :class:`~repro.service.workers.WorkerOutcome` already carries
+    wire-shaped rows and a ``RunStats`` dict.
+    """
+
+    rows: list[list[Any]]
+    columns: list[str]
+    runstats: dict[str, Any]
 
 
 class QueryService:
@@ -81,11 +100,18 @@ class QueryService:
         max_in_flight: int = 8,
         max_queue_depth: int = 32,
         monitor_by_default: bool = True,
+        worker_pool: Optional[WorkerPool] = None,
     ) -> None:
         self.engine = engine
         self.admission = AdmissionController(max_in_flight, max_queue_depth)
         self.telemetry = ServiceTelemetry()
         self.monitor_by_default = monitor_by_default
+        #: Optional multi-process execution tier; with a pool attached,
+        #: admitted queries run on worker processes while this service's
+        #: engine keeps the one authoritative feedback store/plan cache.
+        self.worker_pool = worker_pool
+        if worker_pool is not None:
+            worker_pool.attach_telemetry(self.telemetry)
         self._pool = ThreadPoolExecutor(
             max_workers=max_in_flight, thread_name_prefix="repro-service"
         )
@@ -236,23 +262,22 @@ class QueryService:
                 )
             self._live_tokens.add(token)
             try:
-                executed = await loop.run_in_executor(
+                outcome = await loop.run_in_executor(
                     self._pool, self._execute_blocking, request, token
                 )
             finally:
                 self._live_tokens.discard(token)
-            rows = [list(row) for row in executed.result.rows]
             self.telemetry.count("completed")
             self.telemetry.observe(
                 "execution_ms", watch.elapsed_seconds * 1000 - queue_wait_ms
             )
-            self.telemetry.observe("rows_returned", len(rows))
+            self.telemetry.observe("rows_returned", len(outcome.rows))
             return self._finish(
                 QueryResponse(
                     request_id=request.request_id,
-                    rows=rows,
-                    columns=list(executed.result.columns),
-                    runstats=executed.result.runstats.to_dict(),
+                    rows=outcome.rows,
+                    columns=outcome.columns,
+                    runstats=outcome.runstats,
                 ),
                 queue_wait_ms,
                 watch,
@@ -266,6 +291,29 @@ class QueryService:
                 code = SERVICE_SHUTTING_DOWN
             return self._finish(
                 QueryResponse.failure(request.request_id, code, exc.reason),
+                queue_wait_ms,
+                watch,
+            )
+        except WorkerQueryError as exc:
+            # A worker-side failure already classified into the wire
+            # vocabulary: relay code and message verbatim.
+            self.telemetry.count("failed")
+            return self._finish(
+                QueryResponse.failure(
+                    request.request_id, exc.code, exc.message
+                ),
+                queue_wait_ms,
+                watch,
+            )
+        except WorkerCrashed as exc:
+            # The worker process died under this request.  The slot
+            # settles through the finally below (conservation law), and
+            # the pool respawns the worker on its next acquisition.
+            self.telemetry.count("failed")
+            return self._finish(
+                QueryResponse.failure(
+                    request.request_id, WORKER_CRASHED, str(exc)
+                ),
                 queue_wait_ms,
                 watch,
             )
@@ -317,14 +365,30 @@ class QueryService:
 
     def _execute_blocking(
         self, request: QueryRequest, token: CancellationToken
-    ) -> ExecutedQuery:
-        """The thread-pool half: parse, plan, execute, (maybe) harvest."""
+    ) -> ExecutionOutcome:
+        """The thread-pool half: parse, plan, execute, (maybe) harvest.
+
+        With a worker pool attached the execution (and its monitoring)
+        happens in a worker process; the SQL still parses *here* first so
+        malformed requests fail fast as ``BAD_REQUEST`` without spending
+        a worker, and the pool applies any returned observations to this
+        service's authoritative feedback store before the reply returns.
+        """
         query = parse_query(request.sql)
         monitor = (
             self.monitor_by_default
             if request.monitor is None
             else request.monitor
         )
+        if self.worker_pool is not None:
+            outcome = self.worker_pool.execute(
+                request, token=token, monitor=monitor
+            )
+            return ExecutionOutcome(
+                rows=outcome.rows,
+                columns=outcome.columns,
+                runstats=outcome.runstats,
+            )
         requests = (
             tuple(default_requests(self.engine.database, query))
             if monitor
@@ -339,7 +403,14 @@ class QueryService:
             exec_mode=request.exec_mode,
         )
         session = self.engine.session()
-        return self.engine.execute(item, session=session, cancellation=token)
+        executed = self.engine.execute(
+            item, session=session, cancellation=token
+        )
+        return ExecutionOutcome(
+            rows=[list(row) for row in executed.result.rows],
+            columns=list(executed.result.columns),
+            runstats=executed.result.runstats.to_dict(),
+        )
 
     # ------------------------------------------------------------------
     async def stats(self) -> dict[str, Any]:
@@ -359,6 +430,11 @@ class QueryService:
                 ),
                 "report": self.engine.report(),
             },
+            "workers": (
+                self.worker_pool.snapshot()
+                if self.worker_pool is not None
+                else None
+            ),
         }
 
     async def shutdown(self, drain: bool = True) -> None:
@@ -386,5 +462,7 @@ class QueryService:
         # these two blocking joins return promptly and nothing else runs
         # on the loop that they could starve.
         self._pool.shutdown(wait=True)  # lint: disable=C003
+        if self.worker_pool is not None:
+            self.worker_pool.shutdown()
         if not self.engine.closed:
             self.engine.shutdown(drain=True)  # lint: disable=C003

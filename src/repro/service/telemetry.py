@@ -23,6 +23,9 @@ from typing import Any, Optional
 from repro.harness.reporting import format_table, latency_summary
 
 #: Counters every :class:`ServiceTelemetry` starts with.
+#: ``worker_restarts`` counts worker-process respawns by the
+#: multi-process tier (0 on a pool-less service — the snapshot shape is
+#: identical either way).
 STANDARD_COUNTERS = (
     "admitted",
     "rejected",
@@ -30,13 +33,16 @@ STANDARD_COUNTERS = (
     "timed_out",
     "cancelled",
     "failed",
+    "worker_restarts",
 )
 
 #: Histograms every :class:`ServiceTelemetry` starts with.
 STANDARD_HISTOGRAMS = ("queue_wait_ms", "execution_ms", "rows_returned")
 
-#: Gauges every :class:`ServiceTelemetry` starts with.
-STANDARD_GAUGES = ("in_flight", "queue_depth")
+#: Gauges every :class:`ServiceTelemetry` starts with.  The two
+#: ``workers_*`` gauges track the multi-process tier's occupancy and
+#: stay 0 on a pool-less service.
+STANDARD_GAUGES = ("in_flight", "queue_depth", "workers_busy", "workers_idle")
 
 
 class Counter:

@@ -499,6 +499,70 @@ class TestR013:
 
 
 # ----------------------------------------------------------------------
+# R014 — worker-child modules stay off coordinator authority
+# ----------------------------------------------------------------------
+class TestR014:
+    CHILD_PATH = "src/repro/service/worker_main.py"
+    MARSHAL_PATH = "src/repro/service/marshal.py"
+
+    def test_fires_on_store_mutation_in_child(self):
+        assert "R014" in rules_fired(
+            "def _serve_query(engine, message):\n"
+            "    engine.feedback.record_observations(batch)\n",
+            self.CHILD_PATH,
+        )
+
+    def test_fires_on_run_harvest_in_marshal(self):
+        assert "R014" in rules_fired(
+            "def apply(store, runstats):\n"
+            "    store.record_run(runstats)\n",
+            self.MARSHAL_PATH,
+        )
+
+    def test_fires_on_plan_cache_access_in_child(self):
+        assert "R014" in rules_fired(
+            "def _serve_query(engine, message):\n"
+            "    engine.plan_cache.resolve(query)\n",
+            self.CHILD_PATH,
+        )
+
+    def test_fires_on_lifecycle_import_in_child(self):
+        assert "R014" in rules_fired(
+            "from repro.lifecycle.plancache import PlanCache\n",
+            self.CHILD_PATH,
+        )
+        assert "R014" in rules_fired(
+            "import repro.lifecycle.plancache\n", self.CHILD_PATH
+        )
+
+    def test_silent_on_replica_swap(self):
+        """Swapping in a rebuilt replica is the sanctioned sync path."""
+        clean = (
+            "from repro.core.feedback import FeedbackStore\n"
+            "def _serve_query(engine, message):\n"
+            "    engine.feedback = FeedbackStore.from_json(payload)\n"
+        )
+        assert "R014" not in rules_fired(clean, self.CHILD_PATH)
+
+    def test_silent_on_marshalling_itself(self):
+        clean = (
+            "def marshal_observations(observations):\n"
+            "    return [{'key': obs.key} for obs in observations]\n"
+        )
+        assert "R014" not in rules_fired(clean, self.MARSHAL_PATH)
+
+    def test_silent_coordinator_side(self):
+        """The pool and the engine ARE the coordinator: harvest is theirs."""
+        coordinator = (
+            "def _interpret_reply(self, reply):\n"
+            "    return self.engine.harvest_observations(batch)\n"
+        )
+        assert "R014" not in rules_fired(
+            coordinator, "src/repro/service/workers.py"
+        )
+
+
+# ----------------------------------------------------------------------
 # Shared machinery
 # ----------------------------------------------------------------------
 class TestMachinery:
@@ -548,5 +612,6 @@ class TestMachinery:
             "R011",
             "R012",
             "R013",
+            "R014",
         }
         assert all(CODE_RULES[rule] for rule in CODE_RULES)

@@ -1,0 +1,169 @@
+"""Worker-process death: typed errors, slot conservation, respawn.
+
+The law under test: a worker dying — mid-scan, between finishing a query
+and replying, or while sitting idle — costs at most the one request that
+was on it.  That request fails with the typed ``WORKER_CRASHED`` code,
+its admission slot settles (the conservation audit stays clean), and the
+pool respawns the worker so the *next* request is served normally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.common.cancellation import CancellationToken
+from repro.common.errors import QueryCancelled, WorkerCrashed
+from repro.engine import Engine
+from repro.service import (
+    WORKER_CRASHED,
+    QueryRequest,
+    QueryService,
+    WorkerPool,
+    WorkerSpec,
+)
+from repro.service.telemetry import leaked_slots_from
+from repro.workloads import build_synthetic_database
+
+FACTORY_KWARGS = {"num_rows": 1500, "seed": 11}
+SPEC = WorkerSpec(
+    "repro.workloads:build_synthetic_database", dict(FACTORY_KWARGS)
+)
+
+#: Crosses many pages, so an exit-at-checkpoint dies genuinely mid-scan.
+SCAN_SQL = "SELECT count(padding) FROM t WHERE c2 < 900"
+
+
+@pytest.fixture(scope="module")
+def worker_db():
+    return build_synthetic_database(**FACTORY_KWARGS)
+
+
+@pytest.fixture
+def pool(worker_db):
+    """A fresh single-worker pool per test: respawn counters start at 0."""
+    pool = WorkerPool(SPEC, num_workers=1, engine=Engine(worker_db))
+    yield pool
+    pool.shutdown()
+    assert pool.leaked_workers() == []
+
+
+def test_crash_mid_scan_is_typed_and_recovered(pool):
+    with pytest.raises(WorkerCrashed):
+        pool.execute(
+            QueryRequest(sql=SCAN_SQL, request_id="x1"),
+            monitor=True,
+            debug={"exit_after_checks": 3},
+        )
+    # Respawn is lazy (on next acquisition), then service resumes.
+    outcome = pool.execute(
+        QueryRequest(sql=SCAN_SQL, request_id="x2"), monitor=True
+    )
+    assert outcome.rows == [[900]]
+    snapshot = pool.snapshot()
+    assert snapshot["restarts"] == 1
+    assert snapshot["workers"][0]["alive"]
+
+
+def test_crash_before_reply_is_a_crash_too(pool):
+    # The query *finished*; the process died before the reply frame hit
+    # the pipe.  From the coordinator's side that is the same EOF.
+    with pytest.raises(WorkerCrashed):
+        pool.execute(
+            QueryRequest(sql=SCAN_SQL, request_id="y1"),
+            monitor=False,
+            debug={"exit_before_reply": True},
+        )
+    outcome = pool.execute(
+        QueryRequest(sql=SCAN_SQL, request_id="y2"), monitor=False
+    )
+    assert outcome.rows == [[900]]
+    assert pool.snapshot()["restarts"] == 1
+
+
+def test_crash_while_idle_respawns_transparently(pool):
+    # Warm the worker, then SIGKILL it while it sits in the idle queue.
+    pool.execute(QueryRequest(sql=SCAN_SQL, request_id="z1"), monitor=False)
+    pid = pool.snapshot()["workers"][0]["pid"]
+    os.kill(pid, signal.SIGKILL)
+    deadline = time.monotonic() + 5.0
+    while pool.snapshot()["workers"][0]["alive"]:
+        assert time.monotonic() < deadline, "worker refused to die"
+        time.sleep(0.01)
+    # No request was in flight: nothing fails, the next one just works.
+    outcome = pool.execute(
+        QueryRequest(sql=SCAN_SQL, request_id="z2"), monitor=False
+    )
+    assert outcome.rows == [[900]]
+    assert pool.snapshot()["restarts"] == 1
+
+
+def test_rogue_worker_is_killed_after_the_grace_window(worker_db):
+    """A worker ignoring its cancel is abandoned: killed, then respawned."""
+    pool = WorkerPool(
+        SPEC, num_workers=1, engine=Engine(worker_db), cancel_grace_s=0.3
+    )
+    try:
+        token = CancellationToken()
+        timer = threading.Timer(0.1, token.cancel, args=("deadline",))
+        timer.start()
+        try:
+            with pytest.raises(QueryCancelled):
+                pool.execute(
+                    QueryRequest(sql=SCAN_SQL, request_id="r1"),
+                    token=token,
+                    monitor=False,
+                    debug={"hold_s": 30.0, "ignore_cancel": True},
+                )
+        finally:
+            timer.cancel()
+        # The rogue process is dead; the next request respawns and runs.
+        outcome = pool.execute(
+            QueryRequest(sql=SCAN_SQL, request_id="r2"), monitor=False
+        )
+        assert outcome.rows == [[900]]
+        assert pool.snapshot()["restarts"] == 1
+    finally:
+        pool.shutdown()
+        assert pool.leaked_workers() == []
+
+
+def test_service_answers_worker_crashed_without_leaking_slot(
+    worker_db, pool
+):
+    """End-to-end: crash surfaces as WORKER_CRASHED, slot law holds."""
+
+    async def scenario():
+        service = QueryService(
+            Engine(worker_db), max_in_flight=2, worker_pool=pool
+        )
+        pool.rebind_engine(service.engine)
+        pool.inject_debug({"exit_after_checks": 3})
+        crashed = await service.handle(
+            QueryRequest(sql=SCAN_SQL, request_id="c1")
+        )
+        recovered = await service.handle(
+            QueryRequest(sql=SCAN_SQL, request_id="c2")
+        )
+        stats = await service.stats()
+        await service.shutdown()
+        return crashed, recovered, stats
+
+    crashed, recovered, stats = asyncio.run(scenario())
+    assert not crashed.ok
+    assert crashed.error_code == WORKER_CRASHED
+    assert "respawned" in crashed.error
+    assert recovered.ok
+    assert recovered.rows == [[900]]
+    telemetry = stats["telemetry"]
+    assert telemetry["counters"]["failed"] == 1
+    assert telemetry["counters"]["completed"] == 1
+    assert telemetry["counters"]["worker_restarts"] == 1
+    assert stats["workers"]["restarts"] == 1
+    # The conservation law: both requests reached a terminal state.
+    assert leaked_slots_from(telemetry) is None
