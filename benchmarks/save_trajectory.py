@@ -21,7 +21,10 @@ at a glance:
 * **service throughput** — the closed-loop service sweep (cold vs. warm
   engine at several client counts) from
   ``benchmarks/bench_service_throughput.py``: QPS and latency tails at
-  the service boundary.
+  the service boundary;
+* **reopt** — the mid-query re-optimization A/B at the smoke scale
+  (``benchmarks/smoke_reopt.py``): mean simulated win of switching on
+  the correlated workload and the watchdog's worst quiet overhead.
 
 Wall-clock comes from :class:`repro.harness.timing.Stopwatch` (the only
 sanctioned host-clock reader).  The artifact is committed at the repo
@@ -38,10 +41,16 @@ from pathlib import Path
 
 try:  # repo-root import (pytest); falls back for direct script runs,
     # where sys.path[0] is benchmarks/ itself.
-    from benchmarks import bench_service_throughput, smoke_plancache, smoke_shard
+    from benchmarks import (
+        bench_service_throughput,
+        smoke_plancache,
+        smoke_reopt,
+        smoke_shard,
+    )
 except ModuleNotFoundError:
     import bench_service_throughput  # type: ignore[no-redef]
     import smoke_plancache  # type: ignore[no-redef]
+    import smoke_reopt  # type: ignore[no-redef]
     import smoke_shard  # type: ignore[no-redef]
 
 from repro.harness.figures import run_fig6_fig7
@@ -146,6 +155,18 @@ def _sharded_throughput() -> dict:
     }
 
 
+def _reopt_value() -> dict:
+    """Simulated value of mid-query re-optimization at the smoke scale."""
+    mean_win, max_quiet_overhead, trips = smoke_reopt.reopt_value()
+    return {
+        "num_rows": smoke_reopt.NUM_ROWS,
+        "queries_per_column": smoke_reopt.QUERIES_PER_COLUMN,
+        "mean_correlated_win": round(mean_win, 2),
+        "max_quiet_overhead_pct": round(100 * max_quiet_overhead, 3),
+        "trips": trips,
+    }
+
+
 def build_entry() -> dict:
     """One timestamped trajectory entry: the current perf snapshot."""
     return {
@@ -155,6 +176,7 @@ def build_entry() -> dict:
         "sharded": _sharded_throughput(),
         "plancache_smoke_violations": smoke_plancache.run_smoke(),
         "service_throughput": bench_service_throughput.run_bench(),
+        "reopt": _reopt_value(),
     }
 
 

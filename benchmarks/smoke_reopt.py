@@ -1,0 +1,129 @@
+"""CI smoke gate: mid-query re-optimization must win where it should and
+cost nothing where it should not.
+
+Runs the reopt A/B harness (:func:`repro.harness.run_reopt_ab`) on the
+Fig. 6 synthetic database, split into the two regimes the watchdog must
+tell apart:
+
+* **correlated columns (c2, c3)** — the analytic page-count model
+  grossly overestimates DPC, the optimizer rides a sequential scan, and
+  the regret watchdog must trip on *every* query and land a plan switch
+  whose total cost ``T_partial + T_replan + T_new`` beats riding the bad
+  plan by at least ``WIN_BOUND``;
+* **uncorrelated column (c5)** — the estimate is right, the watchdog
+  must *never* trip, and its checkpoint checks must cost at most
+  ``OVERHEAD_BOUND`` of the plain monitored run (all in simulated time,
+  so the gate is deterministic).
+
+Both regimes additionally gate on **row equivalence**: a mid-query
+switch must never change the answer (the same contract
+``diff_against_serial`` holds the service to).
+
+The selectivity range sits below the optimizer's scan/seek crossover so
+a correlated trip's replan reliably lands on a different plan.  Exit
+status 0/1 so CI can gate on it.  Run directly
+(``PYTHONPATH=src python benchmarks/smoke_reopt.py``) or via pytest (the
+``test_*`` wrapper below).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness.reopt_ab import ReoptABReport, evaluate_reopt_workload
+from repro.workloads import build_synthetic_database
+from repro.workloads.queries import single_table_workload
+
+NUM_ROWS = 20_000
+QUERIES_PER_COLUMN = 3
+SEED = 3
+SELECTIVITY_RANGE = (0.01, 0.05)
+
+#: Minimum mean T_bad / T_switch on the correlated (must-trip) workload.
+WIN_BOUND = 1.3
+
+#: Maximum watchdog overhead on the uncorrelated (must-not-trip) workload.
+OVERHEAD_BOUND = 0.02
+
+CORRELATED_COLUMNS = ("c2", "c3")
+UNCORRELATED_COLUMNS = ("c5",)
+
+
+def _workload_report(database, columns) -> ReoptABReport:
+    workload = single_table_workload(
+        database,
+        "t",
+        columns=columns,
+        queries_per_column=QUERIES_PER_COLUMN,
+        seed=SEED,
+        selectivity_range=SELECTIVITY_RANGE,
+    )
+    return evaluate_reopt_workload(database, workload)
+
+
+def run_smoke() -> list[str]:
+    """Run both regimes; returns a list of gate violations."""
+    database = build_synthetic_database(num_rows=NUM_ROWS, seed=SEED)
+    violations: list[str] = []
+
+    correlated = _workload_report(database, CORRELATED_COLUMNS)
+    print("correlated (must trip and win):")
+    print(correlated.render())
+    if correlated.trips != len(correlated.outcomes):
+        violations.append(
+            f"correlated: only {correlated.trips}/"
+            f"{len(correlated.outcomes)} queries tripped"
+        )
+    if correlated.mean_win() < WIN_BOUND:
+        violations.append(
+            f"correlated: mean win {correlated.mean_win():.2f}x below "
+            f"the {WIN_BOUND}x bound"
+        )
+    if not correlated.rows_all_match:
+        violations.append("correlated: a switched run changed the answer")
+
+    uncorrelated = _workload_report(database, UNCORRELATED_COLUMNS)
+    print("\nuncorrelated (must stay quiet):")
+    print(uncorrelated.render())
+    if uncorrelated.trips:
+        violations.append(
+            f"uncorrelated: {uncorrelated.trips} spurious trip(s)"
+        )
+    if uncorrelated.max_overhead() > OVERHEAD_BOUND:
+        violations.append(
+            f"uncorrelated: watchdog overhead "
+            f"{uncorrelated.max_overhead():.3%} exceeds the "
+            f"{OVERHEAD_BOUND:.0%} bound"
+        )
+    if not uncorrelated.rows_all_match:
+        violations.append("uncorrelated: a watched run changed the answer")
+
+    return violations
+
+
+def reopt_value() -> tuple[float, float, int]:
+    """(mean correlated win, max quiet overhead, trips) for the
+    trajectory artifact — one full smoke-scale A/B run."""
+    database = build_synthetic_database(num_rows=NUM_ROWS, seed=SEED)
+    correlated = _workload_report(database, CORRELATED_COLUMNS)
+    uncorrelated = _workload_report(database, UNCORRELATED_COLUMNS)
+    return (
+        correlated.mean_win(),
+        uncorrelated.max_overhead(),
+        correlated.trips + uncorrelated.trips,
+    )
+
+
+def test_reopt_wins_and_stays_quiet():
+    assert run_smoke() == []
+
+
+def main() -> int:
+    violations = run_smoke()
+    for violation in violations:
+        print(f"FAIL: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,6 +84,7 @@ def _cmd_figures(args) -> int:
         run_fig9,
         run_fig10,
         run_fig11,
+        run_reopt_ab,
         run_table1,
     )
 
@@ -108,6 +109,12 @@ def _cmd_figures(args) -> int:
         ),
         "fig11": lambda: run_fig11(
             scale=args.scale, queries_per_column=3, seed=args.seed
+        ),
+        # Mid-query re-optimization A/B (ride the misestimated plan vs
+        # switch at a checkpoint); always batch-driven — the page
+        # boundaries are what make the trip/resume semantics exact.
+        "reopt": lambda: run_reopt_ab(
+            num_rows=args.rows, queries_per_column=3, seed=args.seed
         ),
     }
     names = args.names or list(drivers)
@@ -264,6 +271,13 @@ def _add_serve(subparsers) -> None:
         "database; feedback stays centralized in the coordinator); "
         "0 = in-process execution",
     )
+    parser.add_argument(
+        "--reopt",
+        action="store_true",
+        help="run monitored in-process queries under the mid-query "
+        "re-optimization watchdog by default (per-request 'reopt' "
+        "still wins; ignored on the worker-process tier)",
+    )
 
 
 def _build_engine(database, shards: int):
@@ -319,6 +333,7 @@ def _cmd_serve(args) -> int:
         engine,
         max_in_flight=args.max_in_flight,
         max_queue_depth=args.max_queue_depth,
+        reopt_by_default=args.reopt,
         worker_pool=_build_worker_pool(args, engine),
     )
     server = QueryServer(service, host=args.host, port=args.port)
@@ -377,6 +392,13 @@ def _add_loadgen(subparsers) -> None:
         help="execute on N worker processes behind the admission "
         "controller (in-process service only); 0 = single process",
     )
+    parser.add_argument(
+        "--reopt",
+        action="store_true",
+        help="mark every request for mid-query re-optimization (the "
+        "serial equivalence diff then skips read-count comparison on "
+        "tripped responses; rows must still match)",
+    )
 
 
 def _cmd_loadgen(args) -> int:
@@ -396,6 +418,7 @@ def _cmd_loadgen(args) -> int:
         passes=args.passes,
         exec_mode=args.exec_mode,
         use_feedback=args.warm,
+        reopt=args.reopt,
         deadline_ms=args.deadline_ms,
     )
 

@@ -69,6 +69,15 @@ This module enforces them statically:
           (``record_*`` / ``harvest_observations``) — a worker's
           observations travel back only through the marshalling
           protocol, and the coordinator applies them
+``R015``  mid-query re-optimization stays inside ``reopt/``: only that
+          package may request a typed reopt cancellation
+          (``cancel_for_reopt`` / constructing ``ReoptRequested``) or
+          ingest partial observations
+          (``partial_page_count_observation`` /
+          ``record_partial_observations``) — partial counters are lower
+          bounds from a cancelled prefix, and any other ingest path
+          could publish them as exact feedback (or bump the epoch and
+          poison the plan cache)
 ========  =====================================================================
 
 Suppress a finding inline with a trailing ``lint: disable=R003`` comment
@@ -102,6 +111,8 @@ CODE_RULES: dict[str, str] = {
     "R013": "shard workers touch only their own handle (no cross-shard state)",
     "R014": "worker-child modules never touch the coordinator's "
     "PlanCache/FeedbackStore",
+    "R015": "reopt cancellation and partial-observation ingest only "
+    "under reopt/",
 }
 
 #: Per-rule path suffixes where the rule intentionally does not apply.
@@ -130,6 +141,10 @@ ALLOWED_PATHS: dict[str, tuple[str, ...]] = {
     "R011": ("exec/vector.py",),
     # the one definition site of DEFAULT_BATCH_ROWS.
     "R012": ("exec/batch.py",),
+    # the reopt package IS the sanctioned episode runner (the definition
+    # sites in common/cancellation.py and core/feedback.py only *define*
+    # the privileged names; calling them is what the rule polices).
+    "R015": ("reopt/",),
 }
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9, ]+)")
@@ -220,6 +235,20 @@ _WORKER_CHILD_FORBIDDEN_CALLS = frozenset(
         "record_cardinality",
         "record_shard_runs",
         "harvest_observations",
+    }
+)
+
+#: Calls reserved for the reopt episode runner (R015): requesting the
+#: typed mid-query cancellation and ingesting partial (lower-bound)
+#: observations.  ``ReoptRequested`` construction counts — raising it
+#: by hand would fake a watchdog trip past handlers that harvest
+#: partials on the way out.
+_REOPT_PRIVILEGED_CALLS = frozenset(
+    {
+        "cancel_for_reopt",
+        "ReoptRequested",
+        "partial_page_count_observation",
+        "record_partial_observations",
     }
 )
 
@@ -399,6 +428,15 @@ class _FileChecker(ast.NodeVisitor):
                 f"bare optimizer construction {'.'.join(chain)}()",
                 hint="go through Session.optimize/run (the staged lifecycle) "
                 "or repro.lifecycle.plan.build_optimizer",
+            )
+        elif leaf in _REOPT_PRIVILEGED_CALLS:
+            self.report(
+                "R015",
+                node,
+                f"reopt-privileged call {'.'.join(chain)}() outside reopt/",
+                hint="mid-query cancellation and partial-observation ingest "
+                "go through repro.reopt.run_with_reopt — partial counters "
+                "are lower bounds and must stay on the epoch-free path",
             )
         elif chain == ("asyncio", "get_event_loop") or chain == (
             "get_event_loop",

@@ -40,7 +40,7 @@ DATAFLOW_RULES: dict[str, str] = {
     "C003": "no blocking call inside a service coroutine without executor hop",
     "F001": "every charging drive loop in exec/ reaches checkpoint() on all paths",
     "F002": "every admission slot / IOContext settles on all paths",
-    "F003": "no epoch bump reachable from an except-QueryCancelled handler",
+    "F003": "no epoch bump reachable from a cancellation handler (incl. ReoptRequested)",
 }
 
 _CHECKS = {

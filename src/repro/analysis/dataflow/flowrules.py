@@ -23,10 +23,14 @@ These are the invariants the ROADMAP's next steps lean on:
   use / ownership transfer (for a fan-out, handing the handles to
   ``_gather`` — which joins or cancels every worker — is the settle).
 * **F003** — once a cancellation has been observed (an
-  ``except QueryCancelled`` handler is running), the run's statistics
-  describe a *partial* execution; feeding them to the feedback store
-  would bump table epochs with corrupt page counts.  No call in such a
-  handler may reach an epoch-bumping function.
+  ``except QueryCancelled`` or ``except ReoptRequested`` handler is
+  running), the run's statistics describe a *partial* execution; feeding
+  them to the feedback store would bump table epochs with corrupt page
+  counts.  No call in such a handler (under ``service/`` or ``reopt/``)
+  may reach an epoch-bumping function.  Reopt handlers may still harvest
+  partial lower bounds — ``record_partial_observations`` advances only
+  the partial sequence, never the exact epoch, so it is outside the bump
+  closure by construction.
 """
 
 from __future__ import annotations
@@ -452,27 +456,39 @@ def _bump_closure(program: Program) -> set[str]:
     return propagate(seeds, program.reverse_edges())
 
 
+#: Exception names whose handlers F003 inspects.  ``ReoptRequested`` is
+#: the typed mid-query cancellation: its handlers are *allowed* to
+#: harvest partial lower bounds (``record_partial_observations`` never
+#: reaches ``_bump`` — it advances the partial sequence only), but an
+#: exact-epoch bump on that path would mark cached plans stale from a
+#: run that never finished.
+_CANCELLATION_EXC_NAMES = frozenset({"QueryCancelled", "ReoptRequested"})
+
+
 def _handler_catches_cancellation(handler: ast.ExceptHandler) -> bool:
     if handler.type is None:
         return False
     return any(
-        isinstance(node, ast.Name) and node.id == "QueryCancelled"
+        isinstance(node, ast.Name) and node.id in _CANCELLATION_EXC_NAMES
         for node in ast.walk(handler.type)
     ) or any(
-        isinstance(node, ast.Attribute) and node.attr == "QueryCancelled"
+        isinstance(node, ast.Attribute)
+        and node.attr in _CANCELLATION_EXC_NAMES
         for node in ast.walk(handler.type)
     )
 
 
 def check_no_bump_after_cancellation(program: Program) -> list[Finding]:
-    """F003: ``except QueryCancelled`` handlers in ``service/`` must not
-    reach an epoch-bumping function."""
+    """F003: ``except QueryCancelled``/``except ReoptRequested`` handlers
+    in ``service/`` and ``reopt/`` must not reach an epoch-bumping
+    function (partial harvests ride the epoch-free ingest instead)."""
     bumpers = _bump_closure(program)
     if not bumpers:
         return []
     findings: list[Finding] = []
     for info in program.functions.values():
-        if "/service/" not in f"/{info.file}":
+        slashed = f"/{info.file}"
+        if "/service/" not in slashed and "/reopt/" not in slashed:
             continue
         targets_by_call = {
             id(site.node): site.targets for site in info.calls

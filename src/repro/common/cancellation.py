@@ -22,9 +22,9 @@ repeatable program point instead of a wall-clock race.
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import Optional, Type
 
-from repro.common.errors import QueryCancelled
+from repro.common.errors import QueryCancelled, ReoptRequested
 
 
 class CancellationToken:
@@ -34,7 +34,13 @@ class CancellationToken:
     ``checkpoint()`` is called only by the owning execution's thread.
     """
 
-    __slots__ = ("_event", "_reason", "checks", "cancel_after_checks")
+    __slots__ = (
+        "_event",
+        "_reason",
+        "_exc_class",
+        "checks",
+        "cancel_after_checks",
+    )
 
     def __init__(self, cancel_after_checks: Optional[int] = None) -> None:
         if cancel_after_checks is not None and cancel_after_checks <= 0:
@@ -43,6 +49,8 @@ class CancellationToken:
             )
         self._event = threading.Event()
         self._reason = "cancelled"
+        #: Exception type the next checkpoint raises once cancelled.
+        self._exc_class: Type[QueryCancelled] = QueryCancelled
         #: Checkpoints passed so far (owning thread only; no lock needed).
         self.checks = 0
         self.cancel_after_checks = cancel_after_checks
@@ -51,6 +59,21 @@ class CancellationToken:
     def cancel(self, reason: str = "cancelled") -> None:
         """Mark the token cancelled; the next checkpoint raises."""
         if not self._event.is_set():
+            self._reason = reason
+            self._event.set()
+
+    def cancel_for_reopt(self, reason: str = "reopt") -> None:
+        """Typed cancellation for mid-query re-optimization.
+
+        The next checkpoint raises :class:`ReoptRequested` instead of the
+        base :class:`QueryCancelled`, telling the reopt episode runner —
+        and nobody else — that the partial actuals are worth harvesting.
+        Idempotent like :meth:`cancel`: a plain cancellation that already
+        landed (deadline, shutdown) keeps its base type and reason.
+        Callable only from ``repro.reopt`` (codelint rule R015).
+        """
+        if not self._event.is_set():
+            self._exc_class = ReoptRequested
             self._reason = reason
             self._event.set()
 
@@ -79,7 +102,7 @@ class CancellationToken:
                 f"cancel_after_checks={self.cancel_after_checks} reached"
             )
         if self._event.is_set():
-            raise QueryCancelled(self._reason)
+            raise self._exc_class(self._reason)
 
     def __repr__(self) -> str:
         state = f"cancelled: {self._reason}" if self.cancelled else "live"

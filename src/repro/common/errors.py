@@ -63,6 +63,21 @@ class QueryCancelled(ExecutionError):
         self.reason = reason
 
 
+class ReoptRequested(QueryCancelled):
+    """A regret watchdog stopped the execution to re-optimize mid-query.
+
+    Subclasses :class:`QueryCancelled` so every existing handler that
+    settles admission slots and skips the exact-feedback harvest on
+    cancellation treats a re-optimization stop identically; only the
+    reopt episode runner (``repro.reopt``) catches this type specifically
+    to harvest *partial* actuals and switch plans.  Raised exclusively by
+    :meth:`~repro.common.cancellation.CancellationToken.checkpoint` after
+    a ``cancel_for_reopt`` — codelint rule R015 keeps it that way."""
+
+    def __init__(self, reason: str = "reopt") -> None:
+        super().__init__(reason)
+
+
 class EngineError(ReproError):
     """The multi-session engine violated (or detected a violation of) a
     workload-level contract, e.g. a concurrent run that did not produce

@@ -40,7 +40,7 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.common.errors import FeedbackError
-from repro.core.requests import PageCountObservation, PageCountRequest
+from repro.core.requests import Mechanism, PageCountObservation, PageCountRequest
 from repro.exec.runstats import RunStats
 from repro.optimizer.injection import InjectionSet
 
@@ -128,6 +128,40 @@ def merge_page_count_observations(
     return merged
 
 
+def partial_page_count_observation(
+    request: PageCountRequest,
+    mechanism: Mechanism,
+    satisfied_pages: float,
+    pages_seen: int,
+    total_pages: int,
+) -> PageCountObservation:
+    """An observation harvested from a *cancelled* (reopt-stopped) run.
+
+    A stopped scan's counters cover only the pages it reached, so the
+    value is a **lower bound** on the true DPC: ``exact`` is always
+    False whatever the mechanism would have claimed at completion, and
+    the details mark the observation partial with its page coverage so
+    diagnostics can tell it from a finished sampled estimate.  Only the
+    reopt subsystem may construct these (codelint rule R015): everything
+    else harvests finished runs through :meth:`FeedbackStore.record_run`.
+    """
+    if satisfied_pages < 0:
+        raise FeedbackError(
+            f"partial page count must be >= 0, got {satisfied_pages}"
+        )
+    return PageCountObservation(
+        request=request,
+        mechanism=mechanism,
+        estimate=float(satisfied_pages),
+        exact=False,
+        details={
+            "partial": True,
+            "pages_seen": pages_seen,
+            "total_pages": total_pages,
+        },
+    )
+
+
 @dataclass
 class FeedbackRecord:
     """One remembered fact about an expression."""
@@ -138,12 +172,18 @@ class FeedbackRecord:
     cardinality: Optional[float] = None
     mechanism: str = ""
     sequence: int = 0
+    #: True while the page count is a lower bound harvested from a
+    #: reopt-cancelled run; cleared when a complete observation lands.
+    partial: bool = False
 
     def merge_observation(
         self, observation: PageCountObservation, sequence: int
     ) -> None:
         """Fold a new observation in; newer beats older, exact beats
-        estimated within the same run."""
+        estimated within the same run, and a complete observation always
+        replaces a partial lower bound (replace, never add — the partial
+        pages are a subset of the complete count, so summing would
+        double-count them)."""
         if observation.estimate is None:
             return
         newer = sequence > self.sequence
@@ -152,11 +192,32 @@ class FeedbackRecord:
             and observation.exact
             and not self.page_count_exact
         )
-        if self.page_count is None or newer or same_run_upgrade:
+        if self.page_count is None or self.partial or newer or same_run_upgrade:
             self.page_count = observation.estimate
             self.page_count_exact = observation.exact
             self.mechanism = observation.mechanism.value
             self.sequence = sequence
+            self.partial = False
+
+    def merge_partial_observation(
+        self, observation: PageCountObservation
+    ) -> None:
+        """Fold in a lower bound from a reopt-cancelled run.
+
+        A partial count never displaces a complete record (the finished
+        run saw strictly more), never claims exactness, and two partials
+        reconcile by keeping the larger lower bound — recency would let a
+        shorter partial scan *lower* an established bound.
+        """
+        if observation.estimate is None:
+            return
+        if self.page_count is not None and not self.partial:
+            return
+        if self.page_count is None or observation.estimate > self.page_count:
+            self.page_count = observation.estimate
+            self.page_count_exact = False
+            self.mechanism = observation.mechanism.value
+            self.partial = True
 
 
 class FeedbackStore:
@@ -169,10 +230,16 @@ class FeedbackStore:
         self._epoch = 0
         #: table -> epoch of the last write touching that table.
         self._table_epochs: dict[str, int] = {}
+        #: Partial (reopt-harvest) write batches.  Deliberately separate
+        #: from the epoch: a cancelled run's lower bounds must not make
+        #: cached plans look stale, but the lowering memo still has to
+        #: see that the records changed.
+        self._partial_sequence = 0
         self._lock = threading.RLock()
         #: Memoized lowering (rebuilt lazily when the epoch moves).
         self._lowered: Optional[InjectionSet] = None
         self._lowered_epoch = -1
+        self._lowered_partial = -1
         #: Observability counters for the memoization (tests/reports).
         self.lowering_builds = 0
         self.lowering_reuses = 0
@@ -247,6 +314,43 @@ class FeedbackStore:
             self._bump(_request_table(obs.request) for obs in storable)
         return len(storable)
 
+    def record_partial_observations(
+        self, observations: Iterable[PageCountObservation]
+    ) -> int:
+        """Store lower bounds harvested from a reopt-cancelled run.
+
+        Unlike :meth:`record_observations` this **never bumps the epoch**
+        or the per-table freshness tags: the run did not complete, so
+        treating its harvest as a store version change would invalidate
+        cached plans (and re-trigger re-optimizations) on the strength of
+        counts that are only lower bounds.  Partial records still reach
+        :meth:`to_injections` — the lowering memo is additionally keyed
+        on the partial write counter — and are replaced outright by the
+        first complete observation of the same key.  Only the reopt
+        episode runner calls this (codelint rule R015).
+        """
+        storable = [
+            observation
+            for observation in observations
+            if observation.answered and observation.estimate is not None
+        ]
+        if not storable:
+            return 0
+        with self._lock:
+            self._partial_sequence += 1
+            for observation in storable:
+                record = self._records.setdefault(
+                    observation.key, FeedbackRecord(key=observation.key)
+                )
+                record.merge_partial_observation(observation)
+        return len(storable)
+
+    @property
+    def partial_writes(self) -> int:
+        """How many partial (reopt-harvest) write batches have landed."""
+        with self._lock:
+            return self._partial_sequence
+
     def record_run(self, runstats: RunStats) -> int:
         """Harvest one executed query's feedback."""
         return self.record_observations(runstats.observations)
@@ -268,7 +372,11 @@ class FeedbackStore:
     def _lowered_set(self) -> InjectionSet:
         """The memoized page-count lowering for the current epoch."""
         with self._lock:
-            if self._lowered is None or self._lowered_epoch != self._epoch:
+            if (
+                self._lowered is None
+                or self._lowered_epoch != self._epoch
+                or self._lowered_partial != self._partial_sequence
+            ):
                 lowered = InjectionSet()
                 for record in self._records.values():
                     if record.page_count is not None:
@@ -277,6 +385,7 @@ class FeedbackStore:
                         )
                 self._lowered = lowered
                 self._lowered_epoch = self._epoch
+                self._lowered_partial = self._partial_sequence
                 self.lowering_builds += 1
             else:
                 self.lowering_reuses += 1
@@ -335,6 +444,7 @@ class FeedbackStore:
                         "cardinality": record.cardinality,
                         "mechanism": record.mechanism,
                         "sequence": record.sequence,
+                        "partial": record.partial,
                     }
                     for record in self._records.values()
                 ],
@@ -375,6 +485,7 @@ class FeedbackStore:
                 cardinality=entry.get("cardinality"),
                 mechanism=entry.get("mechanism", ""),
                 sequence=int(entry.get("sequence", 0)),
+                partial=bool(entry.get("partial", False)),
             )
             store._records[record.key] = record
         # Epochs are process-local freshness tokens, not persisted state:

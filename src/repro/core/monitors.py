@@ -60,6 +60,26 @@ def _vec():
     return _vector_module
 
 
+@dataclass(frozen=True)
+class MonitorProgress:
+    """Mid-run view of one request's streaming counter.
+
+    The reopt watchdog (``repro.reopt.watchdog``) polls these at
+    checkpoint boundaries to project the final DPC before the scan
+    finishes, and the partial-harvest path turns them into
+    partial observations after a :class:`~repro.common.errors.ReoptRequested`
+    stop.  ``satisfied_pages`` is already scaled by the sampling fraction
+    for sampled mechanisms; ``would_be_exact`` says whether the mechanism
+    *at completion* would have produced an exact count — a mid-run value
+    itself is never exact, only a lower bound.
+    """
+
+    request: PageCountRequest
+    mechanism: Mechanism
+    satisfied_pages: float
+    would_be_exact: bool
+
+
 @dataclass
 class _ScanExpressionEntry:
     """One expression request being counted during a scan."""
@@ -404,6 +424,45 @@ class ScanMonitorBundle:
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
+    def progress(self) -> list[MonitorProgress]:
+        """Streaming counter values so far, safe to read mid-page.
+
+        The current page's un-folded flag is deliberately excluded: the
+        returned counts cover only completed pages, so they are honest
+        lower bounds whatever program point the caller polls from.
+        """
+        fraction = self.sampler.fraction if self.sampler is not None else 1.0
+        snapshot: list[MonitorProgress] = []
+        for entry in self._expression_entries:
+            if entry.exact:
+                snapshot.append(
+                    MonitorProgress(
+                        request=entry.request,
+                        mechanism=Mechanism.EXACT_SCAN_COUNT,
+                        satisfied_pages=float(entry.satisfied_pages),
+                        would_be_exact=True,
+                    )
+                )
+            else:
+                snapshot.append(
+                    MonitorProgress(
+                        request=entry.request,
+                        mechanism=Mechanism.DPSAMPLE,
+                        satisfied_pages=entry.satisfied_pages / fraction,
+                        would_be_exact=fraction >= 1.0,
+                    )
+                )
+        for bv_entry in self._bitvector_entries:
+            snapshot.append(
+                MonitorProgress(
+                    request=bv_entry.request,
+                    mechanism=Mechanism.BITVECTOR_DPSAMPLE,
+                    satisfied_pages=bv_entry.satisfied_pages / fraction,
+                    would_be_exact=False,
+                )
+            )
+        return snapshot
+
     def finish(self) -> list[PageCountObservation]:
         observations: list[PageCountObservation] = []
         fraction = self.sampler.fraction if self.sampler is not None else 1.0
@@ -605,6 +664,18 @@ class FetchMonitorBundle:
         truth_masks: Sequence = outcome.truth if outcome is not None else ()
         for entry in self._entries:
             entry.observe_masks(page_ids, truth_masks, io)
+
+    def progress(self) -> list[MonitorProgress]:
+        """Streaming counter estimates so far (honest lower bounds)."""
+        return [
+            MonitorProgress(
+                request=entry.request,
+                mechanism=Mechanism.LINEAR_COUNTING,
+                satisfied_pages=entry.counter.estimate(),
+                would_be_exact=False,
+            )
+            for entry in self._entries
+        ]
 
     def finish(self) -> list[PageCountObservation]:
         observations = []

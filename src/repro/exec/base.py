@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Protocol
 
 from repro.catalog.catalog import Database
 from repro.common.cancellation import CancellationToken
@@ -21,6 +21,21 @@ from repro.core.requests import PageCountObservation
 from repro.exec.batch import DEFAULT_BATCH_ROWS, RowBatch, chunk_rows
 from repro.exec.runstats import OperatorStats
 from repro.storage.accounting import IOContext
+
+
+class ExecutionWatchdog(Protocol):
+    """Checkpoint-boundary observer (the reopt regret watchdog's seam).
+
+    ``observe`` runs on the executing thread at every
+    :meth:`ExecutionContext.checkpoint` — i.e. at the same page/probe
+    boundaries cancellation is checked at — *before* the cancellation
+    token is consulted, so an observer that trips the token stops the
+    run at the very boundary it observed.  Implementations charge any
+    bookkeeping they do to the passed ``io`` context (their overhead
+    must be visible in simulated time, like every monitor's).
+    """
+
+    def observe(self, io: IOContext) -> None: ...
 
 
 @dataclass
@@ -37,7 +52,10 @@ class ExecutionContext:
     falls back to the batch path via the ``RowBatch.rows`` shim.
     ``cancellation`` is the run's cooperative-cancellation token (``None``
     for the overwhelmingly common uncancellable run); operators call
-    :meth:`checkpoint` at page/probe boundaries.
+    :meth:`checkpoint` at page/probe boundaries.  ``watchdog`` is an
+    optional checkpoint observer (mid-query re-optimization's regret
+    watchdog); it runs before the token check so a trip it requests is
+    raised at the same boundary.
     """
 
     database: Database
@@ -46,6 +64,7 @@ class ExecutionContext:
     batch_rows: int = DEFAULT_BATCH_ROWS
     vectorized: bool = False
     cancellation: Optional[CancellationToken] = None
+    watchdog: Optional[ExecutionWatchdog] = None
 
     def checkpoint(self) -> None:
         """Raise :class:`~repro.common.errors.QueryCancelled` if this
@@ -53,8 +72,12 @@ class ExecutionContext:
 
         Called once per storage page (scan operators) and once per probe
         row (index-nested-loop join), so a timed-out query stops charging
-        its :attr:`io` within one page of work.
+        its :attr:`io` within one page of work.  A watchdog, when
+        attached, observes the same boundary first — tripping the token
+        here is how mid-query re-optimization stops a run.
         """
+        if self.watchdog is not None:
+            self.watchdog.observe(self.io)
         if self.cancellation is not None:
             self.cancellation.checkpoint()
 

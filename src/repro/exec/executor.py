@@ -19,7 +19,7 @@ from typing import Optional
 
 from repro.catalog.catalog import Database
 from repro.common.cancellation import CancellationToken
-from repro.exec.base import ExecutionContext, Operator
+from repro.exec.base import ExecutionContext, ExecutionWatchdog, Operator
 from repro.exec.runstats import RunStats
 from repro.storage.accounting import IOContext
 
@@ -89,6 +89,7 @@ def execute(
     io: Optional[IOContext] = None,
     mode: str = "row",
     cancellation: Optional[CancellationToken] = None,
+    watchdog: Optional[ExecutionWatchdog] = None,
 ) -> QueryResult:
     """Run ``root`` to completion against ``database``.
 
@@ -114,10 +115,19 @@ def execute(
     :class:`~repro.common.errors.QueryCancelled` once it is cancelled.
     The default ``None`` keeps the unchecked fast path bit-identical to a
     token-less run.
+
+    ``watchdog`` attaches a checkpoint-boundary observer (the reopt
+    regret watchdog): it sees every ``ctx.checkpoint()`` the operators
+    hit and can trip the cancellation token, which is why it requires
+    one — an observer with nothing to trip could never act.
     """
     if mode not in ("row", "batch", "columnar"):
         raise ValueError(
             f"unknown execution mode {mode!r}; expected row|batch|columnar"
+        )
+    if watchdog is not None and cancellation is None:
+        raise ValueError(
+            "a watchdog needs a cancellation token to act through"
         )
     if io is None:
         io = database.new_io_context()
@@ -128,6 +138,7 @@ def execute(
         io=io,
         vectorized=(mode == "columnar"),
         cancellation=cancellation,
+        watchdog=watchdog,
     )
     if cancellation is not None:
         rows = _drive_checked(root, ctx, mode, cancellation)

@@ -38,6 +38,19 @@ class _MonitoredScanMixin:
     monitor_conjunction: Conjunction
     bundle: Optional[ScanMonitorBundle]
 
+    #: Resume tracking (armed by the reopt watchdog, off by default): the
+    #: batch/columnar drives record the clustering-key value of the last
+    #: row of each *fully processed* page.  Cancellation raises at the
+    #: checkpoint that precedes the next page, and the downstream
+    #: consumer has synchronously drained every yielded batch, so after a
+    #: mid-query stop ``resume_key`` is an exact replay boundary: every
+    #: row with key <= resume_key was scanned, none beyond it were.  The
+    #: row drive does not track (its root-level cancellation check can
+    #: fire mid-page), which is why resume is a batch/columnar-only path.
+    resume_tracking = False
+    resume_key_position: Optional[int] = None
+    resume_key: Any = None
+
     def _bind(self) -> BoundConjunction:
         return BoundConjunction(
             self.monitor_conjunction, self.table.schema.column_names
@@ -114,10 +127,14 @@ class _MonitoredScanMixin:
         io = ctx.io
         bundle = self.bundle
         stats = self.stats
+        track_resume = self.resume_tracking
+        key_position = self.resume_key_position
         for page_id, rows in page_iter:
             ctx.checkpoint()
             stats.pages_touched += 1
             io.charge_rows(len(rows))
+            if track_resume and rows and key_position is not None:
+                self.resume_key = rows[-1][key_position]
             if bundle is not None:
                 bundle.start_page(page_id)
                 if bundle.needs_full_evaluation():
@@ -161,10 +178,16 @@ class _MonitoredScanMixin:
         io = ctx.io
         bundle = self.bundle
         stats = self.stats
+        track_resume = self.resume_tracking
+        key_position = self.resume_key_position
         for page_id, columns, num_rows in page_iter:
             ctx.checkpoint()
             stats.pages_touched += 1
             io.charge_rows(num_rows)
+            if track_resume and num_rows and key_position is not None:
+                self.resume_key = vector.column_values(
+                    columns[key_position]
+                )[-1]
             if bundle is not None:
                 bundle.start_page(page_id)
                 if bundle.needs_full_evaluation():

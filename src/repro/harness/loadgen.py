@@ -27,7 +27,7 @@ from typing import Any, Optional, Sequence
 from repro.catalog.catalog import Database
 from repro.engine import Engine, WorkloadItem
 from repro.harness.methodology import default_requests
-from repro.harness.reporting import format_table, latency_summary
+from repro.harness.reporting import format_table, latency_summary, reopt_summary
 from repro.harness.timing import Stopwatch
 from repro.service.client import TCPClient
 from repro.service.protocol import QueryRequest, QueryResponse
@@ -57,6 +57,9 @@ class LoadSpec:
     exec_mode: str = "row"
     use_feedback: bool = False
     monitor: bool = True
+    #: Run every request under the mid-query re-optimization watchdog
+    #: (needs ``monitor=True`` to have counters to project from).
+    reopt: bool = False
     deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
@@ -88,6 +91,7 @@ class LoadSpec:
                 exec_mode=self.exec_mode,
                 use_feedback=self.use_feedback,
                 monitor=self.monitor,
+                reopt=self.reopt,
                 deadline_ms=self.deadline_ms,
             )
             for p in range(self.passes)
@@ -180,11 +184,16 @@ class LoadReport:
             f"{self.total_requests} request(s) in {self.wall_seconds:.3f}s "
             f"({self.qps:.1f} qps)",
             f"statuses: {status}",
+        ]
+        reopt_line = reopt_summary(self.telemetry.get("counters", {}))
+        if reopt_line:
+            lines.append(reopt_line)
+        lines.append(
             format_table(
                 ["latency (ms)", "count", "mean", "p50", "p95", "p99", "max"],
                 rows,
-            ),
-        ]
+            )
+        )
         return "\n".join(lines)
 
 
@@ -344,6 +353,13 @@ def diff_against_serial(
     observations merge statistically rather than bit-identically.  The
     bit-level sharded observation/feedback proof lives in
     :func:`repro.harness.equivalence.compare_sharded_workload`.
+
+    The serial reference always replays with reopt *disabled*.  A
+    response whose lifecycle shows a reopt trip is diffed on rows only —
+    the switched run's read counts and truncated monitor counters
+    legitimately differ, but the answer must not.  Untripped reopt
+    responses still face the full bit-level diff: an armed watchdog that
+    never fires must change nothing observable.
     """
     spec = report.spec
     reference_engine = Engine(database)
@@ -371,6 +387,11 @@ def diff_against_serial(
             continue
         if response.runstats is None:
             diffs.append(f"{response.request_id}: ok response lost runstats")
+            continue
+        reopt_episode = (
+            (response.runstats.get("lifecycle") or {}).get("reopt") or {}
+        )
+        if reopt_episode.get("tripped"):
             continue
         service_reads = (
             response.runstats["random_reads"]

@@ -138,3 +138,15 @@ def latency_summary(values: Sequence[float]) -> dict[str, float]:
         "p99": percentile(values, 99),
         "max": float(max(values)),
     }
+
+
+def reopt_summary(counters: dict) -> str:
+    """One-line digest of the mid-query reopt counters; empty when the
+    watchdog never fired (so quiet runs stay quiet in reports)."""
+    trips = counters.get("reopt_trips", 0)
+    if not trips:
+        return ""
+    return (
+        f"reopt: {trips} trip(s), {counters.get('reopt_wins', 0)} "
+        f"win(s), {counters.get('reopt_false_trips', 0)} false trip(s)"
+    )

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Any, Optional, Sequence
 from repro.common.cancellation import CancellationToken
 from repro.core.planner import build_executable
 from repro.core.requests import PageCountRequest
+from repro.exec.base import ExecutionWatchdog
 from repro.exec.executor import QueryResult, execute
 from repro.lifecycle.plan import (
     build_optimizer,
@@ -282,6 +283,7 @@ class QueryLifecycle:
         trace: Optional[LifecycleTrace] = None,
         exec_mode: str = "row",
         cancellation: Optional[CancellationToken] = None,
+        watchdog: Optional[ExecutionWatchdog] = None,
     ) -> ExecutedQuery:
         """Execute a specific plan with monitors (stages 5–7 only).
 
@@ -293,14 +295,22 @@ class QueryLifecycle:
         cooperative-cancellation token into the execute stage; a
         cancelled run raises :class:`~repro.common.errors.QueryCancelled`
         out of this method *before* the harvest stage, so a partial run
-        can never bump the feedback store's epoch.
+        can never bump the feedback store's epoch.  ``watchdog`` is the
+        reopt regret watchdog: it is attached to the built operator tree
+        (so it sees exactly the monitor bundles the run feeds) and then
+        observes every execution checkpoint.
         """
         session = self.session
         trace = trace if trace is not None else LifecycleTrace()
         build = build_executable(
             plan_node, session.database, list(requests), session.monitor_config
         )
-        trace.record("monitor-plan", "ok", build.summary())
+        summary = build.summary()
+        if watchdog is not None:
+            attach = getattr(watchdog, "attach", None)
+            if attach is not None:
+                summary += f", watchdog on {attach(build.root)} scan(s)"
+        trace.record("monitor-plan", "ok", summary)
         result = execute(
             build.root,
             session.database,
@@ -308,6 +318,7 @@ class QueryLifecycle:
             io=io,
             mode=exec_mode,
             cancellation=cancellation,
+            watchdog=watchdog,
         )
         result.runstats.observations.extend(build.unanswerable)
         trace.record(

@@ -1,0 +1,35 @@
+"""Mid-query re-optimization (the regret watchdog).
+
+The paper's feedback loop corrects distinct-page-count estimates *after*
+a query finishes (§II-C): the next query benefits, the mis-planned one
+pays full price.  This package closes the loop mid-flight.  A
+:class:`~repro.reopt.watchdog.RegretWatchdog` subscribes to the
+execution's monitor bundles and, at checkpoint boundaries, compares the
+streaming actuals against the optimizer's estimates; when the divergence
+crosses an incremental threshold (with hysteresis and a min-progress
+guard so cheap queries never pay), it trips the execution's
+:class:`~repro.common.cancellation.CancellationToken` with a typed
+:class:`~repro.common.errors.ReoptRequested` reason.  The
+:mod:`~repro.reopt.episode` runner then harvests the *partial* actuals
+into lower-bound injections, re-optimizes through the existing
+``build_optimizer`` path, and either restarts under the new plan or
+resumes where the consumed prefix is replayable — recording every step
+as stages in the session's lifecycle trace.
+
+Only this package may construct partial-observation injections or
+request ``ReoptRequested`` cancellation (codelint rule R015).
+"""
+
+from repro.reopt.episode import ReoptEpisode, run_with_reopt
+from repro.reopt.harvest import harvest_partials
+from repro.reopt.policy import MODES, ReoptPolicy
+from repro.reopt.watchdog import RegretWatchdog
+
+__all__ = [
+    "MODES",
+    "ReoptEpisode",
+    "ReoptPolicy",
+    "RegretWatchdog",
+    "harvest_partials",
+    "run_with_reopt",
+]

@@ -1,0 +1,48 @@
+"""Turning a stopped run's streaming counters into partial feedback.
+
+A reopt-cancelled execution never reaches ``finalize`` — the
+end-of-stream monitor flush (Fig. 3's final message) is skipped by the
+exception on purpose, so nothing downstream can mistake a truncated
+count for a finished one.  What the run *did* measure still has value:
+every folded page's counter is an honest **lower bound** on the true
+DPC.  :func:`harvest_partials` reads those counters off the watchdog's
+attached bundles and wraps them as partial observations
+(:func:`~repro.core.feedback.partial_page_count_observation`), which the
+episode runner feeds to
+:meth:`~repro.core.feedback.FeedbackStore.record_partial_observations`
+— the epoch-free ingest path.  Codelint rule R015 keeps both calls
+exclusive to this package.
+"""
+
+from __future__ import annotations
+
+from repro.core.feedback import partial_page_count_observation
+from repro.core.requests import PageCountObservation
+from repro.reopt.watchdog import RegretWatchdog
+
+
+def harvest_partials(watchdog: RegretWatchdog) -> list[PageCountObservation]:
+    """Lower-bound observations from every scan the watchdog attached to.
+
+    Counters cover only *folded* (fully processed) pages — the bundle's
+    ``progress()`` contract — so each observation's ``pages_seen`` /
+    ``total_pages`` coverage describes exactly the prefix the estimate
+    was measured over.  Scans that never completed a page contribute
+    nothing.
+    """
+    observations: list[PageCountObservation] = []
+    for target in watchdog.targets:
+        pages_seen = target.pages_seen
+        if not pages_seen:
+            continue
+        for progress in target.bundle.progress():
+            observations.append(
+                partial_page_count_observation(
+                    request=progress.request,
+                    mechanism=progress.mechanism,
+                    satisfied_pages=progress.satisfied_pages,
+                    pages_seen=pages_seen,
+                    total_pages=target.total_pages,
+                )
+            )
+    return observations

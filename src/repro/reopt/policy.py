@@ -1,0 +1,88 @@
+"""Knobs of the mid-query re-optimization loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import EngineError
+
+#: Allowed values of :attr:`ReoptPolicy.mode`.
+MODES = ("auto", "restart", "resume")
+
+
+@dataclass(frozen=True)
+class ReoptPolicy:
+    """When the regret watchdog may trip, and what happens afterwards.
+
+    The trip condition is deliberately conservative — PLANSIEVE-style
+    incremental thresholds with hysteresis — so that well-estimated
+    queries never pay more than the (simulated-time-visible) watchdog
+    checks themselves:
+
+    * a request's projected final DPC must diverge from the optimizer's
+      estimate by at least :attr:`trip_ratio` (q-error style, so both
+      over- and under-estimates count),
+    * for :attr:`hysteresis_checks` *consecutive* checkpoint
+      evaluations (one flat page cannot trip a scan), and
+    * only after the scan has real progress to project from:
+      :attr:`min_pages` pages seen **and** :attr:`min_progress_fraction`
+      of the table covered — cheap queries finish before either guard
+      clears.
+    """
+
+    #: Minimum q-error between projected and estimated DPC to count a
+    #: checkpoint as a breach (2.0 = off by 2x either way).
+    trip_ratio: float = 2.0
+    #: Consecutive breaching evaluations required before tripping.
+    hysteresis_checks: int = 3
+    #: Fraction of the table a scan must have covered before the
+    #: projection is trusted at all.
+    min_progress_fraction: float = 0.05
+    #: Absolute floor on pages seen (small tables never trip).
+    min_pages: int = 8
+    #: Maximum trips per episode.  The second run always executes
+    #: watchdog-free, so an episode terminates by construction.
+    max_trips: int = 1
+    #: What to do after a trip: "restart" re-runs the new plan from
+    #: scratch, "resume" replays only the unscanned suffix (legal for
+    #: count-over-clustered-scan shapes, see the episode runner), and
+    #: "auto" resumes when legal, restarts otherwise.
+    mode: str = "auto"
+    #: Simulated cost of the mid-flight re-optimization itself, charged
+    #: to the episode's IOContext so T_switch honestly includes
+    #: T_replan.
+    replan_cost_ms: float = 0.5
+    #: Evaluate the divergence only every N-th checkpoint (1 = every
+    #: page boundary).  Checks are charged as monitor checks either way.
+    evaluate_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.trip_ratio < 1.0:
+            raise EngineError(
+                f"trip_ratio must be >= 1.0, got {self.trip_ratio}"
+            )
+        if self.hysteresis_checks < 1:
+            raise EngineError(
+                f"hysteresis_checks must be >= 1, got {self.hysteresis_checks}"
+            )
+        if not 0.0 <= self.min_progress_fraction < 1.0:
+            raise EngineError(
+                "min_progress_fraction must be in [0, 1), got "
+                f"{self.min_progress_fraction}"
+            )
+        if self.min_pages < 1:
+            raise EngineError(f"min_pages must be >= 1, got {self.min_pages}")
+        if self.max_trips < 0:
+            raise EngineError(f"max_trips must be >= 0, got {self.max_trips}")
+        if self.mode not in MODES:
+            raise EngineError(
+                f"mode must be one of {MODES}, got {self.mode!r}"
+            )
+        if self.replan_cost_ms < 0:
+            raise EngineError(
+                f"replan_cost_ms must be >= 0, got {self.replan_cost_ms}"
+            )
+        if self.evaluate_every < 1:
+            raise EngineError(
+                f"evaluate_every must be >= 1, got {self.evaluate_every}"
+            )

@@ -68,6 +68,12 @@ class QueryRequest:
     #: Optional plan restriction, as :class:`PlanHint` fields
     #: (``{"kind": "table_scan"}``, ...).
     hint: Optional[dict[str, Any]] = None
+    #: Run under the mid-query re-optimization watchdog: the execution
+    #: may be cancelled at a checkpoint, replanned from partial actuals
+    #: and switched to a better plan (episode outcome lands in the
+    #: response's ``runstats.lifecycle["reopt"]``).  Needs monitoring —
+    #: a request that also disables monitors runs plain.
+    reopt: bool = False
     #: Total budget in wall-clock milliseconds (queue wait + execution);
     #: ``None`` means no deadline.
     deadline_ms: Optional[float] = None
@@ -110,6 +116,7 @@ class QueryRequest:
             "remember",
             "monitor",
             "hint",
+            "reopt",
             "deadline_ms",
         }
         if unknown:

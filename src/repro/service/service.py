@@ -100,12 +100,17 @@ class QueryService:
         max_in_flight: int = 8,
         max_queue_depth: int = 32,
         monitor_by_default: bool = True,
+        reopt_by_default: bool = False,
         worker_pool: Optional[WorkerPool] = None,
     ) -> None:
         self.engine = engine
         self.admission = AdmissionController(max_in_flight, max_queue_depth)
         self.telemetry = ServiceTelemetry()
         self.monitor_by_default = monitor_by_default
+        #: Run monitored in-process requests under the reopt watchdog
+        #: even when they do not ask (``serve --reopt``); a request's own
+        #: ``reopt=True`` always opts in regardless.
+        self.reopt_by_default = reopt_by_default
         #: Optional multi-process execution tier; with a pool attached,
         #: admitted queries run on worker processes while this service's
         #: engine keeps the one authoritative feedback store/plan cache.
@@ -268,6 +273,7 @@ class QueryService:
             finally:
                 self._live_tokens.discard(token)
             self.telemetry.count("completed")
+            self._count_reopt(outcome.runstats)
             self.telemetry.observe(
                 "execution_ms", watch.elapsed_seconds * 1000 - queue_wait_ms
             )
@@ -355,6 +361,24 @@ class QueryService:
             self.telemetry.gauge_set("in_flight", self.admission.in_flight)
             self.telemetry.gauge_set("queue_depth", self.admission.queue_depth)
 
+    def _count_reopt(self, runstats: dict[str, Any]) -> None:
+        """Fold a completed run's reopt episode into the counters.
+
+        Reads the episode summary the reopt runner leaves in the run's
+        lifecycle payload.  These counters annotate completed requests
+        (one request, one slot, however many plans it took), so they stay
+        outside :meth:`ServiceTelemetry.leaked_slots`' conservation sum.
+        """
+        lifecycle = runstats.get("lifecycle") or {}
+        episode = lifecycle.get("reopt")
+        if not episode or not episode.get("tripped"):
+            return
+        self.telemetry.count("reopt_trips")
+        if episode.get("switched"):
+            self.telemetry.count("reopt_wins")
+        if episode.get("false_trip"):
+            self.telemetry.count("reopt_false_trips")
+
     @staticmethod
     def _finish(
         response: QueryResponse, queue_wait_ms: float, watch: Stopwatch
@@ -373,6 +397,9 @@ class QueryService:
         malformed requests fail fast as ``BAD_REQUEST`` without spending
         a worker, and the pool applies any returned observations to this
         service's authoritative feedback store before the reply returns.
+        The ``reopt`` flag is in-process only: worker executions run the
+        plain path (a worker's replan would read its own stale feedback
+        snapshot, not this service's authoritative store).
         """
         query = parse_query(request.sql)
         monitor = (
@@ -401,6 +428,10 @@ class QueryService:
             hint=request.plan_hint(),
             remember=request.remember,
             exec_mode=request.exec_mode,
+            # The reopt watchdog needs streaming monitor counters to
+            # project from, so the flag is inert without monitors (and
+            # the engine's session routing ignores requestless items).
+            reopt=request.reopt or self.reopt_by_default,
         )
         session = self.engine.session()
         executed = self.engine.execute(

@@ -25,7 +25,12 @@ from repro.harness.reporting import format_table, latency_summary
 #: Counters every :class:`ServiceTelemetry` starts with.
 #: ``worker_restarts`` counts worker-process respawns by the
 #: multi-process tier (0 on a pool-less service — the snapshot shape is
-#: identical either way).
+#: identical either way).  The ``reopt_*`` counters describe mid-query
+#: re-optimization episodes (``reopt_trips`` = watchdog cancellations,
+#: ``reopt_wins`` = trips whose replan chose a different plan,
+#: ``reopt_false_trips`` = trips that re-chose the same plan); they
+#: annotate *completed* requests, so they stay outside the admission
+#: slot-conservation sum in :func:`leaked_slots_from`.
 STANDARD_COUNTERS = (
     "admitted",
     "rejected",
@@ -34,6 +39,9 @@ STANDARD_COUNTERS = (
     "cancelled",
     "failed",
     "worker_restarts",
+    "reopt_trips",
+    "reopt_wins",
+    "reopt_false_trips",
 )
 
 #: Histograms every :class:`ServiceTelemetry` starts with.

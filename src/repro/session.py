@@ -24,7 +24,7 @@ cached plan is never stale.  The last run's stage-by-stage record is in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, ContextManager, Optional, Sequence
+from typing import TYPE_CHECKING, Any, ContextManager, Optional, Sequence
 
 from repro.analysis.findings import Finding, errors, render_findings
 from repro.analysis.planlint import lint_plan
@@ -43,6 +43,9 @@ from repro.optimizer.optimizer import Optimizer, Query
 from repro.optimizer.pagecount_model import AnalyticalPageCountModel
 from repro.optimizer.plans import PlanNode
 from repro.storage.accounting import IOContext
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (reopt imports session)
+    from repro.reopt.policy import ReoptPolicy
 
 __all__ = ["ExecutedQuery", "Session"]
 
@@ -71,6 +74,13 @@ class Session:
     #: Shared plan cache (an Engine wires its own in).  ``None`` means
     #: every optimize is fresh — the plan-cache stage reports "bypassed".
     plan_cache: Optional[PlanCache] = None
+    #: Mid-query re-optimization policy.  ``None`` (the default) keeps
+    #: every run on the exact pre-reopt code path — no watchdog, no
+    #: checkpoint observers, bit-identical results and charges.  With a
+    #: policy set, :meth:`run` calls that carry page-count requests are
+    #: routed through the reopt episode runner
+    #: (:func:`repro.reopt.run_with_reopt`).
+    reopt_policy: Optional["ReoptPolicy"] = None
     #: Stage-by-stage record of the most recent optimize()/run() call.
     last_trace: Optional[LifecycleTrace] = None
 
@@ -177,7 +187,34 @@ class Session:
         cancellation: Optional[CancellationToken] = None,
     ) -> ExecutedQuery:
         """The full lifecycle: plan (cached or fresh), execute, and — with
-        ``remember=True`` — harvest feedback in the same call."""
+        ``remember=True`` — harvest feedback in the same call.
+
+        When a :attr:`reopt_policy` is set and the call carries
+        page-count requests, the run goes through the mid-query
+        re-optimization episode instead: the regret watchdog observes
+        the monitored scans and may cancel, replan, and switch plans
+        mid-flight (the episode's outcome lands in
+        ``runstats.lifecycle["reopt"]``).  Requestless runs have no
+        streaming counters to project from, so they stay on the plain
+        path even with a policy set.
+        """
+        if self.reopt_policy is not None and requests:
+            from repro.reopt.episode import run_with_reopt
+
+            episode = run_with_reopt(
+                self,
+                query,
+                requests=requests,
+                policy=self.reopt_policy,
+                use_feedback=use_feedback,
+                hint=hint,
+                cold_cache=cold_cache,
+                io=io,
+                exec_mode=exec_mode,
+                cancellation=cancellation,
+                remember=remember,
+            )
+            return episode.executed
         executed = self.lifecycle().run(
             query,
             requests=requests,

@@ -613,5 +613,6 @@ class TestMachinery:
             "R012",
             "R013",
             "R014",
+            "R015",
         }
         assert all(CODE_RULES[rule] for rule in CODE_RULES)

@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
-from repro.core.feedback import FeedbackStore, table_of_key
+from repro.core.feedback import (
+    FeedbackStore,
+    partial_page_count_observation,
+    table_of_key,
+)
 from repro.core.requests import (
     AccessPathRequest,
     Mechanism,
@@ -125,3 +129,84 @@ class TestMemoizedLowering:
         )
         assert len(injections) == 1
         assert epochs == (("t", 1),)
+
+
+def partial(table: str, column: str, satisfied: float, pages_seen: int = 10):
+    """A lower-bound observation as the reopt harvest would build it."""
+    return partial_page_count_observation(
+        request=AccessPathRequest(
+            table, conjunction_of(Comparison(column, "<", 9))
+        ),
+        mechanism=Mechanism.EXACT_SCAN_COUNT,
+        satisfied_pages=satisfied,
+        pages_seen=pages_seen,
+        total_pages=100,
+    )
+
+
+class TestPartialObservations:
+    """The reopt-harvest ingest path: epoch-free, bound-monotone, and
+    displaced outright by the first complete observation."""
+
+    def test_partial_write_never_bumps_any_epoch(self):
+        store = FeedbackStore()
+        stored = store.record_partial_observations([partial("t", "a", 5.0)])
+        assert stored == 1
+        assert store.epoch == 0
+        assert store.table_epoch("t") == 0
+        assert store.partial_writes == 1
+
+    def test_partial_after_complete_keeps_epoch_history(self):
+        # A reopt-cancelled run mid-workload must not look like a store
+        # version change to cached plans' freshness vectors.
+        store = FeedbackStore()
+        store.record_observations([observation("t", "a", 12.0)])
+        store.record_partial_observations([partial("t", "b", 5.0)])
+        assert store.epoch == 1
+        assert store.table_epoch("t") == 1
+
+    def test_partial_still_reaches_lowering(self):
+        # Epoch-free does not mean invisible: the lowering memo is also
+        # keyed on the partial write counter, so the replan sees bounds.
+        store = FeedbackStore()
+        store.record_observations([observation("t", "a", 12.0)])
+        store.to_injections()
+        store.record_partial_observations([partial("t", "b", 5.0)])
+        lowered = store.to_injections()
+        assert store.lowering_builds == 2
+        assert len(lowered) == 2
+        assert store.epoch == 1
+
+    def test_complete_observation_replaces_partial_without_summing(self):
+        store = FeedbackStore()
+        store.record_partial_observations([partial("t", "a", 5.0)])
+        store.record_observations([observation("t", "a", 12.0)])
+        record = store._records["DPC(t, a < 9)"]
+        assert record.page_count == 12.0  # replaced, not 17.0
+        assert record.page_count_exact
+        assert not record.partial
+
+    def test_partial_never_displaces_a_complete_record(self):
+        store = FeedbackStore()
+        store.record_observations([observation("t", "a", 12.0)])
+        store.record_partial_observations([partial("t", "a", 20.0)])
+        record = store._records["DPC(t, a < 9)"]
+        assert record.page_count == 12.0
+        assert record.page_count_exact
+        assert not record.partial
+
+    def test_partials_reconcile_by_keeping_the_larger_bound(self):
+        store = FeedbackStore()
+        store.record_partial_observations([partial("t", "a", 5.0)])
+        store.record_partial_observations([partial("t", "a", 3.0)])
+        record = store._records["DPC(t, a < 9)"]
+        assert record.page_count == 5.0  # a shorter scan never lowers it
+        store.record_partial_observations([partial("t", "a", 8.0)])
+        assert record.page_count == 8.0
+        assert record.partial and not record.page_count_exact
+
+    def test_unanswerable_partials_are_a_noop(self):
+        store = FeedbackStore()
+        stored = store.record_partial_observations([])
+        assert stored == 0
+        assert store.partial_writes == 0

@@ -1,0 +1,47 @@
+"""ReoptPolicy validation: every knob rejects nonsense at construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import EngineError
+from repro.reopt import MODES, ReoptPolicy
+
+
+class TestDefaults:
+    def test_defaults_are_valid_and_conservative(self):
+        policy = ReoptPolicy()
+        assert policy.trip_ratio >= 2.0
+        assert policy.hysteresis_checks >= 2
+        assert policy.max_trips == 1
+        assert policy.mode in MODES
+
+    def test_policy_is_frozen(self):
+        policy = ReoptPolicy()
+        with pytest.raises(AttributeError):
+            policy.trip_ratio = 10.0  # type: ignore[misc]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"trip_ratio": 0.5},
+            {"hysteresis_checks": 0},
+            {"min_progress_fraction": -0.1},
+            {"min_progress_fraction": 1.0},
+            {"min_pages": 0},
+            {"max_trips": -1},
+            {"mode": "yolo"},
+            {"replan_cost_ms": -0.5},
+            {"evaluate_every": 0},
+        ],
+    )
+    def test_bad_knob_raises(self, kwargs):
+        with pytest.raises(EngineError):
+            ReoptPolicy(**kwargs)
+
+    def test_trip_ratio_of_exactly_one_is_allowed(self):
+        # q-error is >= 1 by construction, so 1.0 means "always breach" —
+        # a legal (if aggressive) setting used to force trips in tests.
+        assert ReoptPolicy(trip_ratio=1.0).trip_ratio == 1.0

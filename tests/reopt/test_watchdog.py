@@ -1,0 +1,138 @@
+"""RegretWatchdog behaviour: trips, guards and cancellation semantics.
+
+Uses the shared 20k-row synthetic database.  On the correlated column c2
+(which exactly tracks the clustering order) the analytic page-count
+model grossly overestimates DPC, so a monitored sequential scan's
+projection diverges early and the watchdog must trip; on the
+uncorrelated column c5 the projection tracks the estimate and the
+watchdog must stay quiet.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.cancellation import CancellationToken
+from repro.common.errors import QueryCancelled, ReoptRequested
+from repro.harness.methodology import default_requests
+from repro.reopt import ReoptPolicy, run_with_reopt
+from repro.session import Session
+from repro.workloads.queries import single_table_workload
+
+
+def generated_query(database, column: str):
+    """One exact-cardinality query at a selectivity where SeqScan wins."""
+    return single_table_workload(
+        database,
+        "t",
+        columns=(column,),
+        queries_per_column=1,
+        seed=3,
+        selectivity_range=(0.01, 0.05),
+    )[0]
+
+
+def run_episode(database, generated, policy=None, **kwargs):
+    session = Session(database=database, injections=generated.injections())
+    episode = run_with_reopt(
+        session,
+        generated.query,
+        requests=tuple(default_requests(database, generated.query)),
+        policy=policy if policy is not None else ReoptPolicy(),
+        exec_mode="batch",
+        **kwargs,
+    )
+    return session, episode
+
+
+class TestTripping:
+    def test_correlated_scan_trips(self, synthetic_db):
+        generated = generated_query(synthetic_db, "c2")
+        _, episode = run_episode(synthetic_db, generated)
+        assert episode.tripped
+        assert "q-error" in episode.trip_detail
+        assert episode.partials_recorded >= 1
+
+    def test_uncorrelated_scan_stays_quiet(self, synthetic_db):
+        generated = generated_query(synthetic_db, "c5")
+        _, episode = run_episode(synthetic_db, generated)
+        assert not episode.tripped
+        assert episode.trip_detail == ""
+        assert episode.partials_recorded == 0
+
+    def test_quiet_run_still_attaches_watchdog(self, synthetic_db):
+        generated = generated_query(synthetic_db, "c5")
+        session, _ = run_episode(synthetic_db, generated)
+        stage = session.last_trace.stage("monitor-plan")
+        assert stage is not None and "watchdog" in stage.detail
+
+
+class TestGuards:
+    def test_hysteresis_blocks_single_breach(self, synthetic_db):
+        generated = generated_query(synthetic_db, "c2")
+        _, episode = run_episode(
+            synthetic_db, generated, policy=ReoptPolicy(hysteresis_checks=10_000)
+        )
+        assert not episode.tripped
+
+    def test_min_pages_floor_blocks_trip(self, synthetic_db):
+        generated = generated_query(synthetic_db, "c2")
+        _, episode = run_episode(
+            synthetic_db, generated, policy=ReoptPolicy(min_pages=10**6)
+        )
+        assert not episode.tripped
+
+    def test_max_trips_zero_disarms_the_watchdog(self, synthetic_db):
+        generated = generated_query(synthetic_db, "c2")
+        _, episode = run_episode(
+            synthetic_db, generated, policy=ReoptPolicy(max_trips=0)
+        )
+        assert not episode.tripped
+
+    def test_high_trip_ratio_never_fires(self, synthetic_db):
+        generated = generated_query(synthetic_db, "c2")
+        _, episode = run_episode(
+            synthetic_db, generated, policy=ReoptPolicy(trip_ratio=1e9)
+        )
+        assert not episode.tripped
+
+
+class TestCancellationSemantics:
+    def test_reopt_cancel_raises_typed_subclass(self):
+        token = CancellationToken()
+        token.cancel_for_reopt("regret")
+        with pytest.raises(ReoptRequested):
+            token.checkpoint()
+
+    def test_reopt_requested_is_a_query_cancelled(self):
+        # Existing except-QueryCancelled handlers (deadline bookkeeping,
+        # slot release) must see a reopt trip like any other cancel.
+        assert issubclass(ReoptRequested, QueryCancelled)
+
+    def test_first_cancel_wins_deadline_is_never_upgraded(self):
+        token = CancellationToken()
+        token.cancel("deadline exceeded")
+        token.cancel_for_reopt("regret")
+        with pytest.raises(QueryCancelled) as caught:
+            token.checkpoint()
+        assert not isinstance(caught.value, ReoptRequested)
+        assert "deadline" in str(caught.value)
+
+    def test_cancelled_caller_token_propagates_not_trips(self, synthetic_db):
+        generated = generated_query(synthetic_db, "c2")
+        token = CancellationToken()
+        token.cancel("deadline exceeded")
+        session = Session(
+            database=synthetic_db, injections=generated.injections()
+        )
+        with pytest.raises(QueryCancelled) as caught:
+            run_with_reopt(
+                session,
+                generated.query,
+                requests=tuple(
+                    default_requests(synthetic_db, generated.query)
+                ),
+                exec_mode="batch",
+                cancellation=token,
+            )
+        assert not isinstance(caught.value, ReoptRequested)
